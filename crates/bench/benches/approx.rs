@@ -1,0 +1,47 @@
+//! Criterion bench for experiment F1: iterated approximate agreement under
+//! the extremist attack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_adversary::attacks::ApproxExtremist;
+use uba_core::approx::ApproxAgreement;
+use uba_core::harness::{max_faulty, Setup};
+use uba_sim::SyncEngine;
+
+fn run(n: usize, iterations: u64) {
+    let f = max_faulty(n);
+    let setup = Setup::new(n - f, f, n as u64);
+    let g = setup.correct.len();
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| ApproxAgreement::new(id, i as f64).with_iterations(iterations)),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(ApproxExtremist::new(1e9))
+        .build();
+    let done = engine
+        .run_to_completion(iterations + 3)
+        .expect("terminates");
+    assert_eq!(done.outputs.len(), g);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_approx_agreement");
+    for n in [4usize, 13, 40] {
+        group.bench_with_input(BenchmarkId::new("iters4", n), &n, |b, &n| {
+            b.iter(|| run(n, 4));
+        });
+    }
+    for k in [1u64, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("n13_iters", k), &k, |b, &k| {
+            b.iter(|| run(13, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

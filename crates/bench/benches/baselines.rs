@@ -1,0 +1,117 @@
+//! Criterion bench for experiment T7: unknown-(n, f) algorithms vs the
+//! classic known-(n, f) baselines on identical workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_core::baselines::{KnownApprox, PhaseKing, StBroadcast};
+use uba_core::consensus::{king::KingConsensus, EarlyConsensus};
+use uba_core::harness::{max_faulty, Setup};
+use uba_core::reliable::ReliableBroadcast;
+use uba_core::approx::ApproxAgreement;
+use uba_sim::SyncEngine;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let n = 22;
+    let f = max_faulty(n);
+    let setup = Setup::new(n, 0, 4);
+    let sender = setup.correct[0];
+    let mut group = c.benchmark_group("t7_broadcast_n22");
+    group.bench_function("unknown_nf", |b| {
+        b.iter(|| {
+            let mut engine = SyncEngine::builder()
+                .correct_many(setup.correct.iter().map(|&id| {
+                    ReliableBroadcast::new(id, sender, (id == sender).then_some(1u8))
+                        .with_horizon(5)
+                }))
+                .build();
+            engine.run_to_completion(7).expect("completes");
+        })
+    });
+    group.bench_function("srikanth_toueg_known_f", |b| {
+        b.iter(|| {
+            let mut engine = SyncEngine::builder()
+                .correct_many(setup.correct.iter().map(|&id| {
+                    StBroadcast::new(id, sender, (id == sender).then_some(1u8), f).with_horizon(5)
+                }))
+                .build();
+            engine.run_to_completion(7).expect("completes");
+        })
+    });
+    group.finish();
+}
+
+fn bench_approx(c: &mut Criterion) {
+    let n = 22;
+    let f = max_faulty(n);
+    let setup = Setup::new(n, 0, 9);
+    let mut group = c.benchmark_group("t7_approx_n22_iters4");
+    group.bench_function("unknown_nf", |b| {
+        b.iter(|| {
+            let mut engine = SyncEngine::builder()
+                .correct_many(setup.correct.iter().enumerate().map(|(i, &id)| {
+                    ApproxAgreement::new(id, i as f64).with_iterations(4)
+                }))
+                .build();
+            engine.run_to_completion(7).expect("completes");
+        })
+    });
+    group.bench_function("dolev_known_f", |b| {
+        b.iter(|| {
+            let mut engine = SyncEngine::builder()
+                .correct_many(setup.correct.iter().enumerate().map(|(i, &id)| {
+                    KnownApprox::new(id, i as f64, f).with_iterations(4)
+                }))
+                .build();
+            engine.run_to_completion(7).expect("completes");
+        })
+    });
+    group.finish();
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t7_consensus");
+    group.sample_size(20);
+    for n in [13usize, 25] {
+        let f = max_faulty(n);
+        let setup = Setup::new(n, 0, 13 + n as u64);
+        group.bench_with_input(BenchmarkId::new("early_unknown_nf", n), &n, |b, _| {
+            b.iter(|| {
+                let mut engine = SyncEngine::builder()
+                    .correct_many(setup.correct.iter().enumerate().map(|(i, &id)| {
+                        EarlyConsensus::new(id, (i % 2) as u64)
+                    }))
+                    .build();
+                engine
+                    .run_to_completion(2 + 5 * (n as u64 + 2))
+                    .expect("completes");
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rotor_king_unknown_nf", n), &n, |b, _| {
+            b.iter(|| {
+                let mut engine = SyncEngine::builder()
+                    .correct_many(setup.correct.iter().enumerate().map(|(i, &id)| {
+                        KingConsensus::new(id, (i % 2) as u64)
+                    }))
+                    .build();
+                engine
+                    .run_to_completion(2 + 5 * (n as u64 + 2))
+                    .expect("completes");
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("phase_king_known_nf", n), &n, |b, _| {
+            b.iter(|| {
+                let mut engine = SyncEngine::builder()
+                    .correct_many(setup.correct.iter().enumerate().map(|(i, &id)| {
+                        PhaseKing::new(id, (i % 2) as u64, setup.correct.clone(), f)
+                    }))
+                    .build();
+                engine
+                    .run_to_completion(4 * (f as u64 + 1) + 2)
+                    .expect("completes");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast, bench_approx, bench_consensus);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for experiment T3: O(f) consensus under equivocation —
+//! one series over f at fixed n, one series over n at maximal f.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_adversary::attacks::ConsensusEquivocator;
+use uba_core::consensus::EarlyConsensus;
+use uba_core::harness::{max_faulty, Setup};
+use uba_sim::SyncEngine;
+
+fn run(g: usize, f: usize, seed: u64) {
+    let setup = Setup::new(g, f, seed);
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| EarlyConsensus::new(id, (i % 2) as u64)),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(ConsensusEquivocator::new(0u64, 1u64))
+        .build();
+    engine
+        .run_to_completion(2 + 5 * (setup.n() as u64 + 4))
+        .expect("consensus terminates");
+}
+
+fn bench_by_f(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_consensus_by_f_n16");
+    for f in [0usize, 1, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, &f| {
+            b.iter(|| run(16 - f, f, 900 + f as u64));
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_consensus_by_n_max_f");
+    for n in [4usize, 13, 40] {
+        let f = max_faulty(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run(n - f, f, 40 + n as u64));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_f, bench_by_n);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for experiment T5: total ordering throughput — rounds of
+//! a dynamic network with one event per node per round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_core::ordering::TotalOrdering;
+use uba_sim::{sparse_ids, SyncEngine};
+
+fn run(n: usize, rounds: u64) {
+    let ids = sparse_ids(n, n as u64);
+    let mut engine = SyncEngine::builder()
+        .correct_many(ids.iter().enumerate().map(|(i, &id)| {
+            TotalOrdering::genesis(id)
+                .with_events((2..rounds).map(move |r| (r, 1000 * i as u64 + r)))
+                .with_horizon(rounds)
+        }))
+        .build();
+    let done = engine.run_to_completion(rounds + 2).expect("horizon");
+    assert!(done.outputs.values().next().is_some());
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_total_ordering");
+    group.sample_size(10);
+    for n in [3usize, 5, 8] {
+        group.bench_with_input(BenchmarkId::new("40rounds_n", n), &n, |b, &n| {
+            b.iter(|| run(n, 40));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

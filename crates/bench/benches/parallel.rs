@@ -1,0 +1,42 @@
+//! Criterion bench for experiment T4: parallel consensus with a growing
+//! number of concurrent instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_core::harness::Setup;
+use uba_core::parallel::ParallelConsensus;
+use uba_sim::SyncEngine;
+
+fn run(instances: usize) {
+    let setup = Setup::new(9, 2, instances as u64);
+    let inputs: Vec<(u64, u64)> = (0..instances as u64).map(|i| (i, i * 10)).collect();
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .map(|&id| ParallelConsensus::new(id, inputs.clone())),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .build();
+    let done = engine
+        .run_to_completion(2 + 5 * (setup.n() as u64 + 4))
+        .expect("terminates");
+    assert!(done.outputs.values().all(|o| o.len() == instances));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t4_parallel_consensus_instances");
+    for instances in [1usize, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(instances),
+            &instances,
+            |b, &instances| {
+                b.iter(|| run(instances));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

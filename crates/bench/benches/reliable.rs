@@ -1,0 +1,36 @@
+//! Criterion bench for experiment T1: reliable broadcast, correct sender,
+//! f = ⌊(n−1)/3⌋ silent-after-announce Byzantine nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_adversary::ScriptedAdversary;
+use uba_core::harness::{max_faulty, Setup};
+use uba_core::reliable::{RbMsg, ReliableBroadcast};
+use uba_sim::SyncEngine;
+
+fn run(n: usize) {
+    let f = max_faulty(n);
+    let setup = Setup::new(n - f, f, n as u64);
+    let sender = setup.correct[0];
+    let mut engine = SyncEngine::builder()
+        .correct_many(setup.correct.iter().map(|&id| {
+            ReliableBroadcast::new(id, sender, (id == sender).then_some(1u8)).with_horizon(6)
+        }))
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(ScriptedAdversary::announce_then_vanish(RbMsg::Present))
+        .build();
+    let done = engine.run_to_completion(8).expect("completes");
+    assert!(done.outputs.values().all(|a| a.contains_key(&1)));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_reliable_broadcast");
+    for n in [4usize, 13, 40, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

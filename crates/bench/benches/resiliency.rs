@@ -1,0 +1,39 @@
+//! Criterion bench for experiment T6: consensus cost as f crosses n/3 —
+//! the broken region is also slower (runs to the round budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_adversary::attacks::ConsensusEquivocator;
+use uba_core::consensus::EarlyConsensus;
+use uba_core::harness::Setup;
+use uba_sim::SyncEngine;
+
+fn run(g: usize, f: usize) {
+    let setup = Setup::new(g, f, 1000 + f as u64);
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| EarlyConsensus::new(id, (i % 2) as u64)),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(ConsensusEquivocator::new(0u64, 1u64))
+        .build();
+    // In the broken region this may time out — that is the measurement.
+    let _ = engine.run_to_completion(2 + 5 * (setup.n() as u64 + 4));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t6_resiliency_g8");
+    group.sample_size(10);
+    for f in [2usize, 3, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, &f| {
+            b.iter(|| run(8, f));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

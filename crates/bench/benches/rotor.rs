@@ -1,0 +1,39 @@
+//! Criterion bench for experiment T2: rotor-coordinator termination (O(n)
+//! rounds) under the candidate-splitting attack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_adversary::attacks::RotorSplitAdversary;
+use uba_core::harness::{max_faulty, Setup};
+use uba_core::rotor::RotorCoordinator;
+use uba_sim::SyncEngine;
+
+fn run(n: usize) {
+    let f = max_faulty(n);
+    let setup = Setup::new(n - f, f, 2 * n as u64);
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .map(|&id| RotorCoordinator::new(id, id.raw())),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(RotorSplitAdversary::new())
+        .build();
+    engine
+        .run_to_completion(3 + 2 * n as u64 + 8)
+        .expect("rotor terminates");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_rotor_coordinator");
+    for n in [4usize, 13, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates every table and figure of EXPERIMENTS.md.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p uba-bench --release --bin experiments            # all experiments
+//! cargo run -p uba-bench --release --bin experiments t3 f1     # a selection
+//! ```
+
+use uba_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&str> = if args.is_empty() {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in selected {
+        eprintln!("running {id}…");
+        for table in run_experiment(id) {
+            println!("{table}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! F1 — approximate agreement convergence (Algorithm 4).
+//!
+//! Paper claims validated (as a *figure*: range vs iteration series):
+//! - outputs always lie within the correct input range, with and without
+//!   the extremist attack;
+//! - the correct range contracts by a factor ≥ 2 per iteration
+//!   (`(o_max − o_min) ≤ (i_max − i_min)/2`), so the series decays
+//!   geometrically.
+
+use uba_adversary::attacks::ApproxExtremist;
+use uba_core::approx::ApproxAgreement;
+use uba_core::harness::{max_faulty, Setup};
+use uba_sim::{NoAdversary, SyncEngine};
+
+use crate::Table;
+
+/// Range of the correct nodes' estimates after each iteration.
+pub fn range_series(n: usize, attack: bool, iterations: u64, seed: u64) -> Vec<f64> {
+    let f = max_faulty(n);
+    let setup = Setup::new(n - f, f, seed);
+    let g = setup.correct.len();
+    let inputs: Vec<f64> = (0..g).map(|i| i as f64 * 10.0 / (g - 1).max(1) as f64).collect();
+    let build = |engine: uba_sim::EngineBuilder<ApproxAgreement, NoAdversary>| {
+        engine.correct_many(
+            setup
+                .correct
+                .iter()
+                .zip(&inputs)
+                .map(|(&id, &x)| ApproxAgreement::new(id, x).with_iterations(iterations)),
+        )
+    };
+    let mut series = Vec::new();
+    let mut record = |engine: &mut dyn FnMut() -> (f64, f64)| {
+        let (lo, hi) = engine();
+        series.push(hi - lo);
+    };
+    // Round 1 is the initial broadcast; the k-th update lands in round k+1.
+    if attack {
+        let mut engine = build(SyncEngine::builder())
+            .faulty_many(setup.faulty.iter().copied())
+            .adversary(ApproxExtremist::new(1e9))
+            .build();
+        record(&mut || current_range(&setup.correct, |id| engine.process(id).map(|p| p.current())));
+        engine.run_round();
+        for _ in 0..iterations {
+            engine.run_round();
+            record(&mut || current_range(&setup.correct, |id| engine.process(id).map(|p| p.current())));
+        }
+    } else {
+        let mut engine = build(SyncEngine::builder()).build();
+        record(&mut || current_range(&setup.correct, |id| engine.process(id).map(|p| p.current())));
+        engine.run_round();
+        for _ in 0..iterations {
+            engine.run_round();
+            record(&mut || current_range(&setup.correct, |id| engine.process(id).map(|p| p.current())));
+        }
+    }
+    series
+}
+
+fn current_range(
+    ids: &[uba_sim::NodeId],
+    get: impl Fn(uba_sim::NodeId) -> Option<f64>,
+) -> (f64, f64) {
+    let values: Vec<f64> = ids.iter().filter_map(|&id| get(id)).collect();
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (lo, hi)
+}
+
+/// Runs experiment F1.
+pub fn run() -> Vec<Table> {
+    let mut series_table = Table::new(
+        "F1 — approximate agreement: correct-range contraction per iteration (n = 13, f = 4, inputs spread over [0, 10])",
+        &["iteration", "range (no adversary)", "range (extremist attack)", "attack ratio vs prev", "≤ 0.5"],
+    );
+    let iterations = 8;
+    let clean = range_series(13, false, iterations, 5);
+    let attacked = range_series(13, true, iterations, 5);
+    for i in 0..=iterations as usize {
+        let ratio = if i == 0 || attacked[i - 1] == 0.0 {
+            f64::NAN
+        } else {
+            attacked[i] / attacked[i - 1]
+        };
+        series_table.row(&[
+            i.to_string(),
+            format!("{:.6}", clean[i]),
+            format!("{:.6}", attacked[i]),
+            if ratio.is_nan() { "—".into() } else { format!("{ratio:.3}") },
+            if ratio.is_nan() {
+                "—".into()
+            } else {
+                (ratio <= 0.5 + 1e-9).to_string()
+            },
+        ]);
+    }
+
+    let mut within = Table::new(
+        "F1b — outputs stay within the correct input range under attack",
+        &["n", "f", "input range", "output range", "within"],
+    );
+    for n in [4usize, 10, 22, 40] {
+        let f = max_faulty(n);
+        let setup = Setup::new(n - f, f, 60 + n as u64);
+        let g = setup.correct.len();
+        let inputs: Vec<f64> = (0..g).map(|i| i as f64).collect();
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                setup
+                    .correct
+                    .iter()
+                    .zip(&inputs)
+                    .map(|(&id, &x)| ApproxAgreement::new(id, x).with_iterations(3)),
+            )
+            .faulty_many(setup.faulty.iter().copied())
+            .adversary(ApproxExtremist::new(1e9))
+            .build();
+        let done = engine.run_to_completion(6).expect("terminates");
+        let lo = done.outputs.values().cloned().fold(f64::INFINITY, f64::min);
+        let hi = done
+            .outputs
+            .values()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let max_in = (g - 1) as f64;
+        within.row(&[
+            n.to_string(),
+            f.to_string(),
+            format!("0.0..{max_in:.1}"),
+            format!("{lo:.3}..{hi:.3}"),
+            (lo >= 0.0 && hi <= max_in).to_string(),
+        ]);
+    }
+
+    vec![series_table, within]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_claims_hold() {
+        let tables = run();
+        for row in &tables[0].rows {
+            if row[4] != "—" {
+                assert_eq!(row[4], "true", "halving violated: {row:?}");
+            }
+        }
+        for row in &tables[1].rows {
+            assert_eq!(row[4], "true", "escaped input range: {row:?}");
+        }
+    }
+}

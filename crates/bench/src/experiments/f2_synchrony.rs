@@ -1,0 +1,73 @@
+//! F2 — synchrony is necessary (the paper's two impossibility lemmas).
+//!
+//! Paper claims validated (as a *figure*: disagreement vs cross-partition
+//! delay):
+//! - **asynchronous case**: with effectively unbounded cross-partition
+//!   delay, the timeout-style protocol disagrees — each side decides alone;
+//! - **semi-synchronous case**: for *every* patience parameter there is a
+//!   finite delay bound `Δ` (unknown to the nodes) that forces
+//!   disagreement, and the transition is exactly at the decision horizon —
+//!   tuning the timeout only moves the cliff, it never removes it.
+
+use uba_core::lower_bounds::{delay_sweep, partition_run, TimeoutConsensus};
+use uba_sim::sparse_ids;
+
+use crate::Table;
+
+/// Runs experiment F2.
+pub fn run() -> Vec<Table> {
+    let ids = sparse_ids(8, 2026);
+    let (a, b) = ids.split_at(4);
+
+    let mut sweep_table = Table::new(
+        "F2a — disagreement vs cross-partition delay (groups of 4 with opposite inputs; sharp cliff at the decision horizon)",
+        &["patience", "decision horizon", "cross delay", "disagreement", "matches theory"],
+    );
+    for patience in [2u64, 4, 8] {
+        let horizon = TimeoutConsensus::decision_horizon(patience);
+        for point in delay_sweep(a, b, patience, [1, horizon - 1, horizon, horizon + 1, horizon + 4]) {
+            let expected = point.cross_delay > horizon;
+            sweep_table.row(&[
+                patience.to_string(),
+                horizon.to_string(),
+                point.cross_delay.to_string(),
+                point.disagreement.to_string(),
+                (point.disagreement == expected).to_string(),
+            ]);
+        }
+    }
+
+    let mut no_escape = Table::new(
+        "F2b — no timeout helps: for every patience, delay = horizon + 1 forces disagreement (the semi-synchronous argument)",
+        &["patience", "adversarial delay", "disagreement", "ticks to (dis)agreement"],
+    );
+    for patience in [1u64, 2, 4, 8, 16, 32] {
+        let horizon = TimeoutConsensus::decision_horizon(patience);
+        let outcome = partition_run(a, b, patience, horizon + 1, 20 * (horizon + 2))
+            .expect("timeout consensus decides");
+        no_escape.row(&[
+            patience.to_string(),
+            (horizon + 1).to_string(),
+            outcome.disagreement.to_string(),
+            outcome.ticks.to_string(),
+        ]);
+    }
+
+    vec![sweep_table, no_escape]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2_claims_hold() {
+        let tables = run();
+        for row in &tables[0].rows {
+            assert_eq!(row[4], "true", "theory mismatch: {row:?}");
+        }
+        for row in &tables[1].rows {
+            assert_eq!(row[2], "true", "timeout escaped the trap: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per experiment of EXPERIMENTS.md.
+//!
+//! Every module exposes `run() -> Vec<Table>`; the tables' shapes (not
+//! absolute timings) are the reproduction targets — who wins, by what
+//! factor, and where thresholds fall.
+
+pub mod f1_approx;
+pub mod f2_synchrony;
+pub mod t1_reliable;
+pub mod t2_rotor;
+pub mod t3_consensus;
+pub mod t4_parallel;
+pub mod t5_ordering;
+pub mod t6_resiliency;
+pub mod t7_baselines;
+pub mod t8_extensions;
+pub mod t9_ablation;

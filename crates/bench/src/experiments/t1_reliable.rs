@@ -1,0 +1,144 @@
+//! T1 — reliable broadcast (Algorithm 1).
+//!
+//! Paper claims validated:
+//! - **Correctness**: with a correct sender, every correct node accepts in
+//!   round 3, for every `n > 3f` and every adversary.
+//! - **Relay**: acceptance rounds of any two correct nodes differ by ≤ 1.
+//! - **Unforgeability**: a message the (correct, silent) sender never
+//!   broadcast is never accepted, no matter how many forged echoes the
+//!   adversary injects.
+//! - Message complexity matches the known-`f` Srikanth–Toueg baseline up to
+//!   the one extra `present` round (see T7).
+
+use std::collections::BTreeMap;
+
+use uba_adversary::ScriptedAdversary;
+use uba_core::harness::{max_faulty, Setup};
+use uba_core::reliable::{RbMsg, ReliableBroadcast};
+use uba_sim::{
+    Adversary, AdversaryOutbox, AdversaryView, FnAdversary, NodeId, SyncEngine,
+};
+
+use crate::Table;
+
+type Msg = RbMsg<&'static str>;
+
+fn run_one<A: Adversary<Msg>>(
+    setup: &Setup,
+    sender_sends: bool,
+    adversary: A,
+) -> (BTreeMap<NodeId, BTreeMap<&'static str, u64>>, u64, u64) {
+    let sender = setup.correct[0];
+    let horizon = 8;
+    let mut engine = SyncEngine::builder()
+        .correct_many(setup.correct.iter().map(|&id| {
+            ReliableBroadcast::new(id, sender, (id == sender && sender_sends).then_some("m"))
+                .with_horizon(horizon)
+        }))
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(adversary)
+        .build();
+    let done = engine
+        .run_to_completion(horizon + 2)
+        .expect("horizon reached");
+    let sends = done.stats.correct_sends;
+    (done.outputs, sends, done.stats.adversary_sends)
+}
+
+/// Echo-forging adversary: floods `echo("forged")` (and also echoes the real
+/// message to be maximally confusing) from every faulty node, every round.
+fn forger() -> impl Adversary<Msg> {
+    FnAdversary::new(|view: &AdversaryView<'_, Msg>, out: &mut AdversaryOutbox<Msg>| {
+        for &b in view.faulty.iter() {
+            out.broadcast(b, RbMsg::Echo("forged"));
+            out.broadcast(b, RbMsg::Echo("m"));
+        }
+    })
+}
+
+/// Runs experiment T1.
+pub fn run() -> Vec<Table> {
+    let mut correctness = Table::new(
+        "T1a — correctness & relay: correct sender accepted in round 3 by every correct node (n > 3f, adversary active)",
+        &["n", "f", "adversary", "accepted by", "accept round (min..max)", "relay gap ≤ 1", "correct sends"],
+    );
+
+    for n in [4usize, 7, 13, 25, 40, 61] {
+        let f = max_faulty(n);
+        let g = n - f;
+        for (name, idx) in [("none", 0), ("vanish", 1), ("forge-echo", 2)] {
+            let setup = Setup::new(g, f, 7 + n as u64);
+            let (outputs, sends, _) = match idx {
+                0 => run_one(&setup, true, uba_sim::NoAdversary),
+                1 => run_one(
+                    &setup,
+                    true,
+                    ScriptedAdversary::announce_then_vanish(RbMsg::Present),
+                ),
+                _ => run_one(&setup, true, forger()),
+            };
+            let rounds: Vec<u64> = outputs
+                .values()
+                .filter_map(|acc| acc.get("m").copied())
+                .collect();
+            let accepted = rounds.len();
+            let min = rounds.iter().min().copied().unwrap_or(0);
+            let max = rounds.iter().max().copied().unwrap_or(0);
+            correctness.row(&[
+                n.to_string(),
+                f.to_string(),
+                name.to_string(),
+                format!("{accepted}/{g}"),
+                format!("{min}..{max}"),
+                (max.saturating_sub(min) <= 1).to_string(),
+                sends.to_string(),
+            ]);
+        }
+    }
+
+    let mut unforgeability = Table::new(
+        "T1b — unforgeability: forged echoes never get accepted when the correct sender stays silent",
+        &["n", "f", "forged echo senders", "forged accepted", "anything accepted"],
+    );
+    for n in [4usize, 10, 22, 40] {
+        let f = max_faulty(n);
+        let setup = Setup::new(n - f, f, 100 + n as u64);
+        let (outputs, _, _) = run_one(&setup, false, forger());
+        let forged = outputs
+            .values()
+            .filter(|acc| acc.contains_key("forged"))
+            .count();
+        let anything = outputs.values().filter(|acc| !acc.is_empty()).count();
+        unforgeability.row(&[
+            n.to_string(),
+            f.to_string(),
+            f.to_string(),
+            forged.to_string(),
+            anything.to_string(),
+        ]);
+    }
+
+    vec![correctness, unforgeability]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_claims_hold() {
+        let tables = run();
+        for row in &tables[0].rows {
+            assert!(row[3].starts_with(&row[3].split('/').next_back().unwrap().to_string()),
+                "all correct nodes accept: {row:?}");
+            let parts: Vec<&str> = row[3].split('/').collect();
+            assert_eq!(parts[0], parts[1], "everyone accepted: {row:?}");
+            assert_eq!(row[4], "3..3", "acceptance in round 3: {row:?}");
+            assert_eq!(row[5], "true");
+        }
+        for row in &tables[1].rows {
+            assert_eq!(row[3], "0", "forgery accepted: {row:?}");
+            assert_eq!(row[4], "0", "spurious acceptance: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! T3 — early-terminating consensus (Algorithm 3, Theorem `earlyCon`).
+//!
+//! Paper claims validated:
+//! - **agreement** and **validity** for `n > 3f` under every adversary;
+//! - **O(f) rounds**: at fixed `n`, the decision round grows with `f`, not
+//!   with `n` — and unanimous inputs always decide in one phase (7 rounds)
+//!   regardless of `n` (the early-termination fast path);
+//! - message complexity is polynomial (≈ `n` broadcasts per node per
+//!   phase).
+
+use std::collections::BTreeSet;
+
+use uba_adversary::attacks::ConsensusEquivocator;
+use uba_adversary::{CrashAdversary, ScriptedAdversary, SplitMirrorAdversary};
+use uba_core::consensus::{ConsensusMsg, EarlyConsensus};
+use uba_core::harness::{max_faulty, Setup};
+use uba_sim::{Adversary, SyncEngine};
+
+use crate::Table;
+
+/// One consensus run; returns (agreement, validity, decision round, sends).
+pub fn run_one<A: Adversary<ConsensusMsg<u64>>>(
+    setup: &Setup,
+    split_inputs: bool,
+    adversary: A,
+) -> (bool, bool, u64, u64) {
+    let inputs: Vec<u64> = (0..setup.correct.len())
+        .map(|i| if split_inputs { (i % 2) as u64 } else { 1 })
+        .collect();
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .zip(&inputs)
+                .map(|(&id, &x)| EarlyConsensus::new(id, x)),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(adversary)
+        .build();
+    let done = engine
+        .run_to_completion(2 + 5 * (setup.n() as u64 + 4))
+        .expect("consensus terminates");
+    let decided: BTreeSet<u64> = done.outputs.values().copied().collect();
+    let agreement = decided.len() == 1;
+    let validity = decided.iter().all(|v| inputs.contains(v));
+    (
+        agreement,
+        validity,
+        done.last_decided_round(),
+        done.stats.correct_sends,
+    )
+}
+
+fn adversary_run(setup: &Setup, name: &str, split_inputs: bool) -> (bool, bool, u64, u64) {
+    match name {
+        "none" => run_one(setup, split_inputs, uba_sim::NoAdversary),
+        "vanish" => run_one(
+            setup,
+            split_inputs,
+            ScriptedAdversary::announce_then_vanish(ConsensusMsg::RotorInit),
+        ),
+        "equivocate" => run_one(setup, split_inputs, ConsensusEquivocator::new(0u64, 1u64)),
+        "split-mirror" => run_one(setup, split_inputs, SplitMirrorAdversary::new()),
+        "crash" => run_one(
+            setup,
+            split_inputs,
+            CrashAdversary::new(
+                setup.faulty.iter().map(|&id| EarlyConsensus::new(id, 0u64)),
+                10,
+            ),
+        ),
+        other => panic!("unknown adversary {other}"),
+    }
+}
+
+/// Runs experiment T3.
+pub fn run() -> Vec<Table> {
+    let mut by_f = Table::new(
+        "T3a — O(f) round complexity: fixed n = 16, growing f (split inputs, equivocation attack)",
+        &["n", "f", "agreement", "validity", "decision round", "5f + 12 bound", "within"],
+    );
+    let g_total = 16;
+    for f in 0..=max_faulty(g_total) {
+        let setup = Setup::new(g_total - f, f, 900 + f as u64);
+        let (agree, valid, rounds, _) = adversary_run(&setup, "equivocate", true);
+        // O(f): one phase per coordinator until a correct one is hit, ≤ f+1
+        // phases, plus one closing phase; 5 rounds each after 2 init rounds.
+        let bound = 5 * (f as u64) + 12;
+        by_f.row(&[
+            setup.n().to_string(),
+            f.to_string(),
+            agree.to_string(),
+            valid.to_string(),
+            rounds.to_string(),
+            bound.to_string(),
+            (rounds <= bound).to_string(),
+        ]);
+    }
+
+    let mut by_n = Table::new(
+        "T3b — rounds do not grow with n: f = ⌊(n−1)/3⌋, unanimous inputs decide in exactly one phase (round 7)",
+        &["n", "f", "adversary", "decision round", "correct sends"],
+    );
+    for n in [4usize, 7, 13, 25, 40] {
+        let f = max_faulty(n);
+        for adv in ["vanish", "crash"] {
+            let setup = Setup::new(n - f, f, 40 + n as u64);
+            let (agree, valid, rounds, sends) = adversary_run(&setup, adv, false);
+            assert!(agree && valid);
+            by_n.row(&[
+                n.to_string(),
+                f.to_string(),
+                adv.to_string(),
+                rounds.to_string(),
+                sends.to_string(),
+            ]);
+        }
+    }
+
+    let mut matrix = Table::new(
+        "T3c — agreement/validity matrix: n = 13, f = 4, split inputs, all adversaries",
+        &["adversary", "agreement", "validity", "decision round"],
+    );
+    for adv in ["none", "vanish", "equivocate", "split-mirror", "crash"] {
+        let setup = Setup::new(9, 4, 77);
+        let (agree, valid, rounds, _) = adversary_run(&setup, adv, true);
+        matrix.row(&[
+            adv.to_string(),
+            agree.to_string(),
+            valid.to_string(),
+            rounds.to_string(),
+        ]);
+    }
+
+    vec![by_f, by_n, matrix]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t3_claims_hold() {
+        let tables = run();
+        for row in &tables[0].rows {
+            assert_eq!(row[2], "true", "agreement: {row:?}");
+            assert_eq!(row[3], "true", "validity: {row:?}");
+            assert_eq!(row[6], "true", "O(f) bound: {row:?}");
+        }
+        for row in &tables[1].rows {
+            assert_eq!(row[3], "7", "unanimous fast path: {row:?}");
+        }
+        for row in &tables[2].rows {
+            assert_eq!(row[1], "true");
+            assert_eq!(row[2], "true");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! T9 — ablation: the silent-member substitution rule is load-bearing.
+//!
+//! The caption of Algorithm 3 prescribes that a frozen member which sends
+//! nothing is counted as having sent the receiver's own last message of the
+//! expected type. This experiment shows the rule is not an optimization but
+//! a liveness requirement: a crafted adversary pushes exactly three nodes
+//! over the `2n_v/3` strongprefer threshold in phase 1 (they terminate and
+//! go silent); the remaining four correct nodes then command only
+//! `4 < ⌈2n_v/3⌉ = 6` input messages per round. With substitution the
+//! stragglers absorb the silence and decide one phase later; without it
+//! they can never again assemble a quorum and loop until the round budget
+//! dies.
+
+use std::collections::BTreeSet;
+
+use uba_core::consensus::{phase_of_round, ConsensusMsg, EarlyConsensus, INIT_ROUNDS};
+use uba_core::harness::Setup;
+use uba_sim::{Adversary, AdversaryOutbox, AdversaryView, NodeId, SyncEngine};
+
+use crate::Table;
+
+type Msg = ConsensusMsg<u64>;
+
+/// Pushes the five x-holders to prefer, then exactly three of them over the
+/// termination threshold, then goes silent.
+#[derive(Debug, Clone)]
+struct StragglerForcer {
+    x_nodes: Vec<NodeId>,
+    targets: Vec<NodeId>,
+}
+
+impl Adversary<Msg> for StragglerForcer {
+    fn act(&mut self, view: &AdversaryView<'_, Msg>, out: &mut AdversaryOutbox<Msg>) {
+        if view.round == 1 {
+            for &b in view.faulty.iter() {
+                out.broadcast(b, ConsensusMsg::RotorInit);
+            }
+            return;
+        }
+        if view.round <= INIT_ROUNDS {
+            return;
+        }
+        let (phase, phase_round) = phase_of_round(view.round);
+        if phase != 1 {
+            return;
+        }
+        for &b in view.faulty.iter() {
+            match phase_round {
+                1 => {
+                    for &to in &self.x_nodes {
+                        out.send(b, to, ConsensusMsg::Input(0));
+                    }
+                }
+                2 => {
+                    for &to in &self.x_nodes {
+                        out.send(b, to, ConsensusMsg::Prefer(0));
+                    }
+                }
+                3 => {
+                    for &to in &self.targets {
+                        out.send(b, to, ConsensusMsg::StrongPrefer(0));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Runs the straggler scenario; returns (decided count, agreement, last
+/// decision round or None on timeout).
+fn run(substitution: bool, seed: u64) -> (usize, bool, Option<u64>) {
+    let setup = Setup::new(7, 2, seed);
+    // Inputs by ascending id: five 0s, two 1s.
+    let inputs: Vec<u64> = (0..7).map(|i| u64::from(i >= 5)).collect();
+    let adversary = StragglerForcer {
+        x_nodes: setup.correct[..5].to_vec(),
+        targets: setup.correct[..3].to_vec(),
+    };
+    let mut engine = SyncEngine::builder()
+        .correct_many(setup.correct.iter().zip(&inputs).map(|(&id, &x)| {
+            let node = EarlyConsensus::new(id, x);
+            if substitution {
+                node
+            } else {
+                node.without_substitution()
+            }
+        }))
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(adversary)
+        .build();
+    let budget = 2 + 5 * 20;
+    match engine.run_to_completion(budget) {
+        Ok(done) => {
+            let decided: BTreeSet<u64> = done.outputs.values().copied().collect();
+            (
+                done.outputs.len(),
+                decided.len() == 1,
+                Some(done.last_decided_round()),
+            )
+        }
+        Err(_) => {
+            let outputs = engine.outputs();
+            let decided: BTreeSet<u64> = outputs.values().copied().collect();
+            (outputs.len(), decided.len() <= 1, None)
+        }
+    }
+}
+
+/// Runs experiment T9.
+pub fn run_experiment() -> Vec<Table> {
+    let mut table = Table::new(
+        "T9 — ablation: Algorithm 3 without the silent-member substitution rule (g = 7, f = 2, three nodes forced to terminate one phase early)",
+        &["substitution", "seed", "decided nodes", "agreement among deciders", "last decision round"],
+    );
+    for seed in [11u64, 29, 47] {
+        for &substitution in &[true, false] {
+            let (decided, agreement, last) = run(substitution, seed);
+            table.row(&[
+                substitution.to_string(),
+                seed.to_string(),
+                format!("{decided}/7"),
+                agreement.to_string(),
+                last.map_or("TIMEOUT (livelock)".to_string(), |r| r.to_string()),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_is_necessary_for_liveness() {
+        for seed in [11u64, 29, 47] {
+            let (decided_on, _, last_on) = run(true, seed);
+            assert_eq!(decided_on, 7, "with substitution everyone decides");
+            assert!(last_on.is_some());
+            let (decided_off, agreement_off, last_off) = run(false, seed);
+            assert!(
+                last_off.is_none() && decided_off < 7,
+                "without substitution the stragglers must livelock \
+                 (decided {decided_off}, last {last_off:?})"
+            );
+            // Safety is not violated either way — only liveness dies.
+            assert!(agreement_off);
+        }
+    }
+}

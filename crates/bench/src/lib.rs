@@ -1,0 +1,47 @@
+//! # uba-bench — the experiment harness
+//!
+//! Regenerates every table and figure of EXPERIMENTS.md. The paper is
+//! theory-only, so each experiment empirically validates one theorem or
+//! complexity claim; the mapping is documented in DESIGN.md §4 and
+//! EXPERIMENTS.md.
+//!
+//! - `cargo run -p uba-bench --bin experiments` prints every table;
+//!   `--bin experiments t3` prints a single one.
+//! - `cargo bench -p uba-bench` measures wall-clock time of the same
+//!   workloads with criterion.
+//!
+//! All experiments are deterministic per seed and run in seconds on a
+//! laptop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Every experiment id, in presentation order.
+pub const ALL_EXPERIMENTS: &[&str] = &["t1", "t2", "t3", "f1", "t4", "t5", "f2", "t6", "t7", "t8", "t9"];
+
+/// Runs one experiment by id, returning its tables.
+///
+/// # Panics
+///
+/// Panics on an unknown id (valid ids are in [`ALL_EXPERIMENTS`]).
+pub fn run_experiment(id: &str) -> Vec<Table> {
+    match id {
+        "t1" => experiments::t1_reliable::run(),
+        "t2" => experiments::t2_rotor::run(),
+        "t3" => experiments::t3_consensus::run(),
+        "f1" => experiments::f1_approx::run(),
+        "t4" => experiments::t4_parallel::run(),
+        "t5" => experiments::t5_ordering::run(),
+        "f2" => experiments::f2_synchrony::run(),
+        "t6" => experiments::t6_resiliency::run(),
+        "t7" => experiments::t7_baselines::run(),
+        "t8" => experiments::t8_extensions::run(),
+        "t9" => experiments::t9_ablation::run_experiment(),
+        other => panic!("unknown experiment id {other:?}; valid: {ALL_EXPERIMENTS:?}"),
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimal aligned-column table rendering for experiment output.
+
+use std::fmt;
+
+/// A titled table with a header row and string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (the experiment id and claim).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; ragged rows are padded with empty cells when rendered.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (anything `Display` works per cell).
+    pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Self {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        (0..cols)
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .filter_map(|r| r.get(c))
+                    .map(|s| s.chars().count())
+                    .chain(self.headers.get(c).map(|h| h.chars().count()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "## {}", self.title)?;
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                write!(f, " {cell:<w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["n", "rounds"]);
+        t.row(&["4", "7"]).row(&["100", "12"]);
+        let s = t.to_string();
+        assert!(s.starts_with("## demo\n"));
+        assert!(s.contains("| n   | rounds |"));
+        assert!(s.contains("| 100 | 12     |"));
+    }
+
+    #[test]
+    fn pads_ragged_rows() {
+        let mut t = Table::new("ragged", &["a", "b", "c"]);
+        t.row(&["1"]);
+        let s = t.to_string();
+        assert!(s.lines().count() >= 3);
+    }
+}

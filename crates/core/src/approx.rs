@@ -1,0 +1,395 @@
+//! Approximate agreement — Algorithm 4 of the paper.
+//!
+//! Each correct node inputs a real number and outputs a real number such
+//! that, for `n > 3f`:
+//!
+//! 1. every output lies within the range of correct inputs, and
+//! 2. the output range is at most **half** the input range.
+//!
+//! One iteration: broadcast your value (including to yourself), collect the
+//! multiset `R_v` of received values, discard the `⌊n_v/3⌋` smallest and
+//! `⌊n_v/3⌋` largest, and output the midpoint of the remaining extremes.
+//! Unlike the classic Dolev et al. protocol, the number of discarded values
+//! is `⌊n_v/3⌋` — a function of the node's own participant estimate — rather
+//! than the globally known `f`.
+//!
+//! [`ApproxAgreement`] runs a configurable number of pipelined iterations
+//! (each one engine round after the first): the paper's §Dynamic networks
+//! observes that the same algorithm keeps halving the correct range when run
+//! repeatedly, even under churn, so the iterated form doubles as the dynamic
+//! variant.
+
+use std::collections::BTreeMap;
+
+use uba_sim::{Context, NodeId, Process};
+
+use crate::value::OrderedF64;
+
+/// The number of iterations needed to shrink an initial spread of at most
+/// `initial_range` below `epsilon`, given the per-iteration halving
+/// guarantee.
+///
+/// Nodes cannot *measure* the global range in the id-only model, but a
+/// caller that knows an a-priori bound on the inputs (e.g. sensor readings
+/// in a known interval) can plan the iteration count up front — this is how
+/// ε-agreement is obtained from the paper's one-shot algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use uba_core::approx::iterations_for;
+/// assert_eq!(iterations_for(10.0, 1.0), 4);  // 10 → 5 → 2.5 → 1.25 → 0.625
+/// assert_eq!(iterations_for(1.0, 1.0), 1);   // equal spread still needs one shot
+/// assert_eq!(iterations_for(0.5, 1.0), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not strictly positive or either argument is NaN.
+pub fn iterations_for(initial_range: f64, epsilon: f64) -> u64 {
+    assert!(
+        epsilon > 0.0 && !initial_range.is_nan(),
+        "epsilon must be positive and the range must not be NaN"
+    );
+    let mut iterations = 1;
+    let mut range = initial_range / 2.0;
+    while range >= epsilon {
+        range /= 2.0;
+        iterations += 1;
+    }
+    iterations
+}
+
+/// One node's state machine for (iterated) approximate agreement.
+///
+/// # Examples
+///
+/// ```
+/// use uba_core::approx::ApproxAgreement;
+/// use uba_sim::{sparse_ids, SyncEngine};
+///
+/// let ids = sparse_ids(4, 3);
+/// let inputs = [0.0, 1.0, 2.0, 10.0];
+/// let mut engine = SyncEngine::builder()
+///     .correct_many(
+///         ids.iter()
+///             .zip(inputs)
+///             .map(|(&id, x)| ApproxAgreement::new(id, x)),
+///     )
+///     .build();
+/// let done = engine.run_to_completion(3)?;
+/// let outputs: Vec<f64> = done.outputs.values().copied().collect();
+/// let spread = outputs.iter().cloned().fold(f64::MIN, f64::max)
+///     - outputs.iter().cloned().fold(f64::MAX, f64::min);
+/// assert!(spread <= 5.0, "range at most halved: {spread}");
+/// assert!(outputs.iter().all(|&o| (0.0..=10.0).contains(&o)), "within input range");
+/// # Ok::<(), uba_sim::EngineError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ApproxAgreement {
+    me: NodeId,
+    current: OrderedF64,
+    iterations: u64,
+    /// Local round counter (1-based), so that nodes joining a dynamic run
+    /// mid-way behave like fresh nodes.
+    local_round: u64,
+    /// When set, only values from these peers are used (the paper's
+    /// Discussion: a new node can run the algorithm with only a subset of
+    /// nodes to get closer to the value of most of the nodes).
+    peers: Option<std::collections::BTreeSet<NodeId>>,
+    history: Vec<f64>,
+    done: Option<f64>,
+}
+
+impl ApproxAgreement {
+    /// Creates a node with real-valued input `input` running one iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is NaN.
+    pub fn new(me: NodeId, input: f64) -> Self {
+        ApproxAgreement {
+            me,
+            current: OrderedF64::new(input).expect("approximate agreement input must not be NaN"),
+            iterations: 1,
+            local_round: 0,
+            peers: None,
+            history: vec![input],
+            done: None,
+        }
+    }
+
+    /// Restricts the values used in updates to the given peer subset (the
+    /// paper's Discussion-section observation: a joining node can approach
+    /// the network's value by talking to a subset of nodes only, as long as
+    /// that subset itself satisfies `n > 3f`).
+    pub fn with_peers<I: IntoIterator<Item = NodeId>>(mut self, peers: I) -> Self {
+        self.peers = Some(peers.into_iter().collect());
+        self
+    }
+
+    /// Sets the number of iterations (default 1). Each extra iteration
+    /// halves the achievable output range again and costs one extra round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is 0.
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        assert!(iterations > 0, "at least one iteration is required");
+        self.iterations = iterations;
+        self
+    }
+
+    /// The node's current estimate.
+    pub fn current(&self) -> f64 {
+        self.current.get()
+    }
+
+    /// The estimate after each completed iteration, starting with the input.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// One update step: keep one value per distinct sender, discard the
+    /// `⌊n_v/3⌋` extremes on each side, return the midpoint of the rest.
+    fn update(&self, received: &BTreeMap<NodeId, OrderedF64>) -> OrderedF64 {
+        if received.is_empty() {
+            return self.current;
+        }
+        let mut values: Vec<OrderedF64> = received.values().copied().collect();
+        values.sort_unstable();
+        let n_v = values.len();
+        let k = n_v / 3;
+        let kept = &values[k..n_v - k];
+        debug_assert!(!kept.is_empty(), "⌊n/3⌋ trimming always leaves a value");
+        let lo = kept.first().expect("non-empty").get();
+        let hi = kept.last().expect("non-empty").get();
+        OrderedF64::new((lo + hi) / 2.0).expect("midpoint of non-NaN values")
+    }
+}
+
+impl Process for ApproxAgreement {
+    type Msg = OrderedF64;
+    type Output = f64;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, OrderedF64>) {
+        self.local_round += 1;
+        let r = self.local_round;
+        if r > 1 {
+            // One value per distinct sender; a Byzantine sender that sends
+            // several values in one round is pinned to its smallest for
+            // determinism.
+            let mut received: BTreeMap<NodeId, OrderedF64> = BTreeMap::new();
+            for env in ctx.inbox() {
+                if let Some(peers) = &self.peers {
+                    if !peers.contains(&env.from) {
+                        continue;
+                    }
+                }
+                received
+                    .entry(env.from)
+                    .and_modify(|v| *v = (*v).min(env.msg))
+                    .or_insert(env.msg);
+            }
+            self.current = self.update(&received);
+            self.history.push(self.current.get());
+        }
+        if r <= self.iterations {
+            ctx.broadcast(self.current);
+        } else {
+            self.done = Some(self.current.get());
+        }
+    }
+
+    fn output(&self) -> Option<f64> {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_sim::{sparse_ids, SyncEngine};
+
+    fn run(inputs: &[f64], iterations: u64, seed: u64) -> Vec<f64> {
+        let ids = sparse_ids(inputs.len(), seed);
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                ids.iter()
+                    .zip(inputs)
+                    .map(|(&id, &x)| ApproxAgreement::new(id, x).with_iterations(iterations)),
+            )
+            .build();
+        engine
+            .run_to_completion(iterations + 2)
+            .expect("terminates after iterations + 1 rounds")
+            .outputs
+            .values()
+            .copied()
+            .collect()
+    }
+
+    fn range(values: &[f64]) -> f64 {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        hi - lo
+    }
+
+    #[test]
+    fn outputs_stay_within_input_range() {
+        let inputs = [3.0, -1.0, 0.5, 7.25, 2.0];
+        let outputs = run(&inputs, 1, 5);
+        for &o in &outputs {
+            assert!((-1.0..=7.25).contains(&o));
+        }
+    }
+
+    #[test]
+    fn one_iteration_halves_the_range() {
+        let inputs = [0.0, 4.0, 8.0, 16.0];
+        let outputs = run(&inputs, 1, 9);
+        assert!(range(&outputs) <= range(&inputs) / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn k_iterations_contract_geometrically() {
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 50.0];
+        for k in 1..=6 {
+            let outputs = run(&inputs, k, 13);
+            assert!(
+                range(&outputs) <= range(&inputs) / 2f64.powi(k as i32) + 1e-9,
+                "k = {k}: {:?}",
+                outputs
+            );
+        }
+    }
+
+    #[test]
+    fn unanimous_inputs_are_fixed_point() {
+        let outputs = run(&[5.5; 4], 3, 2);
+        assert!(outputs.iter().all(|&o| o == 5.5));
+    }
+
+    #[test]
+    fn single_node_keeps_its_value() {
+        let outputs = run(&[1.25], 2, 3);
+        assert_eq!(outputs, vec![1.25]);
+    }
+
+    #[test]
+    fn byzantine_extremes_are_discarded() {
+        use uba_sim::{AdversaryOutbox, AdversaryView, FnAdversary, NodeId};
+        let ids = sparse_ids(4, 7);
+        let inputs = [1.0, 2.0, 3.0, 4.0];
+        let adv = FnAdversary::new(
+            |view: &AdversaryView<'_, OrderedF64>, out: &mut AdversaryOutbox<OrderedF64>| {
+                for &b in view.faulty.iter() {
+                    out.broadcast(b, OrderedF64::new(1e12).unwrap());
+                }
+            },
+        );
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                ids.iter()
+                    .zip(inputs)
+                    .map(|(&id, x)| ApproxAgreement::new(id, x).with_iterations(2)),
+            )
+            .faulty(NodeId::new(424242))
+            .adversary(adv)
+            .build();
+        let done = engine.run_to_completion(5).expect("terminates");
+        for (&id, &o) in &done.outputs {
+            assert!(
+                (1.0..=4.0).contains(&o),
+                "node {id} output {o} escaped the correct range"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_input_is_rejected() {
+        let _ = ApproxAgreement::new(NodeId::new(1), f64::NAN);
+    }
+
+    #[test]
+    fn iterations_for_reaches_epsilon() {
+        for (range, eps) in [(10.0, 1.0), (100.0, 0.01), (1.0, 0.5), (3.0, 3.0)] {
+            let k = iterations_for(range, eps);
+            assert!(range / 2f64.powi(k as i32) < eps, "range {range}, eps {eps}");
+            if k > 1 {
+                assert!(
+                    range / 2f64.powi(k as i32 - 1) >= eps,
+                    "not minimal: range {range}, eps {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planned_iterations_deliver_epsilon_agreement() {
+        // Plan with the a-priori bound, then verify the actual outputs.
+        let bound = 50.0;
+        let eps = 0.125;
+        let k = iterations_for(bound, eps);
+        let inputs = [0.0, 17.5, 42.0, 50.0, 3.25];
+        let outputs = run(&inputs, k, 77);
+        assert!(range(&outputs) < eps, "spread {} ≥ {eps}", range(&outputs));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn iterations_for_rejects_zero_epsilon() {
+        let _ = iterations_for(1.0, 0.0);
+    }
+
+    #[test]
+    fn subset_peers_pull_a_joiner_toward_the_subset() {
+        // The Discussion-section scenario: five settled nodes hold values
+        // near 4.0; a newcomer with value 100 runs the algorithm restricted
+        // to three of them and lands inside the subset's range.
+        let ids = sparse_ids(6, 8);
+        let settled = [3.9, 4.0, 4.1, 4.0, 3.95];
+        let newcomer = ids[5];
+        let subset: Vec<_> = ids[..3].to_vec();
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                ids[..5]
+                    .iter()
+                    .zip(settled)
+                    .map(|(&id, x)| ApproxAgreement::new(id, x).with_iterations(2)),
+            )
+            .correct(
+                ApproxAgreement::new(newcomer, 100.0)
+                    .with_iterations(2)
+                    .with_peers(subset),
+            )
+            .build();
+        let done = engine.run_to_completion(5).expect("terminates");
+        let joiner_value = done.outputs[&newcomer];
+        assert!(
+            (3.9..=4.1).contains(&joiner_value),
+            "newcomer converged to {joiner_value}"
+        );
+    }
+
+    #[test]
+    fn history_records_each_iteration() {
+        let ids = sparse_ids(2, 4);
+        let mut engine = SyncEngine::builder()
+            .correct_many([
+                ApproxAgreement::new(ids[0], 0.0).with_iterations(3),
+                ApproxAgreement::new(ids[1], 8.0).with_iterations(3),
+            ])
+            .build();
+        engine.run_rounds(4);
+        let h = engine.process(ids[0]).unwrap().history();
+        assert_eq!(h.len(), 4, "input + 3 iterations");
+        assert_eq!(h[0], 0.0);
+        assert_eq!(h[1], 4.0, "midpoint of {{0, 8}}");
+    }
+}

@@ -1,0 +1,443 @@
+//! Classic known-`(n, f)` baselines.
+//!
+//! The paper's claim is comparative: the fundamental agreement problems can
+//! be solved *without* knowing `n` and `f`, at the **same** resiliency
+//! (`n > 3f`) and essentially the same round and message complexity as the
+//! classic algorithms that *do* know them. These baselines make that
+//! comparison executable:
+//!
+//! - [`StBroadcast`] — Srikanth–Toueg reliable broadcast with the classic
+//!   `f + 1` / `2f + 1` thresholds;
+//! - [`KnownApprox`] — Dolev et al. approximate agreement discarding exactly
+//!   `f` extreme values per side;
+//! - [`PhaseKing`] — the Berman–Garay–Perry phase-king consensus with
+//!   `f + 1` pre-agreed kings (smallest identifiers first), possible only
+//!   because `f` is known and the king schedule is common knowledge.
+//!
+//! All three run on the same engine and are measured by the same harness as
+//! the unknown-participant algorithms (experiment T7).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use uba_sim::{Context, NodeId, Process};
+
+use crate::quorum::{max_tally, tally};
+use crate::value::{OrderedF64, Value};
+
+/// Messages of the classic Srikanth–Toueg broadcast.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum StMsg<M> {
+    /// The designated sender's initial broadcast.
+    Payload(M),
+    /// `echo(m)` support.
+    Echo(M),
+}
+
+/// Classic reliable broadcast with known `f`: echo on a direct payload or on
+/// `f + 1` distinct echoers (cumulative), accept on `2f + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use uba_core::baselines::StBroadcast;
+/// use uba_sim::{sparse_ids, SyncEngine};
+///
+/// let ids = sparse_ids(4, 2);
+/// let sender = ids[1];
+/// let mut engine = SyncEngine::builder()
+///     .correct_many(ids.iter().map(|&id| {
+///         StBroadcast::new(id, sender, (id == sender).then_some("m"), 1).with_horizon(6)
+///     }))
+///     .build();
+/// let done = engine.run_to_completion(8)?;
+/// assert!(done.outputs.values().all(|a| a.contains_key("m")));
+/// # Ok::<(), uba_sim::EngineError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct StBroadcast<M> {
+    me: NodeId,
+    sender: NodeId,
+    payload: Option<M>,
+    f: usize,
+    /// Cumulative distinct echoers per message.
+    echoers: BTreeMap<M, BTreeSet<NodeId>>,
+    echoed: BTreeSet<M>,
+    accepted: BTreeMap<M, u64>,
+    horizon: Option<u64>,
+    done: Option<BTreeMap<M, u64>>,
+}
+
+impl<M: Value> StBroadcast<M> {
+    /// Creates a node's instance with the known failure bound `f`.
+    pub fn new(me: NodeId, sender: NodeId, payload: Option<M>, f: usize) -> Self {
+        StBroadcast {
+            me,
+            sender,
+            payload,
+            f,
+            echoers: BTreeMap::new(),
+            echoed: BTreeSet::new(),
+            accepted: BTreeMap::new(),
+            horizon: None,
+            done: None,
+        }
+    }
+
+    /// Terminates at the given round with the accepted map as output.
+    pub fn with_horizon(mut self, round: u64) -> Self {
+        self.horizon = Some(round);
+        self
+    }
+
+    /// Messages accepted so far with their acceptance rounds.
+    pub fn accepted(&self) -> &BTreeMap<M, u64> {
+        &self.accepted
+    }
+}
+
+impl<M: Value> Process for StBroadcast<M> {
+    type Msg = StMsg<M>;
+    type Output = BTreeMap<M, u64>;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, StMsg<M>>) {
+        let round = ctx.round();
+        if round == 1 {
+            if self.me == self.sender {
+                if let Some(m) = self.payload.clone() {
+                    ctx.broadcast(StMsg::Payload(m));
+                }
+            }
+        } else {
+            let mut to_echo: Vec<M> = Vec::new();
+            for e in ctx.inbox() {
+                match &e.msg {
+                    StMsg::Payload(m) if e.from == self.sender
+                        && !self.echoed.contains(m) => {
+                            to_echo.push(m.clone());
+                        }
+                    StMsg::Echo(m) => {
+                        self.echoers.entry(m.clone()).or_default().insert(e.from);
+                    }
+                    _ => {}
+                }
+            }
+            for (m, echoers) in &self.echoers {
+                if echoers.len() > self.f && !self.echoed.contains(m) {
+                    to_echo.push(m.clone());
+                }
+                if echoers.len() > 2 * self.f && !self.accepted.contains_key(m) {
+                    self.accepted.insert(m.clone(), round);
+                }
+            }
+            for m in to_echo {
+                self.echoed.insert(m.clone());
+                ctx.broadcast(StMsg::Echo(m));
+            }
+        }
+        if self.horizon == Some(round) {
+            self.done = Some(self.accepted.clone());
+        }
+    }
+
+    fn output(&self) -> Option<BTreeMap<M, u64>> {
+        self.done.clone()
+    }
+}
+
+/// Classic approximate agreement with known `f`: discard exactly `f`
+/// smallest and `f` largest received values, output the midpoint of the
+/// remaining extremes. Iterated like
+/// [`ApproxAgreement`](crate::approx::ApproxAgreement).
+#[derive(Clone, Debug)]
+pub struct KnownApprox {
+    me: NodeId,
+    f: usize,
+    current: OrderedF64,
+    iterations: u64,
+    local_round: u64,
+    done: Option<f64>,
+}
+
+impl KnownApprox {
+    /// Creates a node with input `input` and the known failure bound `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is NaN.
+    pub fn new(me: NodeId, input: f64, f: usize) -> Self {
+        KnownApprox {
+            me,
+            f,
+            current: OrderedF64::new(input).expect("input must not be NaN"),
+            iterations: 1,
+            local_round: 0,
+            done: None,
+        }
+    }
+
+    /// Sets the number of iterations (default 1).
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        assert!(iterations > 0, "at least one iteration is required");
+        self.iterations = iterations;
+        self
+    }
+}
+
+impl Process for KnownApprox {
+    type Msg = OrderedF64;
+    type Output = f64;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, OrderedF64>) {
+        self.local_round += 1;
+        let r = self.local_round;
+        if r > 1 {
+            let mut received: BTreeMap<NodeId, OrderedF64> = BTreeMap::new();
+            for env in ctx.inbox() {
+                received
+                    .entry(env.from)
+                    .and_modify(|v| *v = (*v).min(env.msg))
+                    .or_insert(env.msg);
+            }
+            let mut values: Vec<OrderedF64> = received.values().copied().collect();
+            values.sort_unstable();
+            if values.len() > 2 * self.f {
+                let kept = &values[self.f..values.len() - self.f];
+                let lo = kept.first().expect("non-empty").get();
+                let hi = kept.last().expect("non-empty").get();
+                self.current = OrderedF64::new((lo + hi) / 2.0).expect("non-NaN midpoint");
+            }
+        }
+        if r <= self.iterations {
+            ctx.broadcast(self.current);
+        } else {
+            self.done = Some(self.current.get());
+        }
+    }
+
+    fn output(&self) -> Option<f64> {
+        self.done
+    }
+}
+
+/// Messages of the phase-king consensus.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PkMsg<V> {
+    /// Phase round 1: the node's current value.
+    Value(V),
+    /// Phase round 2: `n - f` identical values were received.
+    Propose(V),
+    /// Phase round 3: the phase king's tie-breaking value.
+    King(V),
+}
+
+/// Classic phase-king consensus with known `n`, `f` and a pre-agreed king
+/// schedule (the `f + 1` smallest identifiers, one per phase).
+///
+/// Each phase takes four engine rounds (value, propose, king, resolve) and
+/// there are exactly `f + 1` phases, so the run length is `4(f + 1)` —
+/// independent of the adversary but *not* early-terminating.
+///
+/// # Examples
+///
+/// ```
+/// use uba_core::baselines::PhaseKing;
+/// use uba_sim::{sparse_ids, SyncEngine};
+///
+/// let ids = sparse_ids(4, 14);
+/// let all = ids.clone();
+/// let mut engine = SyncEngine::builder()
+///     .correct_many(ids.iter().enumerate().map(|(i, &id)| {
+///         PhaseKing::new(id, (i % 2) as u8, all.clone(), 1)
+///     }))
+///     .build();
+/// let done = engine.run_to_completion(8)?;
+/// let mut decided: Vec<u8> = done.outputs.values().copied().collect();
+/// decided.dedup();
+/// assert_eq!(decided.len(), 1);
+/// # Ok::<(), uba_sim::EngineError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct PhaseKing<V> {
+    me: NodeId,
+    x: V,
+    n: usize,
+    f: usize,
+    /// King of phase `k` (0-based): `kings[k]`.
+    kings: Vec<NodeId>,
+    propose_count: usize,
+    decided: Option<V>,
+}
+
+impl<V: Value> PhaseKing<V> {
+    /// Creates a node with input `input`, the full (known!) membership, and
+    /// the known failure bound `f`. The king schedule is the `f + 1`
+    /// smallest identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` has fewer than `f + 1` nodes.
+    pub fn new(me: NodeId, input: V, members: Vec<NodeId>, f: usize) -> Self {
+        let n = members.len();
+        let mut sorted = members;
+        sorted.sort_unstable();
+        assert!(sorted.len() > f, "need at least f + 1 members for the king schedule");
+        PhaseKing {
+            me,
+            x: input,
+            n,
+            f,
+            kings: sorted.into_iter().take(f + 1).collect(),
+            propose_count: 0,
+            decided: None,
+        }
+    }
+}
+
+impl<V: Value> Process for PhaseKing<V> {
+    type Msg = PkMsg<V>;
+    type Output = V;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, PkMsg<V>>) {
+        let round = ctx.round();
+        let phase = ((round - 1) / 4) as usize; // 0-based
+        let phase_round = (round - 1) % 4 + 1;
+        let threshold = self.n - self.f;
+        match phase_round {
+            1 => ctx.broadcast(PkMsg::Value(self.x.clone())),
+            2 => {
+                let counts = tally(ctx.inbox().iter().filter_map(|e| match &e.msg {
+                    PkMsg::Value(v) => Some(v.clone()),
+                    _ => None,
+                }));
+                if let Some((v, c)) = max_tally(&counts) {
+                    if c >= threshold {
+                        ctx.broadcast(PkMsg::Propose(v));
+                    }
+                }
+            }
+            3 => {
+                let counts = tally(ctx.inbox().iter().filter_map(|e| match &e.msg {
+                    PkMsg::Propose(v) => Some(v.clone()),
+                    _ => None,
+                }));
+                self.propose_count = 0;
+                if let Some((v, c)) = max_tally(&counts) {
+                    self.propose_count = c;
+                    if c > self.f {
+                        self.x = v;
+                    }
+                }
+                if self.kings[phase] == self.me {
+                    ctx.broadcast(PkMsg::King(self.x.clone()));
+                }
+            }
+            4 => {
+                if self.propose_count < threshold {
+                    let king = self.kings[phase];
+                    let mut king_values: Vec<&V> = ctx
+                        .inbox()
+                        .iter()
+                        .filter(|e| e.from == king)
+                        .filter_map(|e| match &e.msg {
+                            PkMsg::King(v) => Some(v),
+                            _ => None,
+                        })
+                        .collect();
+                    king_values.sort();
+                    if let Some(v) = king_values.first() {
+                        self.x = (*v).clone();
+                    }
+                }
+                if phase == self.f {
+                    self.decided = Some(self.x.clone());
+                }
+            }
+            _ => unreachable!("phase rounds are 1..=4"),
+        }
+    }
+
+    fn output(&self) -> Option<V> {
+        self.decided.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_sim::{sparse_ids, SyncEngine};
+
+    #[test]
+    fn st_broadcast_accepts_correct_sender_in_three_rounds() {
+        let ids = sparse_ids(4, 6);
+        let sender = ids[0];
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().map(|&id| {
+                StBroadcast::new(id, sender, (id == sender).then_some("m"), 1).with_horizon(6)
+            }))
+            .build();
+        let done = engine.run_to_completion(8).expect("completes");
+        for accepted in done.outputs.values() {
+            assert_eq!(accepted.get("m"), Some(&3));
+        }
+    }
+
+    #[test]
+    fn known_approx_halves_range() {
+        let ids = sparse_ids(4, 10);
+        let inputs = [0.0, 2.0, 6.0, 8.0];
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                ids.iter()
+                    .zip(inputs)
+                    .map(|(&id, x)| KnownApprox::new(id, x, 1)),
+            )
+            .build();
+        let done = engine.run_to_completion(4).expect("completes");
+        let outputs: Vec<f64> = done.outputs.values().copied().collect();
+        let lo = outputs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = outputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi - lo <= 4.0);
+        assert!(outputs.iter().all(|&o| (0.0..=8.0).contains(&o)));
+    }
+
+    #[test]
+    fn phase_king_agrees_in_4_f_plus_1_rounds() {
+        let ids = sparse_ids(7, 8);
+        let f = 2;
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().enumerate().map(|(i, &id)| {
+                PhaseKing::new(id, (i % 2) as u8, ids.clone(), f)
+            }))
+            .build();
+        let done = engine.run_to_completion(4 * (f as u64 + 1)).expect("completes");
+        let mut decided: Vec<u8> = done.outputs.values().copied().collect();
+        decided.dedup();
+        assert_eq!(decided.len(), 1, "agreement");
+        assert_eq!(done.last_decided_round(), 4 * (f as u64 + 1));
+    }
+
+    #[test]
+    fn phase_king_unanimous_validity() {
+        let ids = sparse_ids(4, 18);
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                ids.iter()
+                    .map(|&id| PhaseKing::new(id, 1u8, ids.clone(), 1)),
+            )
+            .build();
+        let done = engine.run_to_completion(8).expect("completes");
+        assert!(done.outputs.values().all(|&v| v == 1));
+    }
+}

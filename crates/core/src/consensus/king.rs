@@ -1,0 +1,329 @@
+//! Rotor-driven king consensus — the appendix algorithm of the paper
+//! (Algorithm `con`), a direct adaptation of the Berman–Garay–Perry *king*
+//! algorithm to the *id-only* model.
+//!
+//! Unlike [`EarlyConsensus`](crate::consensus::EarlyConsensus) this variant
+//! has no early termination: it runs phases until the embedded
+//! rotor-coordinator terminates (after `O(n)` selections, which guarantees a
+//! good phase for `n > 3f`), then outputs the current opinion. It serves as
+//! the paper's conceptual baseline for the `O(f)`-round early-terminating
+//! algorithm: same structure, simpler message ladder (`input`/`support`
+//! instead of `input`/`prefer`/`strongprefer`), worse round complexity
+//! (`O(n)` instead of `O(f)`).
+//!
+//! Phase layout (5 engine rounds, matching
+//! [`phase_of_round`]):
+//!
+//! 1. broadcast `input(x_v)`;
+//! 2. on a `2n_v/3` input quorum broadcast `support(x)`;
+//! 3. on `n_v/3` supports adopt `x` (the support tally is kept for round 5);
+//! 4. one rotor step; the selected coordinator broadcasts its opinion;
+//! 5. if the round-3 support tally was below `2n_v/3`, adopt the
+//!    coordinator's opinion.
+//!
+//! Membership freezing and silent-member substitution follow Algorithm 3's
+//! caption, which keeps the run well-defined when nodes terminate at
+//! slightly different rounds.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use uba_sim::{Context, Envelope, NodeId, Process};
+
+use crate::consensus::phase_of_round;
+use crate::quorum::{max_tally, meets_third, meets_two_thirds, quorum_value, tally};
+use crate::rotor::RotorCore;
+use crate::tracker::{FrozenMembership, ParticipantTracker};
+use crate::value::Value;
+
+/// Messages of the king consensus protocol.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum KingMsg<V> {
+    /// Rotor: willingness to coordinate (global round 1).
+    RotorInit,
+    /// Rotor: candidate echo.
+    RotorEcho(NodeId),
+    /// Rotor: the phase coordinator's opinion.
+    Opinion(V),
+    /// Phase round 1: the node's current value.
+    Input(V),
+    /// Phase round 2: a `2n_v/3` input quorum was observed.
+    Support(V),
+}
+
+/// One node's state machine for the appendix king algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use uba_core::consensus::king::KingConsensus;
+/// use uba_sim::{sparse_ids, SyncEngine};
+///
+/// let ids = sparse_ids(4, 8);
+/// let mut engine = SyncEngine::builder()
+///     .correct_many(ids.iter().enumerate().map(|(i, &id)| KingConsensus::new(id, i % 2 == 0)))
+///     .build();
+/// let done = engine.run_to_completion(60)?;
+/// let mut decided: Vec<bool> = done.outputs.values().copied().collect();
+/// decided.dedup();
+/// assert_eq!(decided.len(), 1, "agreement");
+/// # Ok::<(), uba_sim::EngineError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct KingConsensus<V> {
+    me: NodeId,
+    x: V,
+    tracker: ParticipantTracker,
+    frozen: Option<FrozenMembership>,
+    rotor: RotorCore,
+    rotor_echo_buf: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    sent_input: Option<V>,
+    sent_support: Option<V>,
+    /// Support tally observed in phase round 3 (evaluated again in round 5
+    /// for the "take the king's value" rule).
+    support_counts: BTreeMap<V, usize>,
+    this_phase_coordinator: Option<NodeId>,
+    rotor_done: bool,
+    decided: Option<V>,
+}
+
+impl<V: Value> KingConsensus<V> {
+    /// Creates a node with input `input`.
+    pub fn new(me: NodeId, input: V) -> Self {
+        KingConsensus {
+            me,
+            x: input,
+            tracker: ParticipantTracker::new(),
+            frozen: None,
+            rotor: RotorCore::new(),
+            rotor_echo_buf: BTreeMap::new(),
+            sent_input: None,
+            sent_support: None,
+            support_counts: BTreeMap::new(),
+            this_phase_coordinator: None,
+            rotor_done: false,
+            decided: None,
+        }
+    }
+
+    /// The node's current opinion `x_v`.
+    pub fn current_opinion(&self) -> &V {
+        &self.x
+    }
+
+    fn tally_with_substitution(
+        &self,
+        inbox: &[Envelope<KingMsg<V>>],
+        extract: impl Fn(&KingMsg<V>) -> Option<V>,
+        sent: &Option<V>,
+    ) -> BTreeMap<V, usize> {
+        let frozen = self.frozen.as_ref().expect("initialized");
+        let mut senders: BTreeSet<NodeId> = BTreeSet::new();
+        let mut values: Vec<V> = Vec::new();
+        for env in frozen.filter_inbox(inbox) {
+            if let Some(v) = extract(&env.msg) {
+                senders.insert(env.from);
+                values.push(v);
+            }
+        }
+        let mut counts = tally(values);
+        if let Some(own) = sent {
+            let missing = frozen.members().iter().filter(|m| !senders.contains(m)).count();
+            if missing > 0 {
+                *counts.entry(own.clone()).or_insert(0) += missing;
+            }
+        }
+        counts
+    }
+}
+
+impl<V: Value> Process for KingConsensus<V> {
+    type Msg = KingMsg<V>;
+    type Output = V;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, KingMsg<V>>) {
+        let round = ctx.round();
+        match round {
+            1 => {
+                ctx.broadcast(KingMsg::RotorInit);
+                return;
+            }
+            2 => {
+                self.tracker.observe_inbox(ctx.inbox());
+                let initiators: BTreeSet<NodeId> = ctx
+                    .inbox()
+                    .iter()
+                    .filter(|e| matches!(e.msg, KingMsg::RotorInit))
+                    .map(|e| e.from)
+                    .collect();
+                for p in initiators {
+                    ctx.broadcast(KingMsg::RotorEcho(p));
+                }
+                return;
+            }
+            3 => {
+                self.tracker.observe_inbox(ctx.inbox());
+                self.frozen = Some(self.tracker.freeze());
+            }
+            _ => {}
+        }
+
+        {
+            let frozen = self.frozen.as_ref().expect("initialized");
+            let echoes: Vec<(NodeId, NodeId)> = frozen
+                .filter_inbox(ctx.inbox())
+                .filter_map(|env| match env.msg {
+                    KingMsg::RotorEcho(p) => Some((p, env.from)),
+                    _ => None,
+                })
+                .collect();
+            for (p, from) in echoes {
+                self.rotor_echo_buf.entry(p).or_default().insert(from);
+            }
+        }
+
+        let n = self.frozen.as_ref().expect("initialized").n();
+        let (_phase, phase_round) = phase_of_round(round);
+        match phase_round {
+            1 => {
+                self.sent_support = None;
+                self.support_counts.clear();
+                self.this_phase_coordinator = None;
+                ctx.broadcast(KingMsg::Input(self.x.clone()));
+                self.sent_input = Some(self.x.clone());
+            }
+            2 => {
+                let counts = self.tally_with_substitution(
+                    ctx.inbox(),
+                    |m| match m {
+                        KingMsg::Input(v) => Some(v.clone()),
+                        _ => None,
+                    },
+                    &self.sent_input,
+                );
+                if let Some(x) = quorum_value(&counts, n, meets_two_thirds) {
+                    ctx.broadcast(KingMsg::Support(x.clone()));
+                    self.sent_support = Some(x);
+                }
+            }
+            3 => {
+                self.support_counts = self.tally_with_substitution(
+                    ctx.inbox(),
+                    |m| match m {
+                        KingMsg::Support(v) => Some(v.clone()),
+                        _ => None,
+                    },
+                    &self.sent_support,
+                );
+                if let Some((v, c)) = max_tally(&self.support_counts) {
+                    if meets_third(c, n) {
+                        self.x = v;
+                    }
+                }
+            }
+            4 => {
+                let support: BTreeMap<NodeId, usize> = self
+                    .rotor_echo_buf
+                    .iter()
+                    .map(|(p, s)| (*p, s.len()))
+                    .collect();
+                self.rotor_echo_buf.clear();
+                let step = self.rotor.step(n, &support);
+                if step.terminated {
+                    self.rotor_done = true;
+                } else {
+                    for p in &step.re_echo {
+                        ctx.broadcast(KingMsg::RotorEcho(*p));
+                    }
+                    self.this_phase_coordinator = step.coordinator;
+                    if step.coordinator == Some(self.me) {
+                        ctx.broadcast(KingMsg::Opinion(self.x.clone()));
+                    }
+                }
+            }
+            5 => {
+                let frozen = self.frozen.as_ref().expect("initialized");
+                let coordinator_opinion: Option<V> = self.this_phase_coordinator.and_then(|p| {
+                    let mut opinions: Vec<&V> = frozen
+                        .filter_inbox(ctx.inbox())
+                        .filter(|e| e.from == p)
+                        .filter_map(|e| match &e.msg {
+                            KingMsg::Opinion(v) => Some(v),
+                            _ => None,
+                        })
+                        .collect();
+                    opinions.sort();
+                    opinions.first().map(|v| (*v).clone())
+                });
+                let strong_enough = max_tally(&self.support_counts)
+                    .is_some_and(|(_, c)| meets_two_thirds(c, n));
+                if !strong_enough {
+                    if let Some(c) = coordinator_opinion {
+                        self.x = c;
+                    }
+                }
+                if self.rotor_done {
+                    self.decided = Some(self.x.clone());
+                }
+            }
+            _ => unreachable!("phase rounds are 1..=5"),
+        }
+    }
+
+    fn output(&self) -> Option<V> {
+        self.decided.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_sim::{sparse_ids, SyncEngine};
+
+    fn run(inputs: &[bool], seed: u64) -> BTreeMap<NodeId, bool> {
+        let ids = sparse_ids(inputs.len(), seed);
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                ids.iter()
+                    .zip(inputs)
+                    .map(|(&id, &x)| KingConsensus::new(id, x)),
+            )
+            .build();
+        engine
+            .run_to_completion(2 + 5 * (inputs.len() as u64 + 2))
+            .expect("king consensus terminates when the rotor does")
+            .outputs
+    }
+
+    #[test]
+    fn unanimous_inputs_stay_fixed() {
+        let outputs = run(&[true; 5], 4);
+        assert!(outputs.values().all(|&v| v));
+    }
+
+    #[test]
+    fn mixed_inputs_reach_agreement() {
+        for seed in 0..5 {
+            let outputs = run(&[true, false, true, false, true, false, false], seed);
+            let mut decided: Vec<bool> = outputs.values().copied().collect();
+            decided.dedup();
+            assert_eq!(decided.len(), 1, "agreement (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn terminates_when_rotor_does() {
+        // All-correct, n nodes: rotor terminates at its (n+1)-th step, i.e.
+        // phase n+1, so the run lasts 2 + 5(n+1) rounds.
+        let n = 4;
+        let ids = sparse_ids(n, 6);
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().map(|&id| KingConsensus::new(id, true)))
+            .build();
+        let done = engine.run_to_completion(100).expect("terminates");
+        assert_eq!(done.last_decided_round(), 2 + 5 * (n as u64 + 1));
+    }
+}

@@ -1,0 +1,81 @@
+//! # uba-core — Byzantine agreement with unknown participants and failures
+//!
+//! Implementations of every algorithm in *"Byzantine Agreement with Unknown
+//! Participants and Failures"* (Khanchandani & Wattenhofer, PODC 2020) for
+//! the *id-only* model: nodes know their own (non-consecutive) identifier
+//! and nothing else — in particular neither the system size `n` nor the
+//! failure bound `f` — yet achieve the optimal resiliency `n > 3f`:
+//!
+//! - [`reliable`] — reliable broadcast (Algorithm 1);
+//! - [`rotor`] — the rotor-coordinator (Algorithm 2), the paper's key
+//!   device for simulating `f + 1` coordinator rounds without knowing `f`;
+//! - [`consensus`] — `O(f)`-round early-terminating consensus
+//!   (Algorithm 3), plus the appendix's rotor-driven king consensus;
+//! - [`approx`] — approximate agreement (Algorithm 4), one-shot and
+//!   iterated;
+//! - [`parallel`] — parallel consensus over an unknown set of instance
+//!   identifiers (Algorithm 5);
+//! - [`ordering`] — total ordering of events in dynamic networks
+//!   (Algorithm 6);
+//! - [`trb`], [`renaming`] — the appendix extensions (terminating reliable
+//!   broadcast, Byzantine renaming);
+//! - [`baselines`] — the classic known-`(n, f)` counterparts
+//!   (Srikanth–Toueg broadcast, Dolev et al. approximate agreement, the
+//!   phase-king consensus) used by the experiment harness to show that
+//!   dropping the knowledge of `n` and `f` costs neither resiliency nor
+//!   asymptotic complexity;
+//! - [`lower_bounds`] — executable versions of the paper's impossibility
+//!   arguments (synchrony is necessary);
+//! - [`vector`] — vector consensus (interactive consistency), a composition
+//!   of the primitives per the Discussion section;
+//! - [`spec`] — the paper's problem definitions as executable property
+//!   checkers;
+//! - [`harness`] — convenience runners used by tests, examples and
+//!   benchmarks.
+//!
+//! All protocols implement [`uba_sim::Process`] and run on the engines of
+//! the [`uba_sim`] crate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use uba_core::consensus::EarlyConsensus;
+//! use uba_sim::{sparse_ids, SyncEngine};
+//!
+//! // Seven nodes with split opinions agree on one of them, without any
+//! // node ever knowing how many participants exist.
+//! let ids = sparse_ids(7, 42);
+//! let mut engine = SyncEngine::builder()
+//!     .correct_many(ids.iter().enumerate().map(|(i, &id)| {
+//!         EarlyConsensus::new(id, (i % 2) as u64)
+//!     }))
+//!     .build();
+//! let done = engine.run_to_completion(100)?;
+//! let mut decided: Vec<u64> = done.outputs.values().copied().collect();
+//! decided.dedup();
+//! assert_eq!(decided.len(), 1);
+//! # Ok::<(), uba_sim::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod baselines;
+pub mod consensus;
+pub mod harness;
+pub mod lower_bounds;
+pub mod ordering;
+pub mod parallel;
+pub mod quorum;
+pub mod reliable;
+pub mod renaming;
+pub mod rotor;
+pub mod spec;
+pub mod tracker;
+pub mod trb;
+pub mod value;
+pub mod vector;
+
+pub use tracker::{FrozenMembership, ParticipantTracker};
+pub use value::{OrderedF64, Value};

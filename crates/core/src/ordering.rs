@@ -1,0 +1,565 @@
+//! Total ordering of events in a dynamic network — Algorithm 6 of the paper.
+//!
+//! Nodes enter and leave the system (subject to `n > 3f` holding at every
+//! round) and must maintain a common, growing total order over the events
+//! they witness. The algorithm starts one [parallel-consensus
+//! wave](crate::parallel) per round `r`, tagged with `r` and run *with
+//! respect to* the membership snapshot `S` taken when the wave starts; a
+//! round `r'` becomes **final** once `r - r' > 5·|S^{r'}|/2 + 2` (enough
+//! rounds for the wave's consensus to have terminated everywhere), and the
+//! chain output is the concatenation of the outputs of all final waves in
+//! wave order. The two guarantees (for `n > 3f` in every round):
+//!
+//! - **Chain-prefix** — the chains of any two correct nodes are prefixes of
+//!   one another;
+//! - **Chain-growth** — the chain keeps growing while correct nodes submit
+//!   events.
+//!
+//! ## Joining and leaving
+//!
+//! A joining node broadcasts `present`; every member replies `(ack, r)` with
+//! its current round, and the joiner adopts the majority round (correct
+//! members all agree on it) and initializes `S` to the ack senders. Nodes
+//! announce departure with `absent` and keep participating in outstanding
+//! waves until those terminate. Two nodes joining in the same round also
+//! record each other's `present` while still in the join phase — without
+//! this, simultaneous joiners would permanently miss each other (see
+//! DESIGN.md interpretation notes).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use uba_sim::{Context, Envelope, NodeId, Process};
+
+use crate::parallel::{ParMsg, ParallelConsensusCore};
+use crate::value::Value;
+
+/// Messages of the total-ordering protocol.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum OrderMsg<V> {
+    /// A node announces that it wants to participate.
+    Present,
+    /// A member replies to `present` with its current round.
+    Ack(u64),
+    /// A node announces departure.
+    Absent,
+    /// `(m, r)` — an event `m` witnessed in round `r`.
+    Event(V, u64),
+    /// A message of the parallel-consensus wave started in the given round.
+    Wave(u64, ParMsg<NodeId, V>),
+}
+
+/// One ordered event of the output chain.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OrderedEvent<V> {
+    /// The wave (round) that agreed on the event.
+    pub wave: u64,
+    /// The node that submitted the event (the instance identifier).
+    pub origin: NodeId,
+    /// The event value.
+    pub value: V,
+}
+
+/// The totally ordered chain of events.
+pub type Chain<V> = Vec<OrderedEvent<V>>;
+
+/// One in-flight wave: a parallel-consensus core plus its local clock.
+#[derive(Clone, Debug)]
+struct WaveState<V> {
+    core: ParallelConsensusCore<NodeId, V>,
+    local_round: u64,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Mode {
+    /// A founding member: starts its loop immediately with `r = 0`, `S = {v}`.
+    Genesis,
+    /// Join protocol: `present` broadcast pending.
+    JoinAnnounce,
+    /// Join protocol: `present` sent, acks are in flight.
+    JoinWait,
+    /// In the main loop.
+    Running,
+    /// `absent` announced; finishing outstanding waves.
+    Leaving,
+    /// All outstanding waves finished after leaving (or horizon reached).
+    Done,
+}
+
+/// One node's state machine for Algorithm 6.
+///
+/// The protocol itself never terminates (chains grow forever); for use with
+/// [`run_to_completion`](uba_sim::SyncEngine::run_to_completion) configure
+/// either a [horizon](TotalOrdering::with_horizon) or a
+/// [departure](TotalOrdering::with_leave_at), at which point the process
+/// outputs its final chain. The growing chain is available at any time via
+/// [`chain`](TotalOrdering::chain).
+///
+/// # Examples
+///
+/// ```
+/// use uba_core::ordering::TotalOrdering;
+/// use uba_sim::{sparse_ids, SyncEngine};
+///
+/// let ids = sparse_ids(4, 4);
+/// let mut engine = SyncEngine::builder()
+///     .correct_many(ids.iter().map(|&id| {
+///         TotalOrdering::genesis(id)
+///             .with_events([(2, format!("event-from-{id}"))])
+///             .with_horizon(40)
+///     }))
+///     .build();
+/// let done = engine.run_to_completion(45)?;
+/// let chains: Vec<_> = done.outputs.values().cloned().collect();
+/// assert!(chains.iter().all(|c| c == &chains[0]), "identical chains");
+/// assert_eq!(chains[0].len(), 4, "all four events ordered");
+/// # Ok::<(), uba_sim::EngineError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct TotalOrdering<V> {
+    me: NodeId,
+    mode: Mode,
+    /// Current loop round `r` (synchronized across correct nodes).
+    r: u64,
+    /// Current membership estimate `S`.
+    s: BTreeSet<NodeId>,
+    /// Events this node will witness, keyed by the loop round they occur in.
+    events: BTreeMap<u64, V>,
+    /// In-flight waves keyed by wave number.
+    waves: BTreeMap<u64, WaveState<V>>,
+    /// Outputs of terminated waves.
+    results: BTreeMap<u64, BTreeMap<NodeId, V>>,
+    /// `|S|` snapshot of every wave this node started (for the finality rule).
+    s_sizes: BTreeMap<u64, usize>,
+    /// Terminate and output the chain at this loop round.
+    horizon: Option<u64>,
+    /// Announce departure at this loop round.
+    leave_at: Option<u64>,
+    done: Option<Chain<V>>,
+}
+
+impl<V: Value> TotalOrdering<V> {
+    /// Creates a founding member (starts at round 0 with `S = {me}`).
+    pub fn genesis(me: NodeId) -> Self {
+        TotalOrdering {
+            me,
+            mode: Mode::Genesis,
+            r: 0,
+            s: BTreeSet::from([me]),
+            events: BTreeMap::new(),
+            waves: BTreeMap::new(),
+            results: BTreeMap::new(),
+            s_sizes: BTreeMap::new(),
+            horizon: None,
+            leave_at: None,
+            done: None,
+        }
+    }
+
+    /// Creates a node that joins a running system: it announces itself with
+    /// `present` and synchronizes its round from the members' acks.
+    pub fn joining(me: NodeId) -> Self {
+        let mut node = Self::genesis(me);
+        node.mode = Mode::JoinAnnounce;
+        node
+    }
+
+    /// Schedules the events this node witnesses, keyed by loop round.
+    /// Events scheduled for rounds before the node has joined are dropped.
+    pub fn with_events<I: IntoIterator<Item = (u64, V)>>(mut self, events: I) -> Self {
+        self.events.extend(events);
+        self
+    }
+
+    /// Terminates the process at the given loop round, outputting the chain.
+    pub fn with_horizon(mut self, round: u64) -> Self {
+        self.horizon = Some(round);
+        self
+    }
+
+    /// Announces departure (`absent`) at the given loop round; the process
+    /// keeps participating in outstanding waves, then terminates with its
+    /// final chain.
+    pub fn with_leave_at(mut self, round: u64) -> Self {
+        self.leave_at = Some(round);
+        self
+    }
+
+    /// The node's current loop round.
+    pub fn round(&self) -> u64 {
+        self.r
+    }
+
+    /// The node's current membership estimate `S`.
+    pub fn members(&self) -> &BTreeSet<NodeId> {
+        &self.s
+    }
+
+    /// The largest round `R` such that every round this node participated
+    /// in up to `R` is final. A node that joined late only reports waves
+    /// from its own first wave on — it has no way to reconstruct earlier
+    /// history (its chain is suffix-consistent with older members' chains).
+    pub fn finality_round(&self) -> u64 {
+        let Some((&first_wave, _)) = self.s_sizes.first_key_value() else {
+            return 0;
+        };
+        let mut r_final = first_wave - 1;
+        for (&w, &s_size) in &self.s_sizes {
+            if w != r_final + 1 {
+                break;
+            }
+            // r - w > 5·s/2 + 2  ⟺  2(r - w) > 5s + 4; additionally the
+            // wave's consensus must actually have terminated (it always has
+            // by this time when n > 3f — see the paper's proof).
+            let time_ok = 2 * self.r.saturating_sub(w) > 5 * s_size as u64 + 4;
+            if time_ok && self.results.contains_key(&w) {
+                r_final = w;
+            } else {
+                break;
+            }
+        }
+        r_final
+    }
+
+    /// The current chain: the outputs of all final waves, in wave order,
+    /// events within a wave ordered by origin id.
+    pub fn chain(&self) -> Chain<V> {
+        let r_final = self.finality_round();
+        let mut chain = Vec::new();
+        for (&w, outputs) in self.results.range(..=r_final) {
+            for (&origin, value) in outputs {
+                chain.push(OrderedEvent {
+                    wave: w,
+                    origin,
+                    value: value.clone(),
+                });
+            }
+        }
+        chain
+    }
+
+    /// Processes membership announcements and returns the events received
+    /// this round, keyed by origin.
+    fn process_announcements(
+        &mut self,
+        inbox: &[Envelope<OrderMsg<V>>],
+        ctx: &mut Context<'_, OrderMsg<V>>,
+    ) -> BTreeMap<NodeId, V> {
+        let mut events: BTreeMap<NodeId, V> = BTreeMap::new();
+        for env in inbox {
+            match &env.msg {
+                OrderMsg::Present => {
+                    self.s.insert(env.from);
+                    ctx.send(env.from, OrderMsg::Ack(self.r));
+                }
+                OrderMsg::Absent => {
+                    self.s.remove(&env.from);
+                }
+                OrderMsg::Event(m, round)
+                    if *round + 1 == self.r && self.s.contains(&env.from) => {
+                        // Deterministic pick if an equivocating origin sends
+                        // several events in one round.
+                        events
+                            .entry(env.from)
+                            .and_modify(|v| {
+                                if m < v {
+                                    *v = m.clone();
+                                }
+                            })
+                            .or_insert_with(|| m.clone());
+                    }
+                _ => {}
+            }
+        }
+        events
+    }
+
+    /// Steps every in-flight wave with its share of this round's inbox.
+    fn step_waves(&mut self, inbox: &[Envelope<OrderMsg<V>>], ctx: &mut Context<'_, OrderMsg<V>>) {
+        let mut per_wave: BTreeMap<u64, Vec<Envelope<ParMsg<NodeId, V>>>> = BTreeMap::new();
+        for env in inbox {
+            if let OrderMsg::Wave(w, msg) = &env.msg {
+                per_wave
+                    .entry(*w)
+                    .or_default()
+                    .push(Envelope::new(env.from, msg.clone()));
+            }
+        }
+        let mut finished: Vec<u64> = Vec::new();
+        for (&w, wave) in self.waves.iter_mut() {
+            wave.local_round += 1;
+            let wave_inbox = per_wave.remove(&w).unwrap_or_default();
+            let mut out = Vec::new();
+            wave.core.on_round(wave.local_round, &wave_inbox, &mut out);
+            for msg in out {
+                ctx.broadcast(OrderMsg::Wave(w, msg));
+            }
+            if let Some(result) = wave.core.output() {
+                self.results.insert(w, result.clone());
+                finished.push(w);
+            }
+        }
+        for w in finished {
+            self.waves.remove(&w);
+        }
+    }
+
+    /// One main-loop iteration (everything after the join protocol).
+    fn loop_round(&mut self, ctx: &mut Context<'_, OrderMsg<V>>) {
+        self.r += 1;
+        let inbox: Vec<Envelope<OrderMsg<V>>> = ctx.inbox().to_vec();
+        let leaving_now = self.mode == Mode::Running && self.leave_at == Some(self.r);
+
+        let event_inputs = if self.mode == Mode::Running {
+            self.process_announcements(&inbox, ctx)
+        } else {
+            BTreeMap::new()
+        };
+
+        if leaving_now {
+            ctx.broadcast(OrderMsg::Absent);
+            self.mode = Mode::Leaving;
+        }
+
+        if self.mode == Mode::Running {
+            // Witness this round's event, if any.
+            if let Some(m) = self.events.remove(&self.r) {
+                ctx.broadcast(OrderMsg::Event(m, self.r));
+            }
+            // Start wave r with the events received this round, with respect
+            // to the current S.
+            let core =
+                ParallelConsensusCore::new(self.me, event_inputs).restrict_to(self.s.clone());
+            self.waves.insert(
+                self.r,
+                WaveState {
+                    core,
+                    local_round: 0,
+                },
+            );
+            self.s_sizes.insert(self.r, self.s.len());
+        }
+
+        self.step_waves(&inbox, ctx);
+
+        if self.mode == Mode::Leaving && self.waves.is_empty() {
+            self.done = Some(self.chain());
+            self.mode = Mode::Done;
+        }
+        if self.mode != Mode::Done && self.horizon == Some(self.r) {
+            self.done = Some(self.chain());
+            self.mode = Mode::Done;
+        }
+    }
+}
+
+impl<V: Value> Process for TotalOrdering<V> {
+    type Msg = OrderMsg<V>;
+    type Output = Chain<V>;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, OrderMsg<V>>) {
+        match self.mode {
+            Mode::Genesis => {
+                // Founders announce themselves so everyone discovers
+                // everyone in the first loop round.
+                ctx.broadcast(OrderMsg::Present);
+                self.mode = Mode::Running;
+                self.loop_round(ctx);
+            }
+            Mode::JoinAnnounce => {
+                ctx.broadcast(OrderMsg::Present);
+                self.mode = Mode::JoinWait;
+            }
+            Mode::JoinWait => {
+                // Acks are in flight; record other joiners' presents so that
+                // simultaneous joiners know each other.
+                for env in ctx.inbox() {
+                    if matches!(env.msg, OrderMsg::Present) {
+                        self.s.insert(env.from);
+                    }
+                }
+                let acks: Vec<(NodeId, u64)> = ctx
+                    .inbox()
+                    .iter()
+                    .filter_map(|e| match e.msg {
+                        OrderMsg::Ack(t) => Some((e.from, t)),
+                        _ => None,
+                    })
+                    .collect();
+                if !acks.is_empty() {
+                    // Majority round among the acks (ties toward smaller).
+                    let mut tallies: BTreeMap<u64, usize> = BTreeMap::new();
+                    for (_, t) in &acks {
+                        *tallies.entry(*t).or_insert(0) += 1;
+                    }
+                    let (&r0, _) = tallies
+                        .iter()
+                        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                        .expect("non-empty ack tally");
+                    self.r = r0 + 1;
+                    for (from, _) in acks {
+                        self.s.insert(from);
+                    }
+                    self.mode = Mode::Running;
+                }
+            }
+            Mode::Running | Mode::Leaving => self.loop_round(ctx),
+            Mode::Done => {}
+        }
+    }
+
+    fn output(&self) -> Option<Chain<V>> {
+        self.done.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_sim::{sparse_ids, ChurnSchedule, SyncEngine};
+
+    fn assert_prefix<V: PartialEq + std::fmt::Debug>(a: &[V], b: &[V]) {
+        let k = a.len().min(b.len());
+        assert_eq!(&a[..k], &b[..k], "chain-prefix violated");
+    }
+
+    #[test]
+    fn static_membership_orders_all_events_identically() {
+        let ids = sparse_ids(4, 15);
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().enumerate().map(|(i, &id)| {
+                TotalOrdering::genesis(id)
+                    .with_events([(2 + i as u64, i as u64)])
+                    .with_horizon(50)
+            }))
+            .build();
+        let done = engine.run_to_completion(55).expect("horizon reached");
+        let chains: Vec<Chain<u64>> = done.outputs.values().cloned().collect();
+        for c in &chains {
+            assert_eq!(c, &chains[0]);
+        }
+        assert_eq!(chains[0].len(), 4, "all events final: {:?}", chains[0]);
+        // Events were witnessed in rounds 2..=5, so they land in waves 3..=6
+        // in that order.
+        let waves: Vec<u64> = chains[0].iter().map(|e| e.wave).collect();
+        assert_eq!(waves, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn chains_grow_over_time() {
+        let ids = sparse_ids(3, 7);
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().map(|&id| {
+                TotalOrdering::genesis(id)
+                    .with_events((2..20).map(|r| (r, r)))
+                    .with_horizon(60)
+            }))
+            .build();
+        let mut lengths = Vec::new();
+        for _ in 0..6 {
+            engine.run_rounds(10);
+            let chain = engine
+                .process(ids[0])
+                .map(|p| p.chain())
+                .unwrap_or_default();
+            lengths.push(chain.len());
+        }
+        assert!(lengths.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*lengths.last().unwrap() > 0, "chain-growth: {lengths:?}");
+    }
+
+    #[test]
+    fn same_round_events_are_ordered_by_origin() {
+        let ids = sparse_ids(4, 33);
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().enumerate().map(|(i, &id)| {
+                TotalOrdering::genesis(id)
+                    .with_events([(3, 100 + i as u64)])
+                    .with_horizon(45)
+            }))
+            .build();
+        let done = engine.run_to_completion(50).expect("horizon");
+        let chain = done.outputs.values().next().unwrap().clone();
+        assert_eq!(chain.len(), 4);
+        assert!(chain.iter().all(|e| e.wave == 4));
+        let origins: Vec<NodeId> = chain.iter().map(|e| e.origin).collect();
+        assert_eq!(origins, ids, "tie-break by ascending origin id");
+    }
+
+    #[test]
+    fn joining_node_synchronizes_round_and_participates() {
+        let ids = sparse_ids(5, 91);
+        let joiner = ids[4];
+        let mut churn: ChurnSchedule<TotalOrdering<u64>> = ChurnSchedule::new();
+        churn.join_correct(
+            5,
+            TotalOrdering::joining(joiner)
+                .with_events([(12, 777u64)])
+                .with_horizon(70),
+        );
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids[..4].iter().map(|&id| {
+                TotalOrdering::genesis(id)
+                    .with_events([(3, id.raw() % 100)])
+                    .with_horizon(70)
+            }))
+            .churn(churn)
+            .build();
+        let done = engine.run_to_completion(75).expect("horizon");
+        // All founding members output identical chains.
+        let member_chains: Vec<&Chain<u64>> =
+            ids[..4].iter().map(|id| &done.outputs[id]).collect();
+        for c in &member_chains {
+            assert_eq!(*c, member_chains[0], "chain agreement among members");
+        }
+        assert!(
+            member_chains[0].iter().any(|e| e.value == 777),
+            "the joiner's event was ordered: {:?}",
+            member_chains[0]
+        );
+        // The joiner reports exactly the suffix of the common chain starting
+        // at its own first wave (it cannot reconstruct earlier history).
+        let joiner_chain = &done.outputs[&joiner];
+        assert!(!joiner_chain.is_empty(), "joiner orders post-join events");
+        let first_wave = joiner_chain[0].wave;
+        let expected_suffix: Chain<u64> = member_chains[0]
+            .iter()
+            .filter(|e| e.wave >= first_wave)
+            .cloned()
+            .collect();
+        assert_eq!(joiner_chain, &expected_suffix, "suffix-consistency");
+    }
+
+    #[test]
+    fn leaving_node_finishes_outstanding_waves() {
+        let ids = sparse_ids(4, 55);
+        let leaver = ids[0];
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().map(|&id| {
+                let node = TotalOrdering::genesis(id).with_events([(2, id.raw() % 10)]);
+                if id == leaver {
+                    node.with_leave_at(10)
+                } else {
+                    node.with_horizon(60)
+                }
+            }))
+            .build();
+        let done = engine.run_to_completion(65).expect("completes");
+        let leaver_chain = &done.outputs[&leaver];
+        for (&id, chain) in &done.outputs {
+            if id != leaver {
+                assert_prefix(leaver_chain, chain);
+                assert_eq!(chain.len(), 4, "stayers order all events");
+            }
+        }
+    }
+
+    #[test]
+    fn finality_round_is_zero_before_any_wave() {
+        let node: TotalOrdering<u64> = TotalOrdering::genesis(NodeId::new(1));
+        assert_eq!(node.finality_round(), 0);
+    }
+}

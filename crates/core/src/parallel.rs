@@ -1,0 +1,667 @@
+//! Parallel consensus — Algorithm 5 of the paper (`EarlyConsensus(id)` and
+//! the `ParallelConsensus` wrapper).
+//!
+//! Every correct node holds a set of input pairs `(id, x)`; nodes need *not*
+//! agree on which instance identifiers exist. The protocol guarantees:
+//!
+//! 1. **Validity** — a pair `(id, x)` with `x ≠ ⊥` input at *every* correct
+//!    node is output by every correct node;
+//! 2. **Agreement** — if any correct node outputs `(id, x)`, all do;
+//! 3. **Termination** — every correct node outputs a (possibly empty) set of
+//!    pairs after finitely many rounds.
+//!
+//! Instances share one initialization (rounds 1–2, which also initialize one
+//! shared rotor-coordinator) and run phase-aligned with each other. A node
+//! that has no input pair for `id` **joins** the instance when it first
+//! hears `id:input`, `id:prefer`, or `id:strongprefer` during (respectively)
+//! the second, third, or fifth round of the first phase, and discards
+//! identifiers it first hears anywhere else. Missing opinions are filled
+//! with `⊥` the first time a message type is heard (first phase) and with
+//! the receiver's own same-slot message in later phases; explicit
+//! `id:nopreference` / `id:nostrongpreference` messages let receivers
+//! distinguish an aware-but-undecided node from an unaware one.
+//!
+//! The driving structure is exposed as [`ParallelConsensusCore`] (local
+//! round numbers, messages in/out) so that the total-ordering protocol can
+//! run one core per *wave*, and as the standalone [`ParallelConsensus`]
+//! process.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use uba_sim::{Context, Envelope, NodeId, Process};
+
+use crate::consensus::phase_of_round;
+use crate::quorum::{max_tally, meets_third, meets_two_thirds, quorum_value};
+use crate::rotor::RotorCore;
+use crate::tracker::{FrozenMembership, ParticipantTracker};
+use crate::value::Value;
+
+/// Messages of the parallel-consensus protocol. `I` identifies the
+/// instance, `V` is the opinion type; `None` encodes the paper's `⊥`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ParMsg<I, V> {
+    /// Shared rotor: willingness to coordinate (round 1).
+    RotorInit,
+    /// Shared rotor: candidate echo.
+    RotorEcho(NodeId),
+    /// The phase coordinator's opinion for one instance.
+    Opinion(I, Option<V>),
+    /// `id:input(x)` — only ever sent with a non-`⊥` value.
+    Input(I, V),
+    /// `id:prefer(x)` — a `2n_v/3` input quorum was observed (possibly on `⊥`).
+    Prefer(I, Option<V>),
+    /// `id:nopreference` — aware of `id`, but no input quorum.
+    NoPreference(I),
+    /// `id:strongprefer(x)` — a `2n_v/3` prefer quorum was observed.
+    StrongPrefer(I, Option<V>),
+    /// `id:nostrongpreference` — aware of `id`, but no prefer quorum.
+    NoStrongPreference(I),
+}
+
+/// A received prefer-class message: `Some(value)` for `prefer(value)`,
+/// `None` for an explicit `nopreference`.
+type PreferClass<V> = Option<Option<V>>;
+
+/// What a node last sent in a given message slot of the current phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum SentSlot<V> {
+    /// Nothing was sent in this slot.
+    NotSent,
+    /// An explicit no-preference marker was sent.
+    No,
+    /// A value (possibly `⊥`) was sent.
+    Val(Option<V>),
+}
+
+/// Per-instance state.
+#[derive(Clone, Debug)]
+struct Instance<V> {
+    /// Current opinion `id:x_v` (`None` = `⊥`).
+    x: Option<V>,
+    /// Created from a strongprefer first heard in phase-round 4; evaluated
+    /// with `⊥` fills at round 5 and skips earlier slots.
+    joined_r5: bool,
+    /// This node's logical input this phase: its opinion at phase start.
+    /// A `⊥` opinion is not broadcast, but it still drives substitution.
+    logical_input: Option<V>,
+    sent_prefer: SentSlot<V>,
+    sent_strong: SentSlot<V>,
+    /// Members that sent a strongprefer-class message in phase-round 4.
+    strong_senders: BTreeSet<NodeId>,
+    /// Strongprefer tally collected in phase-round 4 (evaluated in round 5).
+    strong_counts: BTreeMap<Option<V>, usize>,
+    /// Members that sent any message of this instance in the previous
+    /// phase. A member silent at the input round but active last phase is
+    /// an alive `⊥`-holder (substituted with `input(⊥)`); a member with no
+    /// activity at all has terminated or is Byzantine-silent and is
+    /// substituted with the receiver's own logical input, exactly like
+    /// Algorithm 3's rule.
+    active_prev: BTreeSet<NodeId>,
+    active_cur: BTreeSet<NodeId>,
+}
+
+impl<V> Instance<V> {
+    fn new(x: Option<V>) -> Self {
+        Instance {
+            x,
+            joined_r5: false,
+            logical_input: None,
+            sent_prefer: SentSlot::NotSent,
+            sent_strong: SentSlot::NotSent,
+            strong_senders: BTreeSet::new(),
+            strong_counts: BTreeMap::new(),
+            active_prev: BTreeSet::new(),
+            active_cur: BTreeSet::new(),
+        }
+    }
+}
+
+/// The timing-relative engine of Algorithm 5: feed it local round numbers
+/// (1-based) and the (already delivered) inbox; it returns the messages to
+/// broadcast. [`ParallelConsensus`] wraps it as a [`Process`]; the
+/// total-ordering protocol drives one core per wave with wave-tagged
+/// messages.
+#[derive(Clone, Debug)]
+pub struct ParallelConsensusCore<I, V> {
+    me: NodeId,
+    /// When set, only messages from these nodes are accepted at all — the
+    /// total-ordering algorithm's "run with respect to the set S".
+    restrict: Option<BTreeSet<NodeId>>,
+    tracker: ParticipantTracker,
+    frozen: Option<FrozenMembership>,
+    rotor: RotorCore,
+    rotor_echo_buf: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// This node's own input pairs, instantiated at phase 1 round 1.
+    own_inputs: BTreeMap<I, V>,
+    instances: BTreeMap<I, Instance<V>>,
+    finished: BTreeMap<I, Option<V>>,
+    this_phase_coordinator: Option<NodeId>,
+    done: Option<BTreeMap<I, V>>,
+}
+
+impl<I: Value, V: Value> ParallelConsensusCore<I, V> {
+    /// Creates a core for node `me` with its input pairs.
+    pub fn new<P: IntoIterator<Item = (I, V)>>(me: NodeId, inputs: P) -> Self {
+        ParallelConsensusCore {
+            me,
+            restrict: None,
+            tracker: ParticipantTracker::new(),
+            frozen: None,
+            rotor: RotorCore::new(),
+            rotor_echo_buf: BTreeMap::new(),
+            own_inputs: inputs.into_iter().collect(),
+            instances: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            this_phase_coordinator: None,
+            done: None,
+        }
+    }
+
+    /// Restricts accepted senders to `members` (the ordering algorithm's
+    /// membership snapshot `S`).
+    pub fn restrict_to(mut self, members: BTreeSet<NodeId>) -> Self {
+        self.restrict = Some(members);
+        self
+    }
+
+    /// The final outputs (non-`⊥` pairs), once every instance terminated.
+    pub fn output(&self) -> Option<&BTreeMap<I, V>> {
+        self.done.as_ref()
+    }
+
+    /// Instance ids this node is currently participating in.
+    pub fn active_instances(&self) -> Vec<I> {
+        self.instances.keys().cloned().collect()
+    }
+
+    /// Per-instance results so far, including `⊥` outcomes.
+    pub fn finished_instances(&self) -> &BTreeMap<I, Option<V>> {
+        &self.finished
+    }
+
+    fn known(&self, id: &I) -> bool {
+        self.instances.contains_key(id) || self.finished.contains_key(id)
+    }
+
+    /// Executes one local round. `inbox` is this round's delivered messages;
+    /// outgoing broadcasts are appended to `out`.
+    pub fn on_round(
+        &mut self,
+        local_round: u64,
+        inbox: &[Envelope<ParMsg<I, V>>],
+        out: &mut Vec<ParMsg<I, V>>,
+    ) {
+        let inbox: Vec<&Envelope<ParMsg<I, V>>> = match &self.restrict {
+            Some(allow) => inbox.iter().filter(|e| allow.contains(&e.from)).collect(),
+            None => inbox.iter().collect(),
+        };
+        match local_round {
+            1 => {
+                out.push(ParMsg::RotorInit);
+                return;
+            }
+            2 => {
+                for env in &inbox {
+                    self.tracker.observe(env.from);
+                }
+                let initiators: BTreeSet<NodeId> = inbox
+                    .iter()
+                    .filter(|e| matches!(e.msg, ParMsg::RotorInit))
+                    .map(|e| e.from)
+                    .collect();
+                for p in initiators {
+                    out.push(ParMsg::RotorEcho(p));
+                }
+                return;
+            }
+            3 => {
+                for env in &inbox {
+                    self.tracker.observe(env.from);
+                }
+                self.frozen = Some(self.tracker.freeze());
+            }
+            _ => {}
+        }
+
+        let frozen = self.frozen.clone().expect("initialized");
+        // Everything below only accepts messages from frozen members.
+        let inbox: Vec<&Envelope<ParMsg<I, V>>> = inbox
+            .into_iter()
+            .filter(|e| frozen.contains(e.from))
+            .collect();
+        for env in &inbox {
+            if let ParMsg::RotorEcho(p) = env.msg {
+                self.rotor_echo_buf.entry(p).or_default().insert(env.from);
+            }
+        }
+        let n = frozen.n();
+        let (phase, phase_round) = phase_of_round(local_round);
+        match phase_round {
+            1 => {
+                if phase == 1 {
+                    let own = std::mem::take(&mut self.own_inputs);
+                    for (id, x) in own {
+                        self.instances.insert(id, Instance::new(Some(x)));
+                    }
+                }
+                self.this_phase_coordinator = None;
+                for (id, inst) in self.instances.iter_mut() {
+                    inst.sent_prefer = SentSlot::NotSent;
+                    inst.sent_strong = SentSlot::NotSent;
+                    inst.strong_senders.clear();
+                    inst.strong_counts.clear();
+                    inst.joined_r5 = false;
+                    inst.active_prev = std::mem::take(&mut inst.active_cur);
+                    inst.logical_input = inst.x.clone();
+                    if let Some(x) = &inst.x {
+                        out.push(ParMsg::Input(id.clone(), x.clone()));
+                    }
+                }
+            }
+            2 => {
+                // Group this round's input messages per instance.
+                let mut per_id: BTreeMap<I, Vec<(NodeId, V)>> = BTreeMap::new();
+                for env in &inbox {
+                    if let ParMsg::Input(id, v) = &env.msg {
+                        per_id
+                            .entry(id.clone())
+                            .or_default()
+                            .push((env.from, v.clone()));
+                    }
+                }
+                // Join window: id:input first heard in round 2 of phase 1.
+                if phase == 1 {
+                    for id in per_id.keys() {
+                        if !self.known(id) {
+                            self.instances.insert(id.clone(), Instance::new(None));
+                        }
+                    }
+                }
+                for (id, inst) in self.instances.iter_mut() {
+                    let msgs = per_id.remove(id).unwrap_or_default();
+                    let mut senders: BTreeSet<NodeId> = BTreeSet::new();
+                    let mut counts: BTreeMap<Option<V>, usize> = BTreeMap::new();
+                    for (from, v) in msgs {
+                        senders.insert(from);
+                        inst.active_cur.insert(from);
+                        *counts.entry(Some(v)).or_insert(0) += 1;
+                    }
+                    for m in frozen.members() {
+                        if senders.contains(m) {
+                            continue;
+                        }
+                        let fill = if phase == 1 {
+                            // First time this type is heard: fill input(⊥).
+                            None
+                        } else if inst.active_prev.contains(m) {
+                            // Alive last phase but silent at the input
+                            // round: it logically holds ⊥.
+                            None
+                        } else {
+                            // Terminated or Byzantine-silent: the receiver's
+                            // own logical input (Algorithm 3's rule).
+                            inst.logical_input.clone()
+                        };
+                        *counts.entry(fill).or_insert(0) += 1;
+                    }
+                    if let Some(x) = quorum_value(&counts, n, meets_two_thirds) {
+                        out.push(ParMsg::Prefer(id.clone(), x.clone()));
+                        inst.sent_prefer = SentSlot::Val(x);
+                    } else {
+                        out.push(ParMsg::NoPreference(id.clone()));
+                        inst.sent_prefer = SentSlot::No;
+                    }
+                }
+            }
+            3 => {
+                let mut per_id: BTreeMap<I, Vec<(NodeId, PreferClass<V>)>> = BTreeMap::new();
+                for env in &inbox {
+                    match &env.msg {
+                        ParMsg::Prefer(id, v) => per_id
+                            .entry(id.clone())
+                            .or_default()
+                            .push((env.from, Some(v.clone()))),
+                        ParMsg::NoPreference(id) => {
+                            per_id.entry(id.clone()).or_default().push((env.from, None))
+                        }
+                        _ => {}
+                    }
+                }
+                // Join window: id:prefer first heard in round 3 of phase 1
+                // (an explicit nopreference does not create awareness).
+                if phase == 1 {
+                    for (id, msgs) in &per_id {
+                        if !self.known(id) && msgs.iter().any(|(_, v)| v.is_some()) {
+                            self.instances.insert(id.clone(), Instance::new(None));
+                        }
+                    }
+                }
+                for (id, inst) in self.instances.iter_mut() {
+                    let msgs = per_id.remove(id).unwrap_or_default();
+                    let mut senders: BTreeSet<NodeId> = BTreeSet::new();
+                    let mut counts: BTreeMap<Option<V>, usize> = BTreeMap::new();
+                    for (from, v) in msgs {
+                        senders.insert(from);
+                        inst.active_cur.insert(from);
+                        if let Some(val) = v {
+                            *counts.entry(val).or_insert(0) += 1;
+                        }
+                    }
+                    let missing = frozen.members().iter().filter(|m| !senders.contains(m)).count();
+                    if phase == 1 {
+                        *counts.entry(None).or_insert(0) += missing;
+                    } else if let SentSlot::Val(own) = &inst.sent_prefer {
+                        *counts.entry(own.clone()).or_insert(0) += missing;
+                    }
+                    if let Some((v, c)) = max_tally(&counts) {
+                        if meets_third(c, n) {
+                            inst.x = v.clone();
+                        }
+                        if meets_two_thirds(c, n) {
+                            out.push(ParMsg::StrongPrefer(id.clone(), v.clone()));
+                            inst.sent_strong = SentSlot::Val(v);
+                            continue;
+                        }
+                    }
+                    out.push(ParMsg::NoStrongPreference(id.clone()));
+                    inst.sent_strong = SentSlot::No;
+                }
+            }
+            4 => {
+                // Strongprefers physically arrive now; evaluated in round 5.
+                // Join window: id:strongprefer "first heard during the fifth
+                // round" — the message physically arrives now and is
+                // evaluated (and the join takes effect) in round 5.
+                if phase == 1 {
+                    for env in &inbox {
+                        if let ParMsg::StrongPrefer(id, _) = &env.msg {
+                            if !self.known(id) {
+                                let mut inst = Instance::new(None);
+                                inst.joined_r5 = true;
+                                self.instances.insert(id.clone(), inst);
+                            }
+                        }
+                    }
+                }
+                for env in &inbox {
+                    match &env.msg {
+                        ParMsg::StrongPrefer(id, v) => {
+                            if let Some(inst) = self.instances.get_mut(id) {
+                                inst.strong_senders.insert(env.from);
+                                inst.active_cur.insert(env.from);
+                                *inst.strong_counts.entry(v.clone()).or_insert(0) += 1;
+                            }
+                        }
+                        ParMsg::NoStrongPreference(id) => {
+                            if let Some(inst) = self.instances.get_mut(id) {
+                                inst.strong_senders.insert(env.from);
+                                inst.active_cur.insert(env.from);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // One shared rotor step for all instances.
+                let support: BTreeMap<NodeId, usize> = self
+                    .rotor_echo_buf
+                    .iter()
+                    .map(|(p, s)| (*p, s.len()))
+                    .collect();
+                self.rotor_echo_buf.clear();
+                let step = self.rotor.step(n, &support);
+                if !step.terminated {
+                    for p in &step.re_echo {
+                        out.push(ParMsg::RotorEcho(*p));
+                    }
+                    self.this_phase_coordinator = step.coordinator;
+                    if step.coordinator == Some(self.me) {
+                        for (id, inst) in &self.instances {
+                            if !inst.joined_r5 {
+                                out.push(ParMsg::Opinion(id.clone(), inst.x.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            5 => {
+                let mut opinions: BTreeMap<I, Vec<Option<V>>> = BTreeMap::new();
+                if let Some(p) = self.this_phase_coordinator {
+                    for env in &inbox {
+                        if env.from == p {
+                            if let ParMsg::Opinion(id, v) = &env.msg {
+                                opinions.entry(id.clone()).or_default().push(v.clone());
+                            }
+                        }
+                    }
+                }
+                let mut newly_finished: Vec<I> = Vec::new();
+                for (id, inst) in self.instances.iter_mut() {
+                    let mut counts = inst.strong_counts.clone();
+                    let missing = frozen
+                        .members()
+                        .iter()
+                        .filter(|m| !inst.strong_senders.contains(m))
+                        .count();
+                    if phase == 1 {
+                        *counts.entry(None).or_insert(0) += missing;
+                    } else if let SentSlot::Val(own) = &inst.sent_strong {
+                        *counts.entry(own.clone()).or_insert(0) += missing;
+                    }
+                    let strongest = max_tally(&counts);
+                    let has_third = strongest
+                        .as_ref()
+                        .is_some_and(|(_, c)| meets_third(*c, n));
+                    if !has_third {
+                        if let Some(cs) = opinions.get(id) {
+                            let mut cs = cs.clone();
+                            cs.sort();
+                            if let Some(c) = cs.first() {
+                                inst.x = c.clone();
+                            }
+                        }
+                    }
+                    if let Some((v, c)) = strongest {
+                        if meets_two_thirds(c, n) {
+                            newly_finished.push(id.clone());
+                            self.finished.insert(id.clone(), v);
+                        }
+                    }
+                }
+                for id in newly_finished {
+                    self.instances.remove(&id);
+                }
+                // No identifier can be joined after phase 1, so once every
+                // instance has terminated the output set is final.
+                if self.instances.is_empty() && self.done.is_none() {
+                    self.done = Some(
+                        self.finished
+                            .iter()
+                            .filter_map(|(id, v)| v.clone().map(|x| (id.clone(), x)))
+                            .collect(),
+                    );
+                }
+            }
+            _ => unreachable!("phase rounds are 1..=5"),
+        }
+    }
+}
+
+/// The standalone parallel-consensus process (Algorithm 5 over the engine).
+///
+/// # Examples
+///
+/// ```
+/// use uba_core::parallel::ParallelConsensus;
+/// use uba_sim::{sparse_ids, SyncEngine};
+///
+/// // Two instances input at every node decide with their unanimous values.
+/// let ids = sparse_ids(4, 6);
+/// let mut engine = SyncEngine::builder()
+///     .correct_many(ids.iter().map(|&id| {
+///         ParallelConsensus::new(id, [("alpha", 1u64), ("beta", 2u64)])
+///     }))
+///     .build();
+/// let done = engine.run_to_completion(12)?;
+/// for out in done.outputs.values() {
+///     assert_eq!(out.get("alpha"), Some(&1));
+///     assert_eq!(out.get("beta"), Some(&2));
+/// }
+/// # Ok::<(), uba_sim::EngineError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ParallelConsensus<I, V> {
+    core: ParallelConsensusCore<I, V>,
+}
+
+impl<I: Value, V: Value> ParallelConsensus<I, V> {
+    /// Creates a node with its set of input pairs (possibly empty).
+    pub fn new<P: IntoIterator<Item = (I, V)>>(me: NodeId, inputs: P) -> Self {
+        ParallelConsensus {
+            core: ParallelConsensusCore::new(me, inputs),
+        }
+    }
+
+    /// Access to the underlying core (inspection in tests and experiments).
+    pub fn core(&self) -> &ParallelConsensusCore<I, V> {
+        &self.core
+    }
+}
+
+impl<I: Value, V: Value> Process for ParallelConsensus<I, V> {
+    type Msg = ParMsg<I, V>;
+    type Output = BTreeMap<I, V>;
+
+    fn id(&self) -> NodeId {
+        self.core.me
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, ParMsg<I, V>>) {
+        let mut out = Vec::new();
+        self.core.on_round(ctx.round(), ctx.inbox(), &mut out);
+        for msg in out {
+            ctx.broadcast(msg);
+        }
+    }
+
+    fn output(&self) -> Option<BTreeMap<I, V>> {
+        self.core.done.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_sim::{sparse_ids, SyncEngine};
+
+    fn run(
+        node_inputs: Vec<Vec<(&'static str, u64)>>,
+        seed: u64,
+    ) -> BTreeMap<NodeId, BTreeMap<&'static str, u64>> {
+        let ids = sparse_ids(node_inputs.len(), seed);
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                ids.iter()
+                    .zip(node_inputs)
+                    .map(|(&id, inputs)| ParallelConsensus::new(id, inputs)),
+            )
+            .build();
+        engine
+            .run_to_completion(200)
+            .expect("parallel consensus terminates")
+            .outputs
+    }
+
+    #[test]
+    fn unanimous_instances_are_output_by_all() {
+        let inputs = vec![vec![("a", 1), ("b", 2)]; 4];
+        let outputs = run(inputs, 11);
+        for out in outputs.values() {
+            assert_eq!(out.get("a"), Some(&1));
+            assert_eq!(out.get("b"), Some(&2));
+        }
+    }
+
+    #[test]
+    fn no_inputs_terminates_with_empty_output() {
+        let outputs = run(vec![vec![]; 3], 5);
+        for out in outputs.values() {
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn instance_known_to_one_node_reaches_agreement() {
+        // Only node 0 has the pair ("solo", 9): the others join on hearing
+        // id:input. Outputs must agree (they may all output the pair or all
+        // drop it; with all-correct nodes it is in fact decided).
+        let mut inputs = vec![vec![]; 5];
+        inputs[0] = vec![("solo", 9u64)];
+        let outputs = run(inputs, 23);
+        let distinct: BTreeSet<_> = outputs.values().cloned().collect();
+        assert_eq!(distinct.len(), 1, "agreement on the output set");
+    }
+
+    #[test]
+    fn conflicting_inputs_agree_on_one_value() {
+        // Same id, different values at different nodes.
+        let inputs = vec![
+            vec![("k", 1u64)],
+            vec![("k", 2u64)],
+            vec![("k", 1u64)],
+            vec![("k", 2u64)],
+        ];
+        let outputs = run(inputs, 31);
+        let distinct: BTreeSet<_> = outputs.values().cloned().collect();
+        assert_eq!(distinct.len(), 1, "agreement");
+        let out = distinct.into_iter().next().unwrap();
+        if let Some(v) = out.get("k") {
+            assert!([1, 2].contains(v), "validity-compatible value");
+        }
+    }
+
+    #[test]
+    fn mixed_known_and_unknown_instances() {
+        let inputs = vec![
+            vec![("x", 1u64), ("y", 7)],
+            vec![("x", 1u64)],
+            vec![("x", 1u64), ("y", 7)],
+            vec![("x", 1u64), ("y", 7)],
+            vec![("x", 1u64)],
+        ];
+        let outputs = run(inputs, 41);
+        let distinct: BTreeSet<_> = outputs.values().cloned().collect();
+        assert_eq!(distinct.len(), 1, "agreement");
+        let out = distinct.into_iter().next().unwrap();
+        assert_eq!(out.get("x"), Some(&1), "validity for the unanimous pair");
+    }
+
+    #[test]
+    fn fake_instance_injected_by_adversary_is_never_output() {
+        use uba_sim::{AdversaryOutbox, AdversaryView, FnAdversary, NodeId};
+        type M = ParMsg<&'static str, u64>;
+        let ids = sparse_ids(4, 2);
+        let target = ids[0];
+        let byz = NodeId::new(7);
+        // The adversary announces itself during initialization, then feeds a
+        // fake instance to a single correct node in phase 1 round 1.
+        let adv = FnAdversary::new(move |view: &AdversaryView<'_, M>, out: &mut AdversaryOutbox<M>| {
+            match view.round {
+                1 => out.broadcast(byz, ParMsg::RotorInit),
+                3 => out.send(byz, target, ParMsg::Input("fake", 666)),
+                _ => {}
+            }
+        });
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().map(|&id| {
+                ParallelConsensus::new(id, [("real", 5u64)])
+            }))
+            .faulty(byz)
+            .adversary(adv)
+            .build();
+        let done = engine.run_to_completion(200).expect("terminates");
+        for out in done.outputs.values() {
+            assert_eq!(out.get("real"), Some(&5));
+            assert!(!out.contains_key("fake"), "fake instance must be dropped");
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Executable specifications of the paper's problem definitions.
+//!
+//! Each agreement problem in the paper comes with a precise list of
+//! properties (correctness/unforgeability/relay; agreement/validity/
+//! termination; containment/contraction; chain-prefix/chain-growth). This
+//! module turns those definitions into reusable checkers over run outputs,
+//! so that integration tests, property-based tests and the experiment
+//! harness all assert *the same* formalization instead of re-deriving it
+//! ad hoc.
+//!
+//! Checkers return a [`SpecReport`] rather than panicking, so the
+//! resiliency experiments can *count* violations in deliberately broken
+//! (`n ≤ 3f`) configurations.
+
+use std::collections::BTreeMap;
+
+use uba_sim::NodeId;
+
+use crate::ordering::Chain;
+use crate::value::Value;
+
+/// Outcome of checking one property.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeMap;
+/// use uba_core::spec::consensus_agreement;
+/// use uba_sim::NodeId;
+///
+/// let mut outputs = BTreeMap::new();
+/// outputs.insert(NodeId::new(1), "commit");
+/// outputs.insert(NodeId::new(2), "abort");
+/// let report = consensus_agreement(&outputs);
+/// assert!(!report.holds());
+/// assert_eq!(report.violations.len(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecReport {
+    /// Name of the property checked.
+    pub property: &'static str,
+    /// Human-readable violations; empty means the property held.
+    pub violations: Vec<String>,
+}
+
+impl SpecReport {
+    fn new(property: &'static str) -> Self {
+        SpecReport {
+            property,
+            violations: Vec::new(),
+        }
+    }
+
+    fn violate(&mut self, message: String) {
+        self.violations.push(message);
+    }
+
+    /// Whether the property held.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with the violations if the property did not hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics iff there is at least one violation.
+    pub fn assert_holds(&self) {
+        assert!(
+            self.holds(),
+            "{} violated:\n  {}",
+            self.property,
+            self.violations.join("\n  ")
+        );
+    }
+}
+
+/// Consensus **agreement**: all outputs equal.
+pub fn consensus_agreement<V: Value>(outputs: &BTreeMap<NodeId, V>) -> SpecReport {
+    let mut report = SpecReport::new("consensus agreement");
+    let mut iter = outputs.iter();
+    if let Some((first_id, first)) = iter.next() {
+        for (id, v) in iter {
+            if v != first {
+                report.violate(format!("{id} decided {v:?} but {first_id} decided {first:?}"));
+            }
+        }
+    }
+    report
+}
+
+/// Consensus **validity**: every output was some correct node's input; if
+/// all inputs are equal, the output must be that input.
+pub fn consensus_validity<V: Value>(
+    inputs: &BTreeMap<NodeId, V>,
+    outputs: &BTreeMap<NodeId, V>,
+) -> SpecReport {
+    let mut report = SpecReport::new("consensus validity");
+    let input_values: Vec<&V> = inputs.values().collect();
+    let unanimous = input_values.windows(2).all(|w| w[0] == w[1]);
+    for (id, v) in outputs {
+        if !input_values.contains(&v) {
+            report.violate(format!("{id} decided {v:?}, which no correct node input"));
+        }
+        if unanimous {
+            if let Some(the_input) = input_values.first() {
+                if &v != the_input {
+                    report.violate(format!(
+                        "unanimous input {the_input:?} but {id} decided {v:?}"
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Consensus **termination**: every expected node produced an output.
+pub fn consensus_termination<V: Value>(
+    expected: &[NodeId],
+    outputs: &BTreeMap<NodeId, V>,
+) -> SpecReport {
+    let mut report = SpecReport::new("consensus termination");
+    for id in expected {
+        if !outputs.contains_key(id) {
+            report.violate(format!("{id} never decided"));
+        }
+    }
+    report
+}
+
+/// Reliable-broadcast **correctness**: with a correct sender of `m`, every
+/// correct node accepts `m` in round 3.
+pub fn broadcast_correctness<M: Value>(
+    message: &M,
+    accepted: &BTreeMap<NodeId, BTreeMap<M, u64>>,
+) -> SpecReport {
+    let mut report = SpecReport::new("reliable broadcast correctness");
+    for (id, acc) in accepted {
+        match acc.get(message) {
+            None => report.violate(format!("{id} never accepted {message:?}")),
+            Some(3) => {}
+            Some(r) => report.violate(format!("{id} accepted {message:?} in round {r}, not 3")),
+        }
+    }
+    report
+}
+
+/// Reliable-broadcast **relay**: per message, acceptance rounds of any two
+/// correct nodes differ by at most one, and acceptance is all-or-nothing.
+pub fn broadcast_relay<M: Value>(accepted: &BTreeMap<NodeId, BTreeMap<M, u64>>) -> SpecReport {
+    let mut report = SpecReport::new("reliable broadcast relay");
+    let mut per_message: BTreeMap<&M, Vec<(NodeId, u64)>> = BTreeMap::new();
+    for (id, acc) in accepted {
+        for (m, r) in acc {
+            per_message.entry(m).or_default().push((*id, *r));
+        }
+    }
+    for (m, rounds) in per_message {
+        if rounds.len() != accepted.len() {
+            report.violate(format!(
+                "{m:?} accepted by {}/{} nodes",
+                rounds.len(),
+                accepted.len()
+            ));
+            continue;
+        }
+        let min = rounds.iter().map(|(_, r)| *r).min().unwrap_or(0);
+        let max = rounds.iter().map(|(_, r)| *r).max().unwrap_or(0);
+        if max - min > 1 {
+            report.violate(format!("{m:?} acceptance spread {min}..{max} exceeds 1"));
+        }
+    }
+    report
+}
+
+/// Reliable-broadcast **unforgeability** (correct, silent sender): nothing
+/// may be accepted.
+pub fn broadcast_unforgeability<M: Value>(
+    accepted: &BTreeMap<NodeId, BTreeMap<M, u64>>,
+) -> SpecReport {
+    let mut report = SpecReport::new("reliable broadcast unforgeability");
+    for (id, acc) in accepted {
+        for (m, r) in acc {
+            report.violate(format!(
+                "{id} accepted forged {m:?} in round {r} although the sender never broadcast"
+            ));
+        }
+    }
+    report
+}
+
+/// Approximate-agreement **containment**: outputs within the correct input
+/// range.
+pub fn approx_containment(
+    inputs: &BTreeMap<NodeId, f64>,
+    outputs: &BTreeMap<NodeId, f64>,
+) -> SpecReport {
+    let mut report = SpecReport::new("approximate agreement containment");
+    let lo = inputs.values().cloned().fold(f64::INFINITY, f64::min);
+    let hi = inputs.values().cloned().fold(f64::NEG_INFINITY, f64::max);
+    for (id, o) in outputs {
+        if *o < lo - 1e-12 || *o > hi + 1e-12 {
+            report.violate(format!("{id} output {o} outside [{lo}, {hi}]"));
+        }
+    }
+    report
+}
+
+/// Approximate-agreement **contraction**: output range at most half the
+/// input range per iteration.
+pub fn approx_contraction(
+    inputs: &BTreeMap<NodeId, f64>,
+    outputs: &BTreeMap<NodeId, f64>,
+    iterations: u32,
+) -> SpecReport {
+    let mut report = SpecReport::new("approximate agreement contraction");
+    let in_range = {
+        let lo = inputs.values().cloned().fold(f64::INFINITY, f64::min);
+        let hi = inputs.values().cloned().fold(f64::NEG_INFINITY, f64::max);
+        hi - lo
+    };
+    let out_range = {
+        let lo = outputs.values().cloned().fold(f64::INFINITY, f64::min);
+        let hi = outputs.values().cloned().fold(f64::NEG_INFINITY, f64::max);
+        hi - lo
+    };
+    let bound = in_range / 2f64.powi(iterations as i32) + 1e-9;
+    if out_range > bound {
+        report.violate(format!(
+            "output range {out_range} exceeds {bound} after {iterations} iteration(s)"
+        ));
+    }
+    report
+}
+
+/// Ordering **chain-prefix** (overlap form, to accommodate late joiners and
+/// early leavers): for every pair of chains, the events in their common
+/// wave window must be identical.
+pub fn chain_prefix<V: Value>(chains: &BTreeMap<NodeId, Chain<V>>) -> SpecReport {
+    let mut report = SpecReport::new("chain-prefix");
+    let entries: Vec<(&NodeId, &Chain<V>)> = chains.iter().collect();
+    for i in 0..entries.len() {
+        for j in i + 1..entries.len() {
+            let (id_a, a) = entries[i];
+            let (id_b, b) = entries[j];
+            let (Some(a0), Some(b0)) = (a.first(), b.first()) else {
+                continue;
+            };
+            let lo = a0.wave.max(b0.wave);
+            let a_win: Vec<_> = a.iter().filter(|e| e.wave >= lo).collect();
+            let b_win: Vec<_> = b.iter().filter(|e| e.wave >= lo).collect();
+            let k = a_win.len().min(b_win.len());
+            if a_win[..k] != b_win[..k] {
+                report.violate(format!("{id_a} and {id_b} disagree on waves ≥ {lo}"));
+            }
+        }
+    }
+    report
+}
+
+/// Ordering **chain-growth**: each node's chain length is non-decreasing
+/// over the given observations and strictly grows overall when events keep
+/// being submitted.
+pub fn chain_growth(observations: &[BTreeMap<NodeId, usize>], expect_growth: bool) -> SpecReport {
+    let mut report = SpecReport::new("chain-growth");
+    for pair in observations.windows(2) {
+        for (id, &later) in &pair[1] {
+            if let Some(&earlier) = pair[0].get(id) {
+                if later < earlier {
+                    report.violate(format!("{id} chain shrank {earlier} -> {later}"));
+                }
+            }
+        }
+    }
+    if expect_growth {
+        if let (Some(first), Some(last)) = (observations.first(), observations.last()) {
+            let grew = last
+                .iter()
+                .any(|(id, &len)| len > first.get(id).copied().unwrap_or(0));
+            if !grew {
+                report.violate("no chain grew across the whole observation window".to_string());
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::OrderedEvent;
+
+    fn ids(n: u64) -> Vec<NodeId> {
+        (1..=n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn agreement_detects_split() {
+        let nodes = ids(2);
+        let mut outputs = BTreeMap::new();
+        outputs.insert(nodes[0], 1u8);
+        outputs.insert(nodes[1], 2u8);
+        let report = consensus_agreement(&outputs);
+        assert!(!report.holds());
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn validity_detects_invented_value() {
+        let nodes = ids(2);
+        let inputs: BTreeMap<NodeId, u8> = nodes.iter().map(|&id| (id, 0)).collect();
+        let outputs: BTreeMap<NodeId, u8> = nodes.iter().map(|&id| (id, 9)).collect();
+        let report = consensus_validity(&inputs, &outputs);
+        assert!(!report.holds());
+    }
+
+    #[test]
+    fn validity_enforces_unanimity() {
+        let nodes = ids(2);
+        let inputs: BTreeMap<NodeId, u8> = nodes.iter().map(|&id| (id, 1)).collect();
+        let mut outputs = inputs.clone();
+        outputs.insert(nodes[0], 1);
+        assert!(consensus_validity(&inputs, &outputs).holds());
+    }
+
+    #[test]
+    fn termination_detects_missing_node() {
+        let nodes = ids(2);
+        let outputs: BTreeMap<NodeId, u8> = [(nodes[0], 1)].into();
+        assert!(!consensus_termination(&nodes, &outputs).holds());
+    }
+
+    #[test]
+    fn relay_detects_partial_acceptance() {
+        let nodes = ids(2);
+        let mut accepted: BTreeMap<NodeId, BTreeMap<u8, u64>> = BTreeMap::new();
+        accepted.insert(nodes[0], [(7u8, 3u64)].into());
+        accepted.insert(nodes[1], BTreeMap::new());
+        assert!(!broadcast_relay(&accepted).holds());
+    }
+
+    #[test]
+    fn relay_detects_wide_spread() {
+        let nodes = ids(2);
+        let mut accepted: BTreeMap<NodeId, BTreeMap<u8, u64>> = BTreeMap::new();
+        accepted.insert(nodes[0], [(7u8, 3u64)].into());
+        accepted.insert(nodes[1], [(7u8, 5u64)].into());
+        assert!(!broadcast_relay(&accepted).holds());
+    }
+
+    #[test]
+    fn unforgeability_flags_any_acceptance() {
+        let nodes = ids(1);
+        let mut accepted: BTreeMap<NodeId, BTreeMap<u8, u64>> = BTreeMap::new();
+        accepted.insert(nodes[0], [(9u8, 4u64)].into());
+        assert!(!broadcast_unforgeability(&accepted).holds());
+        accepted.get_mut(&nodes[0]).unwrap().clear();
+        assert!(broadcast_unforgeability(&accepted).holds());
+    }
+
+    #[test]
+    fn containment_and_contraction() {
+        let nodes = ids(2);
+        let inputs: BTreeMap<NodeId, f64> = [(nodes[0], 0.0), (nodes[1], 8.0)].into();
+        let good: BTreeMap<NodeId, f64> = [(nodes[0], 4.0), (nodes[1], 5.0)].into();
+        assert!(approx_containment(&inputs, &good).holds());
+        assert!(approx_contraction(&inputs, &good, 2).holds());
+        let bad: BTreeMap<NodeId, f64> = [(nodes[0], -1.0), (nodes[1], 9.0)].into();
+        assert!(!approx_containment(&inputs, &bad).holds());
+        assert!(!approx_contraction(&inputs, &bad, 1).holds());
+    }
+
+    #[test]
+    fn chain_prefix_detects_overlap_mismatch() {
+        let nodes = ids(2);
+        let ev = |wave, origin: NodeId, value: u8| OrderedEvent { wave, origin, value };
+        let mut chains: BTreeMap<NodeId, Chain<u8>> = BTreeMap::new();
+        chains.insert(nodes[0], vec![ev(1, nodes[0], 1), ev(2, nodes[1], 2)]);
+        chains.insert(nodes[1], vec![ev(2, nodes[1], 9)]);
+        assert!(!chain_prefix(&chains).holds());
+        chains.insert(nodes[1], vec![ev(2, nodes[1], 2)]);
+        assert!(chain_prefix(&chains).holds());
+    }
+
+    #[test]
+    fn chain_growth_detects_shrinkage_and_stagnation() {
+        let nodes = ids(1);
+        let obs = vec![
+            BTreeMap::from([(nodes[0], 3usize)]),
+            BTreeMap::from([(nodes[0], 2usize)]),
+        ];
+        assert!(!chain_growth(&obs, false).holds());
+        let flat = vec![
+            BTreeMap::from([(nodes[0], 3usize)]),
+            BTreeMap::from([(nodes[0], 3usize)]),
+        ];
+        assert!(chain_growth(&flat, false).holds());
+        assert!(!chain_growth(&flat, true).holds());
+    }
+
+    #[test]
+    fn assert_holds_panics_with_details() {
+        let nodes = ids(2);
+        let mut outputs = BTreeMap::new();
+        outputs.insert(nodes[0], 1u8);
+        outputs.insert(nodes[1], 2u8);
+        let report = consensus_agreement(&outputs);
+        let err = std::panic::catch_unwind(|| report.assert_holds()).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("consensus agreement violated"));
+    }
+}

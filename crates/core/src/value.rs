@@ -1,0 +1,104 @@
+//! The bound satisfied by values the agreement algorithms operate on.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Values that can be carried by agreement messages.
+///
+/// `Ord` powers deterministic tie-breaking and candidate ordering, `Eq +
+/// Hash` powers tallying and the engine's duplicate suppression, and `Clone`
+/// powers broadcast fan-out. Blanket-implemented for any suitable type
+/// (integers, strings, byte vectors, `OrderedF64`…).
+pub trait Value: Clone + Eq + Ord + Hash + Debug + 'static {}
+
+impl<T: Clone + Eq + Ord + Hash + Debug + 'static> Value for T {}
+
+/// A totally ordered `f64` for real-valued agreement (approximate agreement
+/// inputs, real-valued consensus opinions).
+///
+/// NaN is rejected at construction, which makes the total order sound.
+///
+/// # Examples
+///
+/// ```
+/// use uba_core::OrderedF64;
+///
+/// let a = OrderedF64::new(1.5).unwrap();
+/// let b = OrderedF64::new(2.5).unwrap();
+/// assert!(a < b);
+/// assert_eq!(a.get() + 1.0, b.get());
+/// assert!(OrderedF64::new(f64::NAN).is_none());
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a non-NaN float; returns `None` for NaN.
+    pub fn new(value: f64) -> Option<Self> {
+        (!value.is_nan()).then_some(OrderedF64(value))
+    }
+
+    /// The wrapped float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("NaN is rejected at construction")
+    }
+}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for OrderedF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl std::fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_on_non_nan() {
+        let mut v = vec![
+            OrderedF64::new(3.0).unwrap(),
+            OrderedF64::new(-1.0).unwrap(),
+            OrderedF64::new(0.5).unwrap(),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.into_iter().map(OrderedF64::get).collect();
+        assert_eq!(raw, vec![-1.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        assert!(OrderedF64::new(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn hash_distinguishes_values() {
+        use std::collections::HashSet;
+        let set: HashSet<OrderedF64> = [0.0, 1.0, 2.0]
+            .into_iter()
+            .map(|x| OrderedF64::new(x).unwrap())
+            .collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,338 @@
+//! Semi-synchronous / asynchronous execution.
+//!
+//! The paper proves that without knowledge of `n` and `f`, agreement is
+//! impossible (even with probabilistic termination) once message delays are
+//! not common knowledge: in an asynchronous system delays are unbounded; in
+//! a semi-synchronous system they are bounded by some `Δ` that the nodes do
+//! not know. The [`DelayedEngine`] realizes both settings over the same
+//! [`Process`] trait: time advances in *ticks*, a [`DelayModel`] assigns each
+//! message a delivery delay, and every node is stepped once per tick with
+//! whatever happened to arrive. A synchronous round is the special case
+//! where every delay is 1.
+//!
+//! The impossibility *scenarios* (partitioned executions à la the paper's
+//! indistinguishability arguments) are constructed in
+//! `uba-core::lower_bounds` on top of this engine.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::{Completion, EngineError};
+use crate::id::NodeId;
+use crate::message::{Dest, Envelope, Outbox};
+use crate::process::{Context, Process};
+use crate::stats::Stats;
+
+/// Deliveries scheduled per tick: `(recipient, envelope)` pairs.
+type PendingDeliveries<M> = BTreeMap<u64, Vec<(NodeId, Envelope<M>)>>;
+
+/// Assigns a delivery delay (in ticks, at least 1) to every message.
+pub trait DelayModel {
+    /// Delay for a message sent at `tick` from `from` to `to`.
+    ///
+    /// Implementations must return at least 1; the engine clamps 0 to 1.
+    fn delay(&mut self, from: NodeId, to: NodeId, tick: u64) -> u64;
+}
+
+/// Every message takes exactly the same number of ticks.
+///
+/// `FixedDelay(1)` makes the delayed engine behave like the synchronous one.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedDelay(pub u64);
+
+impl DelayModel for FixedDelay {
+    fn delay(&mut self, _from: NodeId, _to: NodeId, _tick: u64) -> u64 {
+        self.0.max(1)
+    }
+}
+
+/// Uniformly random delays in `[min, max]`, deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct UniformDelay {
+    min: u64,
+    max: u64,
+    rng: StdRng,
+}
+
+impl UniformDelay {
+    /// Creates a model with delays uniform in `[min.max(1), max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max < min`.
+    pub fn new(min: u64, max: u64, seed: u64) -> Self {
+        assert!(max >= min, "max delay must be >= min delay");
+        UniformDelay {
+            min: min.max(1),
+            max: max.max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DelayModel for UniformDelay {
+    fn delay(&mut self, _from: NodeId, _to: NodeId, _tick: u64) -> u64 {
+        self.rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// Partition-shaped delays: fast within a group, slow (or practically
+/// unbounded) across groups.
+///
+/// This is the delay structure used by both impossibility arguments: the
+/// adversarial scheduler delays all cross-partition messages long enough for
+/// each side to decide on its own.
+#[derive(Debug, Clone)]
+pub struct PartitionDelay {
+    group_of: BTreeMap<NodeId, usize>,
+    intra: u64,
+    cross: u64,
+}
+
+impl PartitionDelay {
+    /// Creates a partition model. Nodes in the same group communicate with
+    /// delay `intra`; messages between groups take `cross` ticks. Unknown
+    /// nodes default to group 0.
+    pub fn new(groups: &[Vec<NodeId>], intra: u64, cross: u64) -> Self {
+        let mut group_of = BTreeMap::new();
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                group_of.insert(m, g);
+            }
+        }
+        PartitionDelay {
+            group_of,
+            intra: intra.max(1),
+            cross: cross.max(1),
+        }
+    }
+
+    fn group(&self, id: NodeId) -> usize {
+        self.group_of.get(&id).copied().unwrap_or(0)
+    }
+}
+
+impl DelayModel for PartitionDelay {
+    fn delay(&mut self, from: NodeId, to: NodeId, _tick: u64) -> u64 {
+        if self.group(from) == self.group(to) {
+            self.intra
+        } else {
+            self.cross
+        }
+    }
+}
+
+/// Drives processes under a [`DelayModel`]: semi-synchrony or asynchrony.
+///
+/// All nodes are correct here — the impossibility constructions in the paper
+/// need no Byzantine nodes, only adversarial scheduling.
+pub struct DelayedEngine<P: Process, D> {
+    nodes: BTreeMap<NodeId, P>,
+    decided_round: BTreeMap<NodeId, u64>,
+    /// tick -> deliveries due at that tick.
+    pending: PendingDeliveries<P::Msg>,
+    delay: D,
+    tick: u64,
+    stats: Stats,
+}
+
+impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
+    /// Creates an engine over `nodes` with the given delay model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two processes share an id.
+    pub fn new<I: IntoIterator<Item = P>>(nodes: I, delay: D) -> Self {
+        let mut map = BTreeMap::new();
+        for p in nodes {
+            let id = p.id();
+            assert!(map.insert(id, p).is_none(), "duplicate node id {id}");
+        }
+        DelayedEngine {
+            nodes: map,
+            decided_round: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            delay,
+            tick: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Completed ticks.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Outputs produced so far.
+    pub fn outputs(&self) -> BTreeMap<NodeId, P::Output> {
+        self.nodes
+            .iter()
+            .filter_map(|(id, p)| p.output().map(|o| (*id, o)))
+            .collect()
+    }
+
+    /// Whether every node has terminated.
+    pub fn all_decided(&self) -> bool {
+        self.nodes.values().all(|p| p.output().is_some())
+    }
+
+    /// Executes one tick.
+    pub fn run_tick(&mut self) {
+        let tick = self.tick + 1;
+        self.tick = tick;
+        self.stats.begin_round();
+
+        let due = self.pending.remove(&tick).unwrap_or_default();
+        let mut inboxes: BTreeMap<NodeId, Vec<Envelope<P::Msg>>> = BTreeMap::new();
+        for (to, env) in due {
+            if self
+                .nodes
+                .get(&to)
+                .is_some_and(|p| p.output().is_none())
+            {
+                self.stats.record_delivery(false);
+                inboxes.entry(to).or_default().push(env);
+            }
+        }
+
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let present = ids.clone();
+        for id in ids {
+            let node = self.nodes.get_mut(&id).expect("node present");
+            if node.output().is_some() {
+                continue;
+            }
+            let inbox = inboxes.remove(&id).unwrap_or_default();
+            let mut outbox = Outbox::new();
+            let mut ctx = Context::new(tick, &inbox, &mut outbox);
+            node.on_round(&mut ctx);
+            if node.terminated() {
+                self.decided_round.entry(id).or_insert(tick);
+            }
+            for out in outbox.drain() {
+                self.stats.record_send(false);
+                let targets: Vec<NodeId> = match out.dest {
+                    Dest::Broadcast => present.clone(),
+                    Dest::To(t) => vec![t],
+                };
+                for to in targets {
+                    let d = self.delay.delay(id, to, tick).max(1);
+                    self.pending
+                        .entry(tick + d)
+                        .or_default()
+                        .push((to, Envelope::new(id, out.msg.clone())));
+                }
+            }
+        }
+    }
+
+    /// Executes `count` ticks.
+    pub fn run_ticks(&mut self, count: u64) {
+        for _ in 0..count {
+            self.run_tick();
+        }
+    }
+
+    /// Runs until every node terminated or the tick budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::MaxRoundsExceeded`] when the budget is
+    /// exhausted first.
+    pub fn run_to_completion(
+        &mut self,
+        max_ticks: u64,
+    ) -> Result<Completion<P::Output>, EngineError> {
+        while !self.all_decided() {
+            if self.tick >= max_ticks {
+                return Err(EngineError::MaxRoundsExceeded {
+                    round: self.tick,
+                    undecided: self
+                        .nodes
+                        .iter()
+                        .filter(|(_, p)| p.output().is_none())
+                        .map(|(id, _)| *id)
+                        .collect(),
+                });
+            }
+            self.run_tick();
+        }
+        Ok(Completion {
+            outputs: self.outputs(),
+            decided_round: self.decided_round.clone(),
+            stats: self.stats.clone(),
+        })
+    }
+}
+
+impl<P: Process, D> std::fmt::Debug for DelayedEngine<P, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DelayedEngine")
+            .field("tick", &self.tick)
+            .field("nodes", &self.nodes.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::CollectAll;
+
+    #[test]
+    fn fixed_delay_one_matches_synchrony() {
+        let mut engine = DelayedEngine::new(
+            [
+                CollectAll::new(NodeId::new(1), 2),
+                CollectAll::new(NodeId::new(2), 2),
+            ],
+            FixedDelay(1),
+        );
+        let done = engine.run_to_completion(10).expect("completes");
+        for (_, heard) in done.outputs {
+            assert_eq!(heard.len(), 2, "both broadcasts arrive at tick 2");
+        }
+    }
+
+    #[test]
+    fn partition_delays_cross_messages() {
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        let mut engine = DelayedEngine::new(
+            [CollectAll::new(a, 3), CollectAll::new(b, 3)],
+            PartitionDelay::new(&[vec![a], vec![b]], 1, 100),
+        );
+        let done = engine.run_to_completion(10).expect("completes");
+        // Each node only hears itself by tick 3; the cross message is still
+        // in flight.
+        for (id, heard) in done.outputs {
+            assert_eq!(heard.len(), 1);
+            assert_eq!(heard[0].from, id);
+        }
+    }
+
+    #[test]
+    fn uniform_delay_is_deterministic_per_seed() {
+        let mut m1 = UniformDelay::new(1, 5, 9);
+        let mut m2 = UniformDelay::new(1, 5, 9);
+        for i in 0..32 {
+            assert_eq!(
+                m1.delay(NodeId::new(1), NodeId::new(2), i),
+                m2.delay(NodeId::new(1), NodeId::new(2), i)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_delay_is_clamped() {
+        let mut m = FixedDelay(0);
+        assert_eq!(m.delay(NodeId::new(1), NodeId::new(2), 1), 1);
+    }
+}

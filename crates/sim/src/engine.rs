@@ -1,0 +1,735 @@
+//! The synchronous round engine for the *id-only* model.
+//!
+//! Executes the paper's computation model exactly: in each round every
+//! present, non-terminated correct node receives the messages sent to it in
+//! the previous round, computes, and queues messages for the next round. A
+//! full-information **rushing** adversary then sees the correct nodes'
+//! round-`r` messages and queues the faulty nodes' round-`r` messages before
+//! anything is delivered. Duplicate `(sender, payload)` pairs addressed to
+//! the same recipient within one round are discarded, as the model demands.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt;
+
+use crate::adversary::{Adversary, AdversaryOutbox, AdversaryView, NoAdversary};
+use crate::churn::{ChurnAction, ChurnSchedule};
+use crate::id::NodeId;
+use crate::message::{Dest, Envelope, Outbox, Outgoing};
+use crate::process::{Context, Process};
+use crate::stats::Stats;
+
+/// A record of one send operation, kept when tracing is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentRecord<M> {
+    /// Round in which the message was sent (delivered in `round + 1`).
+    pub round: u64,
+    /// Sender.
+    pub from: NodeId,
+    /// Destination.
+    pub dest: Dest,
+    /// Payload.
+    pub msg: M,
+    /// Whether the sender was adversary-controlled.
+    pub from_adversary: bool,
+}
+
+/// Why [`SyncEngine::run_to_completion`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The round budget ran out before every correct node produced an output.
+    MaxRoundsExceeded {
+        /// Round at which the run was abandoned.
+        round: u64,
+        /// Correct nodes that had not yet produced an output.
+        undecided: Vec<NodeId>,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::MaxRoundsExceeded { round, undecided } => write!(
+                f,
+                "round budget exhausted at round {round} with {} undecided node(s)",
+                undecided.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result of a completed run: every correct node terminated with an output.
+#[derive(Debug, Clone)]
+pub struct Completion<O> {
+    /// Output of each correct node, keyed by id.
+    pub outputs: BTreeMap<NodeId, O>,
+    /// Round in which each correct node terminated.
+    pub decided_round: BTreeMap<NodeId, u64>,
+    /// Statistics of the run.
+    pub stats: Stats,
+}
+
+impl<O> Completion<O> {
+    /// Latest round in which any correct node terminated (0 if none ran).
+    pub fn last_decided_round(&self) -> u64 {
+        self.decided_round.values().copied().max().unwrap_or(0)
+    }
+}
+
+struct CorrectNode<P: Process> {
+    process: P,
+    decided_round: Option<u64>,
+}
+
+/// Builds a [`SyncEngine`].
+///
+/// # Examples
+///
+/// ```
+/// use uba_sim::{testutil::Idle, NodeId, SyncEngine};
+///
+/// let engine = SyncEngine::builder()
+///     .correct(Idle::new(NodeId::new(1)))
+///     .faulty(NodeId::new(999))
+///     .build();
+/// assert_eq!(engine.correct_ids().len(), 1);
+/// ```
+pub struct EngineBuilder<P: Process, A> {
+    correct: Vec<P>,
+    faulty: Vec<NodeId>,
+    adversary: A,
+    enforce_acquaintance: bool,
+    churn: ChurnSchedule<P>,
+    trace: bool,
+}
+
+impl<P: Process> EngineBuilder<P, NoAdversary> {
+    fn new() -> Self {
+        EngineBuilder {
+            correct: Vec::new(),
+            faulty: Vec::new(),
+            adversary: NoAdversary,
+            enforce_acquaintance: true,
+            churn: ChurnSchedule::new(),
+            trace: false,
+        }
+    }
+}
+
+impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
+    /// Adds one correct node.
+    pub fn correct(mut self, process: P) -> Self {
+        self.correct.push(process);
+        self
+    }
+
+    /// Adds many correct nodes.
+    pub fn correct_many<I: IntoIterator<Item = P>>(mut self, processes: I) -> Self {
+        self.correct.extend(processes);
+        self
+    }
+
+    /// Registers a faulty (adversary-controlled) node id.
+    pub fn faulty(mut self, id: NodeId) -> Self {
+        self.faulty.push(id);
+        self
+    }
+
+    /// Registers many faulty node ids.
+    pub fn faulty_many<I: IntoIterator<Item = NodeId>>(mut self, ids: I) -> Self {
+        self.faulty.extend(ids);
+        self
+    }
+
+    /// Installs the adversary strategy (default: [`NoAdversary`]).
+    pub fn adversary<A2: Adversary<P::Msg>>(self, adversary: A2) -> EngineBuilder<P, A2> {
+        EngineBuilder {
+            correct: self.correct,
+            faulty: self.faulty,
+            adversary,
+            enforce_acquaintance: self.enforce_acquaintance,
+            churn: self.churn,
+            trace: self.trace,
+        }
+    }
+
+    /// Whether to enforce that point-to-point sends only target nodes the
+    /// sender has already heard from (the model's restriction). Default on.
+    pub fn enforce_acquaintance(mut self, on: bool) -> Self {
+        self.enforce_acquaintance = on;
+        self
+    }
+
+    /// Installs a churn schedule for dynamic-membership runs.
+    pub fn churn(mut self, churn: ChurnSchedule<P>) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Enables recording of every send operation (see
+    /// [`SyncEngine::sent_records`]). Default off.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two nodes (correct or faulty) share an identifier.
+    pub fn build(self) -> SyncEngine<P, A> {
+        let mut engine = SyncEngine {
+            correct: BTreeMap::new(),
+            departed: BTreeMap::new(),
+            faulty: BTreeSet::new(),
+            adversary: self.adversary,
+            inboxes: BTreeMap::new(),
+            acquaintance: BTreeMap::new(),
+            round: 0,
+            stats: Stats::new(),
+            churn: self.churn,
+            enforce_acquaintance: self.enforce_acquaintance,
+            trace: self.trace.then(Vec::new),
+        };
+        for p in self.correct {
+            engine.insert_correct(p);
+        }
+        for id in self.faulty {
+            engine.insert_faulty(id);
+        }
+        engine
+    }
+}
+
+/// The synchronous round engine.
+///
+/// Drives a set of correct [`Process`]es and one [`Adversary`] controlling
+/// the faulty nodes. The exact round semantics (delivery, rushing, dedup)
+/// are described in the [`uba_sim`](crate) crate docs.
+pub struct SyncEngine<P: Process, A> {
+    correct: BTreeMap<NodeId, CorrectNode<P>>,
+    /// Outputs of correct nodes that have left the system.
+    departed: BTreeMap<NodeId, (u64, P::Output)>,
+    faulty: BTreeSet<NodeId>,
+    adversary: A,
+    /// Messages to be delivered at the start of the next round.
+    inboxes: BTreeMap<NodeId, Vec<Envelope<P::Msg>>>,
+    /// For each node, the set of nodes it has received at least one message
+    /// from (used to enforce the point-to-point acquaintance rule).
+    acquaintance: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    round: u64,
+    stats: Stats,
+    churn: ChurnSchedule<P>,
+    enforce_acquaintance: bool,
+    trace: Option<Vec<SentRecord<P::Msg>>>,
+}
+
+impl<P: Process> SyncEngine<P, NoAdversary> {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder<P, NoAdversary> {
+        EngineBuilder::new()
+    }
+}
+
+impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
+    fn insert_correct(&mut self, process: P) {
+        let id = process.id();
+        assert!(
+            !self.correct.contains_key(&id) && !self.faulty.contains(&id),
+            "duplicate node id {id}"
+        );
+        self.correct.insert(
+            id,
+            CorrectNode {
+                process,
+                decided_round: None,
+            },
+        );
+    }
+
+    fn insert_faulty(&mut self, id: NodeId) {
+        assert!(
+            !self.correct.contains_key(&id) && !self.faulty.contains(&id),
+            "duplicate node id {id}"
+        );
+        self.faulty.insert(id);
+    }
+
+    /// Number of completed rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Present correct node ids that have not terminated.
+    pub fn active_correct_ids(&self) -> BTreeSet<NodeId> {
+        self.correct
+            .iter()
+            .filter(|(_, n)| n.decided_round.is_none())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// All present correct node ids (terminated or not).
+    pub fn correct_ids(&self) -> BTreeSet<NodeId> {
+        self.correct.keys().copied().collect()
+    }
+
+    /// Present faulty node ids.
+    pub fn faulty_ids(&self) -> &BTreeSet<NodeId> {
+        &self.faulty
+    }
+
+    /// Immutable access to a correct node's process (for inspection).
+    pub fn process(&self, id: NodeId) -> Option<&P> {
+        self.correct.get(&id).map(|n| &n.process)
+    }
+
+    /// Outputs produced so far (present and departed correct nodes).
+    pub fn outputs(&self) -> BTreeMap<NodeId, P::Output> {
+        let mut map: BTreeMap<NodeId, P::Output> = self
+            .departed
+            .iter()
+            .map(|(id, (_, o))| (*id, o.clone()))
+            .collect();
+        for (id, node) in &self.correct {
+            if let Some(o) = node.process.output() {
+                map.insert(*id, o);
+            }
+        }
+        map
+    }
+
+    /// Round in which each correct node terminated, for those that have.
+    pub fn decided_rounds(&self) -> BTreeMap<NodeId, u64> {
+        let mut map: BTreeMap<NodeId, u64> = self
+            .departed
+            .iter()
+            .map(|(id, (r, _))| (*id, *r))
+            .collect();
+        for (id, node) in &self.correct {
+            if let Some(r) = node.decided_round {
+                map.insert(*id, r);
+            }
+        }
+        map
+    }
+
+    /// The send records, if tracing was enabled at build time.
+    pub fn sent_records(&self) -> &[SentRecord<P::Msg>] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Whether every present correct node has terminated.
+    pub fn all_correct_decided(&self) -> bool {
+        self.correct.values().all(|n| n.decided_round.is_some())
+    }
+
+    fn apply_churn(&mut self, round: u64) {
+        for action in self.churn.take_for_round(round) {
+            match action {
+                ChurnAction::JoinCorrect(p) => self.insert_correct(p),
+                ChurnAction::JoinFaulty(id) => self.insert_faulty(id),
+                ChurnAction::Leave(id) => {
+                    if let Some(node) = self.correct.remove(&id) {
+                        if let (Some(r), Some(o)) =
+                            (node.decided_round, node.process.output())
+                        {
+                            self.departed.insert(id, (r, o));
+                        }
+                    }
+                    self.faulty.remove(&id);
+                    self.inboxes.remove(&id);
+                }
+            }
+        }
+    }
+
+    /// Executes one synchronous round.
+    pub fn run_round(&mut self) {
+        let round = self.round + 1;
+        self.apply_churn(round);
+        self.round = round;
+        self.stats.begin_round();
+
+        let mut delivered = std::mem::take(&mut self.inboxes);
+
+        // Step 1: correct nodes compute and queue messages (in id order —
+        // deterministic, and irrelevant to semantics since delivery is
+        // simultaneous).
+        let mut correct_traffic: Vec<(NodeId, Outgoing<P::Msg>)> = Vec::new();
+        let active: Vec<NodeId> = self
+            .correct
+            .iter()
+            .filter(|(_, n)| n.decided_round.is_none())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in active {
+            let inbox = delivered.remove(&id).unwrap_or_default();
+            let mut outbox = Outbox::new();
+            {
+                let node = self.correct.get_mut(&id).expect("active node present");
+                let mut ctx = Context::new(round, &inbox, &mut outbox);
+                node.process.on_round(&mut ctx);
+                if node.process.terminated() && node.decided_round.is_none() {
+                    node.decided_round = Some(round);
+                }
+            }
+            for out in outbox.drain() {
+                if self.enforce_acquaintance {
+                    if let Dest::To(to) = out.dest {
+                        let known = self
+                            .acquaintance
+                            .get(&id)
+                            .is_some_and(|s| s.contains(&to));
+                        assert!(
+                            known || to == id,
+                            "protocol violation: {id} sent point-to-point to {to} \
+                             without having received a message from it"
+                        );
+                    }
+                }
+                self.stats.record_send(false);
+                correct_traffic.push((id, out));
+            }
+        }
+
+        // Step 2: the rushing adversary sees this round's correct traffic and
+        // the faulty nodes' inboxes, then queues the faulty nodes' messages.
+        let mut adversary_traffic: Vec<(NodeId, Outgoing<P::Msg>)> = Vec::new();
+        if !self.faulty.is_empty() {
+            let faulty_inboxes: BTreeMap<NodeId, Vec<Envelope<P::Msg>>> = self
+                .faulty
+                .iter()
+                .map(|id| (*id, delivered.remove(id).unwrap_or_default()))
+                .collect();
+            let correct_ids: BTreeSet<NodeId> = self
+                .correct
+                .iter()
+                .filter(|(_, n)| n.decided_round.is_none())
+                .map(|(id, _)| *id)
+                .collect();
+            let view = AdversaryView {
+                round,
+                correct: &correct_ids,
+                faulty: &self.faulty,
+                correct_traffic: &correct_traffic,
+                faulty_inboxes: &faulty_inboxes,
+            };
+            let mut out = AdversaryOutbox::new(&self.faulty);
+            self.adversary.act(&view, &mut out);
+            for item in out.into_items() {
+                self.stats.record_send(true);
+                adversary_traffic.push(item);
+            }
+        }
+
+        // Step 3: delivery with per-recipient (sender, payload) dedup.
+        let recipients: Vec<NodeId> = self
+            .correct
+            .iter()
+            .filter(|(_, n)| n.decided_round.is_none())
+            .map(|(id, _)| *id)
+            .chain(self.faulty.iter().copied())
+            .collect();
+        let mut next: BTreeMap<NodeId, Vec<Envelope<P::Msg>>> = BTreeMap::new();
+        let mut seen: BTreeMap<NodeId, HashSet<(NodeId, P::Msg)>> = BTreeMap::new();
+        let mut deliver =
+            |engine_stats: &mut Stats,
+             acquaintance: &mut BTreeMap<NodeId, BTreeSet<NodeId>>,
+             from: NodeId,
+             to: NodeId,
+             msg: &P::Msg,
+             from_adversary: bool| {
+                let dedup = seen.entry(to).or_default();
+                if !dedup.insert((from, msg.clone())) {
+                    return; // duplicate within the round: discarded by the model
+                }
+                acquaintance.entry(to).or_default().insert(from);
+                engine_stats.record_delivery(from_adversary);
+                next.entry(to).or_default().push(Envelope::new(from, msg.clone()));
+            };
+
+        for (traffic, from_adversary) in
+            [(&correct_traffic, false), (&adversary_traffic, true)]
+        {
+            for (from, out) in traffic {
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.push(SentRecord {
+                        round,
+                        from: *from,
+                        dest: out.dest,
+                        msg: out.msg.clone(),
+                        from_adversary,
+                    });
+                }
+                match out.dest {
+                    Dest::Broadcast => {
+                        for &to in &recipients {
+                            deliver(
+                                &mut self.stats,
+                                &mut self.acquaintance,
+                                *from,
+                                to,
+                                &out.msg,
+                                from_adversary,
+                            );
+                        }
+                    }
+                    Dest::To(to) => {
+                        if self.correct.get(&to).is_some_and(|n| n.decided_round.is_none())
+                            || self.faulty.contains(&to)
+                        {
+                            deliver(
+                                &mut self.stats,
+                                &mut self.acquaintance,
+                                *from,
+                                to,
+                                &out.msg,
+                                from_adversary,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.inboxes = next;
+    }
+
+    /// Executes `count` rounds.
+    pub fn run_rounds(&mut self, count: u64) {
+        for _ in 0..count {
+            self.run_round();
+        }
+    }
+
+    /// Runs until every present correct node has terminated, or the budget
+    /// runs out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::MaxRoundsExceeded`] if some correct node has
+    /// not terminated after `max_rounds` rounds.
+    pub fn run_to_completion(
+        &mut self,
+        max_rounds: u64,
+    ) -> Result<Completion<P::Output>, EngineError> {
+        while !(self.all_correct_decided() && self.churn.is_empty()) {
+            if self.round >= max_rounds {
+                return Err(EngineError::MaxRoundsExceeded {
+                    round: self.round,
+                    undecided: self
+                        .correct
+                        .iter()
+                        .filter(|(_, n)| n.decided_round.is_none())
+                        .map(|(id, _)| *id)
+                        .collect(),
+                });
+            }
+            self.run_round();
+        }
+        Ok(Completion {
+            outputs: self.outputs(),
+            decided_round: self.decided_rounds(),
+            stats: self.stats.clone(),
+        })
+    }
+}
+
+impl<P: Process, A> fmt::Debug for SyncEngine<P, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SyncEngine")
+            .field("round", &self.round)
+            .field("correct", &self.correct.keys().collect::<Vec<_>>())
+            .field("faulty", &self.faulty)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::FnAdversary;
+    use crate::testutil::{CollectAll, Idle};
+
+    fn ids(raw: &[u64]) -> Vec<NodeId> {
+        raw.iter().map(|&r| NodeId::new(r)).collect()
+    }
+
+    #[test]
+    fn broadcast_is_delivered_to_all_including_self_next_round() {
+        let nodes = ids(&[1, 5, 9]);
+        let mut engine = SyncEngine::builder()
+            .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 2)))
+            .build();
+        let done = engine.run_to_completion(10).expect("completes");
+        for (_, heard) in done.outputs {
+            assert_eq!(heard.len(), 3, "every node hears all three broadcasts");
+        }
+    }
+
+    #[test]
+    fn duplicate_payload_same_round_is_discarded() {
+        // The adversary broadcasts the same payload twice in one round; the
+        // recipient sees it once.
+        let nodes = ids(&[1, 2, 3]);
+        let adv = FnAdversary::new(|view: &AdversaryView<'_, u64>, out: &mut AdversaryOutbox<u64>| {
+            if view.round == 1 {
+                for &b in view.faulty.iter() {
+                    out.broadcast(b, 42);
+                    out.broadcast(b, 42);
+                    out.broadcast(b, 43);
+                }
+            }
+        });
+        let mut engine = SyncEngine::builder()
+            .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 2)))
+            .faulty(NodeId::new(100))
+            .adversary(adv)
+            .build();
+        let done = engine.run_to_completion(10).expect("completes");
+        for (_, heard) in done.outputs {
+            let from_faulty: Vec<_> = heard
+                .iter()
+                .filter(|e| e.from == NodeId::new(100))
+                .collect();
+            assert_eq!(from_faulty.len(), 2, "42 deduped, 43 kept");
+        }
+    }
+
+    #[test]
+    fn adversary_can_equivocate_per_recipient() {
+        let nodes = ids(&[1, 2]);
+        let adv = FnAdversary::new(|view: &AdversaryView<'_, u64>, out: &mut AdversaryOutbox<u64>| {
+            if view.round == 1 {
+                out.send(NodeId::new(50), NodeId::new(1), 111);
+                out.send(NodeId::new(50), NodeId::new(2), 222);
+            }
+        });
+        let mut engine = SyncEngine::builder()
+            .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 2)))
+            .faulty(NodeId::new(50))
+            .adversary(adv)
+            .build();
+        let done = engine.run_to_completion(10).expect("completes");
+        let heard1 = &done.outputs[&NodeId::new(1)];
+        let heard2 = &done.outputs[&NodeId::new(2)];
+        assert!(heard1.iter().any(|e| e.msg == 111) && !heard1.iter().any(|e| e.msg == 222));
+        assert!(heard2.iter().any(|e| e.msg == 222) && !heard2.iter().any(|e| e.msg == 111));
+    }
+
+    #[test]
+    fn terminated_process_stops_sending() {
+        // CollectAll terminates at round 2; from round 3 on, nothing flows.
+        let nodes = ids(&[1, 2]);
+        let mut engine = SyncEngine::builder()
+            .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 2)))
+            .build();
+        engine.run_rounds(4);
+        let per_round = engine.stats().deliveries_by_round.clone();
+        // Deliveries are attributed to the round the message was *sent* in:
+        // two nodes broadcast in round 1, two recipients each.
+        assert_eq!(per_round[0], 4);
+        // CollectAll broadcasts only in round 1 and terminates in round 2,
+        // so nothing is sent afterwards.
+        assert_eq!(&per_round[1..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn max_rounds_is_reported() {
+        let mut engine: SyncEngine<Idle, _> = SyncEngine::builder()
+            .correct(Idle::new(NodeId::new(1)))
+            .build();
+        let err = engine.run_to_completion(3).unwrap_err();
+        match err {
+            EngineError::MaxRoundsExceeded { round, undecided } => {
+                assert_eq!(round, 3);
+                assert_eq!(undecided, vec![NodeId::new(1)]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_ids_are_rejected() {
+        let _ = SyncEngine::builder()
+            .correct(Idle::new(NodeId::new(1)))
+            .faulty(NodeId::new(1))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "without having received a message")]
+    fn acquaintance_violation_panics() {
+        struct Rude(NodeId);
+        impl Process for Rude {
+            type Msg = u8;
+            type Output = ();
+            fn id(&self) -> NodeId {
+                self.0
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_, u8>) {
+                ctx.send(NodeId::new(999), 1); // never heard from 999
+            }
+            fn output(&self) -> Option<()> {
+                None
+            }
+        }
+        let mut engine = SyncEngine::builder()
+            .correct(Rude(NodeId::new(1)))
+            .correct(Rude(NodeId::new(999)))
+            .build();
+        engine.run_round();
+    }
+
+    #[test]
+    fn churn_applies_joins_and_leaves() {
+        let mut churn: ChurnSchedule<CollectAll> = ChurnSchedule::new();
+        churn.join_correct(2, CollectAll::new(NodeId::new(3), 4));
+        churn.leave(3, NodeId::new(1));
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 100))
+            .correct(CollectAll::new(NodeId::new(2), 100))
+            .churn(churn)
+            .build();
+        engine.run_round();
+        assert_eq!(engine.correct_ids().len(), 2);
+        engine.run_round();
+        assert_eq!(engine.correct_ids().len(), 3);
+        engine.run_round();
+        assert_eq!(engine.correct_ids().len(), 2);
+        assert!(!engine.correct_ids().contains(&NodeId::new(1)));
+    }
+
+    #[test]
+    fn trace_records_sends() {
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 2))
+            .trace(true)
+            .build();
+        engine.run_rounds(2);
+        let records = engine.sent_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].round, 1);
+        assert_eq!(records[0].from, NodeId::new(1));
+        assert!(!records[0].from_adversary);
+    }
+
+    #[test]
+    fn stats_count_broadcast_fanout() {
+        // 3 nodes, each broadcasts once in round 1 => 3 sends, 9 deliveries.
+        let nodes = ids(&[1, 2, 3]);
+        let mut engine = SyncEngine::builder()
+            .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 2)))
+            .build();
+        engine.run_rounds(2);
+        assert_eq!(engine.stats().correct_sends, 3);
+        assert_eq!(engine.stats().correct_deliveries, 9);
+    }
+}

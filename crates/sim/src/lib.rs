@@ -1,0 +1,65 @@
+//! # uba-sim — the *id-only* model as an executable substrate
+//!
+//! A deterministic simulator for the system model of *"Byzantine Agreement
+//! with Unknown Participants and Failures"* (Khanchandani & Wattenhofer,
+//! PODC 2020):
+//!
+//! - `n` nodes with unique, non-consecutive identifiers ([`NodeId`],
+//!   [`IdAllocator`]); **no node knows `n` or `f`**;
+//! - synchronous rounds ([`SyncEngine`]): messages sent in round `r` arrive
+//!   in round `r + 1`; broadcasts reach every present node including the
+//!   sender; duplicate `(sender, payload)` pairs within a round are
+//!   discarded; point-to-point sends are only allowed toward nodes the
+//!   sender has heard from;
+//! - a full-information **rushing** Byzantine adversary ([`Adversary`])
+//!   controlling up to `f` nodes, able to equivocate per recipient, stay
+//!   silent toward arbitrary subsets, and lie about received messages —
+//!   but unable to forge the sender id of a direct message;
+//! - dynamic membership ([`ChurnSchedule`]) with adversary-chosen joins and
+//!   leaves, and
+//! - semi-synchronous / asynchronous execution ([`DelayedEngine`],
+//!   [`DelayModel`]) for the paper's impossibility results.
+//!
+//! Protocols implement [`Process`] and are driven by an engine; the
+//! algorithms themselves live in the `uba-core` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use uba_sim::{sparse_ids, testutil::CollectAll, SyncEngine};
+//!
+//! // Three correct nodes broadcast their ids and everyone hears everyone.
+//! let ids = sparse_ids(3, 42);
+//! let mut engine = SyncEngine::builder()
+//!     .correct_many(ids.iter().map(|&id| CollectAll::new(id, 2)))
+//!     .build();
+//! let done = engine.run_to_completion(4)?;
+//! for heard in done.outputs.values() {
+//!     assert_eq!(heard.len(), 3);
+//! }
+//! # Ok::<(), uba_sim::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversary;
+mod churn;
+mod delayed;
+mod engine;
+mod id;
+mod message;
+mod process;
+mod rng;
+mod stats;
+pub mod testutil;
+
+pub use adversary::{Adversary, AdversaryOutbox, AdversaryView, FnAdversary, NoAdversary};
+pub use churn::{ChurnAction, ChurnSchedule};
+pub use delayed::{DelayModel, DelayedEngine, FixedDelay, PartitionDelay, UniformDelay};
+pub use engine::{Completion, EngineBuilder, EngineError, SentRecord, SyncEngine};
+pub use id::{consecutive_ids, sparse_ids, IdAllocator, NodeId};
+pub use message::{Dest, Envelope, Outbox, Outgoing, Payload};
+pub use process::{Context, Process};
+pub use rng::{derive, seeded};
+pub use stats::Stats;

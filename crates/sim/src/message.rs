@@ -1,0 +1,140 @@
+//! Message envelopes and per-round outboxes.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::id::NodeId;
+
+/// Bound for protocol message payloads.
+///
+/// `Eq + Hash` enables the engine's per-round duplicate suppression (the
+/// model states that duplicate messages from the same node within one round
+/// are discarded); `Clone` enables broadcast fan-out.
+///
+/// This trait is blanket-implemented — any suitable type is a payload.
+pub trait Payload: Clone + Eq + Hash + Debug + 'static {}
+
+impl<T: Clone + Eq + Hash + Debug + 'static> Payload for T {}
+
+/// A delivered message together with its authenticated sender.
+///
+/// In the model the identifier of a node is included in every message it
+/// sends and cannot be forged on *direct* communication, so the engine stamps
+/// `from` itself; a Byzantine node can only lie about messages it claims to
+/// have *received* (which is a payload-level claim, not an envelope-level
+/// one).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Envelope<M> {
+    /// Authenticated identifier of the sender.
+    pub from: NodeId,
+    /// The protocol payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// Creates an envelope.
+    pub fn new(from: NodeId, msg: M) -> Self {
+        Envelope { from, msg }
+    }
+}
+
+/// Where an outgoing message is addressed.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Dest {
+    /// Delivered to every node present in the system (including the sender).
+    Broadcast,
+    /// Delivered to one specific node.
+    To(NodeId),
+}
+
+/// One outgoing message: destination plus payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Outgoing<M> {
+    /// Destination of the message.
+    pub dest: Dest,
+    /// The protocol payload.
+    pub msg: M,
+}
+
+/// A node's outgoing messages for the current round.
+///
+/// Filled by [`Process::on_round`](crate::Process::on_round) through
+/// [`Context`](crate::Context); drained by the engine at the end of the
+/// round and delivered at the start of the next one.
+#[derive(Clone, Debug)]
+pub struct Outbox<M> {
+    items: Vec<Outgoing<M>>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox { items: Vec::new() }
+    }
+}
+
+impl<M> Outbox<M> {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a broadcast.
+    pub fn broadcast(&mut self, msg: M) {
+        self.items.push(Outgoing {
+            dest: Dest::Broadcast,
+            msg,
+        });
+    }
+
+    /// Queues a point-to-point message.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.items.push(Outgoing {
+            dest: Dest::To(to),
+            msg,
+        });
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// View of the queued messages.
+    pub fn items(&self) -> &[Outgoing<M>] {
+        &self.items
+    }
+
+    /// Drains the queued messages.
+    pub fn drain(&mut self) -> Vec<Outgoing<M>> {
+        std::mem::take(&mut self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_queues_in_order() {
+        let mut ob = Outbox::new();
+        ob.broadcast("a");
+        ob.send(NodeId::new(1), "b");
+        assert_eq!(ob.len(), 2);
+        let items = ob.drain();
+        assert_eq!(items[0].dest, Dest::Broadcast);
+        assert_eq!(items[1].dest, Dest::To(NodeId::new(1)));
+        assert!(ob.is_empty());
+    }
+
+    #[test]
+    fn envelope_carries_sender() {
+        let env = Envelope::new(NodeId::new(9), 42u32);
+        assert_eq!(env.from, NodeId::new(9));
+        assert_eq!(env.msg, 42);
+    }
+}

@@ -1,0 +1,120 @@
+//! Run statistics: rounds executed and messages transferred.
+//!
+//! The paper's complexity claims are about rounds and messages, so the engine
+//! counts both exactly. A broadcast to `k` present nodes counts as `k`
+//! message deliveries (that is how message complexity is accounted in the
+//! cited literature, e.g. the polynomial message complexity of the king
+//! algorithm), and the number of *send operations* is tracked separately.
+
+/// Statistics collected by an engine over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Rounds fully executed.
+    pub rounds: u64,
+    /// Message deliveries to correct nodes plus faulty nodes (a broadcast to
+    /// `k` present nodes counts `k`).
+    pub deliveries: u64,
+    /// Deliveries originating from correct nodes.
+    pub correct_deliveries: u64,
+    /// Deliveries originating from the adversary.
+    pub adversary_deliveries: u64,
+    /// Send operations performed by correct nodes (a broadcast counts 1).
+    pub correct_sends: u64,
+    /// Send operations performed by the adversary (a broadcast counts 1).
+    pub adversary_sends: u64,
+    /// Deliveries per round, indexed by round - 1. A delivery is attributed
+    /// to the round its message was **sent** in (it physically arrives one
+    /// round later).
+    pub deliveries_by_round: Vec<u64>,
+}
+
+impl Stats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn begin_round(&mut self) {
+        self.rounds += 1;
+        self.deliveries_by_round.push(0);
+    }
+
+    pub(crate) fn record_delivery(&mut self, from_adversary: bool) {
+        self.deliveries += 1;
+        if from_adversary {
+            self.adversary_deliveries += 1;
+        } else {
+            self.correct_deliveries += 1;
+        }
+        if let Some(last) = self.deliveries_by_round.last_mut() {
+            *last += 1;
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, from_adversary: bool) {
+        if from_adversary {
+            self.adversary_sends += 1;
+        } else {
+            self.correct_sends += 1;
+        }
+    }
+
+    /// Mean deliveries per executed round, or 0.0 for an empty run.
+    pub fn mean_deliveries_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.deliveries as f64 / self.rounds as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} sends ({} adversarial), {} deliveries",
+            self.rounds,
+            self.correct_sends + self.adversary_sends,
+            self.adversary_sends,
+            self.deliveries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.begin_round();
+        s.record_send(false);
+        s.record_delivery(false);
+        s.record_delivery(true);
+        s.begin_round();
+        s.record_delivery(false);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.deliveries, 3);
+        assert_eq!(s.correct_deliveries, 2);
+        assert_eq!(s.adversary_deliveries, 1);
+        assert_eq!(s.deliveries_by_round, vec![2, 1]);
+        assert!((s.mean_deliveries_per_round() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_mean_is_zero() {
+        assert_eq!(Stats::new().mean_deliveries_per_round(), 0.0);
+    }
+
+    #[test]
+    fn display_is_compact_and_non_empty() {
+        let mut s = Stats::new();
+        s.begin_round();
+        s.record_send(false);
+        s.record_send(true);
+        s.record_delivery(false);
+        assert_eq!(s.to_string(), "1 rounds, 2 sends (1 adversarial), 1 deliveries");
+    }
+}

@@ -1,0 +1,113 @@
+//! Tiny processes used by tests, doc-examples and engine diagnostics.
+
+use crate::id::NodeId;
+use crate::message::Envelope;
+use crate::process::{Context, Process};
+
+/// A process that never sends and never terminates.
+#[derive(Debug, Clone)]
+pub struct Idle {
+    id: NodeId,
+}
+
+impl Idle {
+    /// Creates an idle process with the given id.
+    pub fn new(id: NodeId) -> Self {
+        Idle { id }
+    }
+}
+
+impl Process for Idle {
+    type Msg = u8;
+    type Output = ();
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_round(&mut self, _ctx: &mut Context<'_, u8>) {}
+
+    fn output(&self) -> Option<()> {
+        None
+    }
+}
+
+/// Broadcasts its raw id once (in its first round), collects every envelope
+/// it receives, and terminates at the configured global round with the
+/// collected envelopes as output.
+#[derive(Debug, Clone)]
+pub struct CollectAll {
+    id: NodeId,
+    end_round: u64,
+    started: bool,
+    heard: Vec<Envelope<u64>>,
+    done: Option<Vec<Envelope<u64>>>,
+}
+
+impl CollectAll {
+    /// Creates a collector that terminates at global round `end_round`.
+    pub fn new(id: NodeId, end_round: u64) -> Self {
+        CollectAll {
+            id,
+            end_round,
+            started: false,
+            heard: Vec::new(),
+            done: None,
+        }
+    }
+}
+
+impl Process for CollectAll {
+    type Msg = u64;
+    type Output = Vec<Envelope<u64>>;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u64>) {
+        if !self.started {
+            ctx.broadcast(self.id.raw());
+            self.started = true;
+        }
+        self.heard.extend(ctx.inbox().iter().cloned());
+        if ctx.round() >= self.end_round {
+            self.done = Some(self.heard.clone());
+        }
+    }
+
+    fn output(&self) -> Option<Vec<Envelope<u64>>> {
+        self.done.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Outbox;
+
+    #[test]
+    fn idle_does_nothing() {
+        let mut p = Idle::new(NodeId::new(1));
+        let inbox = Vec::new();
+        let mut outbox = Outbox::new();
+        p.on_round(&mut Context::new(1, &inbox, &mut outbox));
+        assert!(outbox.is_empty());
+        assert!(p.output().is_none());
+        assert!(!p.terminated());
+    }
+
+    #[test]
+    fn collect_all_broadcasts_once_and_terminates() {
+        let mut p = CollectAll::new(NodeId::new(1), 2);
+        let inbox = Vec::new();
+        let mut outbox = Outbox::new();
+        p.on_round(&mut Context::new(1, &inbox, &mut outbox));
+        assert_eq!(outbox.len(), 1);
+        let inbox = vec![Envelope::new(NodeId::new(2), 7u64)];
+        let mut outbox = Outbox::new();
+        p.on_round(&mut Context::new(2, &inbox, &mut outbox));
+        assert!(outbox.is_empty());
+        assert_eq!(p.output().unwrap().len(), 1);
+    }
+}

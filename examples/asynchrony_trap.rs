@@ -1,0 +1,60 @@
+//! Why synchrony is necessary — the paper's impossibility results, run as
+//! an experiment.
+//!
+//! Without knowing `n` or `f`, a node cannot know how many messages to wait
+//! for; any timeout-style decision rule must eventually decide on whatever
+//! it has seen. This example runs the canonical timeout-based consensus
+//! attempt under the adversarial scheduler from the paper's
+//! indistinguishability proofs: two groups with opposite inputs, fast
+//! delivery inside each group, and a sweep of cross-group delays. The
+//! output shows the predicted sharp threshold — agreement below the
+//! decision horizon, guaranteed disagreement above it — for every patience
+//! parameter, i.e. no timeout tuning can save the protocol.
+//!
+//! Run with: `cargo run --example asynchrony_trap`
+
+use uba::core::lower_bounds::{delay_sweep, partition_run, TimeoutConsensus};
+use uba::sim::sparse_ids;
+
+fn main() -> Result<(), uba::sim::EngineError> {
+    let ids = sparse_ids(8, 2024);
+    let (a, b) = ids.split_at(4);
+
+    println!("== the asynchrony trap ==");
+    println!("group A (input 1): {a:?}");
+    println!("group B (input 0): {b:?}\n");
+
+    for patience in [2u64, 4, 8] {
+        let horizon = TimeoutConsensus::decision_horizon(patience);
+        println!("patience = {patience} (decision horizon = {horizon} ticks)");
+        println!("  cross-delay | outcome");
+        let sweep = delay_sweep(a, b, patience, 1..=horizon + 3);
+        for point in &sweep {
+            println!(
+                "  {:>11} | {}",
+                point.cross_delay,
+                if point.disagreement {
+                    "DISAGREEMENT — each side decided alone"
+                } else {
+                    "agreement"
+                }
+            );
+            assert_eq!(point.disagreement, point.cross_delay > horizon);
+        }
+        println!();
+    }
+
+    // The semi-synchronous argument in one line: whatever patience you
+    // pick, a delay just beyond your horizon defeats it — and you do not
+    // know the delay bound, so you cannot pick a safe patience.
+    let patience = 16;
+    let horizon = TimeoutConsensus::decision_horizon(patience);
+    let outcome = partition_run(a, b, patience, horizon + 1, 10 * horizon)?;
+    println!(
+        "even with patience {patience}: cross-delay {} ⇒ disagreement = {}",
+        horizon + 1,
+        outcome.disagreement
+    );
+    println!("conclusion: with unknown n and f, agreement requires synchrony (paper §Synchrony is Necessary).");
+    Ok(())
+}

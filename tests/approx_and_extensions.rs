@@ -1,0 +1,160 @@
+//! Integration tests: approximate agreement in static and dynamic systems
+//! (paper §8, §11) and the appendix extensions (TRB, renaming).
+
+use uba::adversary::attacks::ApproxExtremist;
+use uba::core::approx::ApproxAgreement;
+use uba::core::harness::{max_faulty, output_range, Setup};
+use uba::core::renaming::Renaming;
+use uba::core::trb::TerminatingBroadcast;
+use uba::sim::{ChurnSchedule, SyncEngine};
+
+#[test]
+fn approx_contracts_under_attack_for_all_shapes() {
+    for n in [4usize, 7, 13, 25] {
+        let f = max_faulty(n);
+        let setup = Setup::new(n - f, f, n as u64);
+        let g = setup.correct.len();
+        let inputs: Vec<f64> = (0..g).map(|i| i as f64).collect();
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                setup
+                    .correct
+                    .iter()
+                    .zip(&inputs)
+                    .map(|(&id, &x)| ApproxAgreement::new(id, x).with_iterations(5)),
+            )
+            .faulty_many(setup.faulty.iter().copied())
+            .adversary(ApproxExtremist::new(1e9))
+            .build();
+        let done = engine.run_to_completion(8).expect("terminates");
+        let (lo, hi) = output_range(&done.outputs);
+        let input_range = (g - 1) as f64;
+        assert!(lo >= 0.0 && hi <= input_range, "within range at n = {n}");
+        assert!(
+            hi - lo <= input_range / 32.0 + 1e-9,
+            "5 iterations contract by 2^5 at n = {n}: {lo}..{hi}"
+        );
+    }
+}
+
+#[test]
+fn epsilon_agreement_planning_holds_under_attack() {
+    // Plan the iteration count from an a-priori input bound, run with
+    // extremist Byzantine nodes, and verify the ε target is met.
+    use uba::core::approx::iterations_for;
+    let bound = 32.0;
+    let eps = 0.25;
+    let k = iterations_for(bound, eps);
+    let setup = Setup::new(7, 2, 99);
+    let inputs = [0.0, 32.0, 5.0, 27.5, 16.0, 8.25, 24.0];
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .zip(inputs)
+                .map(|(&id, x)| ApproxAgreement::new(id, x).with_iterations(k)),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(ApproxExtremist::new(1e9))
+        .build();
+    let done = engine.run_to_completion(k + 3).expect("terminates");
+    let (lo, hi) = output_range(&done.outputs);
+    assert!(hi - lo < eps, "ε-agreement missed: spread {}", hi - lo);
+}
+
+#[test]
+fn approx_in_dynamic_networks_keeps_the_containment_invariant() {
+    // Paper §11: the same algorithm runs under churn; new inputs may widen
+    // the range, but outputs always stay within the union of all correct
+    // values ever present.
+    let ids = uba::sim::sparse_ids(6, 9);
+    let mut churn: ChurnSchedule<ApproxAgreement> = ChurnSchedule::new();
+    // A node with an out-of-range value joins mid-run.
+    churn.join_correct(3, ApproxAgreement::new(ids[5], 100.0).with_iterations(4));
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            ids[..5]
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| ApproxAgreement::new(id, i as f64).with_iterations(6)),
+        )
+        .churn(churn)
+        .build();
+    let done = engine.run_to_completion(12).expect("terminates");
+    let (lo, hi) = output_range(&done.outputs);
+    assert!(lo >= 0.0 && hi <= 100.0, "within the union of inputs");
+}
+
+#[test]
+fn trb_decides_in_of_rounds_and_scales() {
+    for n in [4usize, 10, 19] {
+        let f = max_faulty(n);
+        let setup = Setup::new(n - f, f, 3 * n as u64);
+        let sender = setup.correct[1];
+        let mut engine = SyncEngine::builder()
+            .correct_many(setup.correct.iter().map(|&id| {
+                TerminatingBroadcast::new(id, sender, (id == sender).then_some(n as u64))
+            }))
+            .faulty_many(setup.faulty.iter().copied())
+            .build();
+        let done = engine
+            .run_to_completion(3 + 5 * (f as u64 + 3))
+            .expect("O(f) termination");
+        assert!(done.outputs.values().all(|o| *o == Some(n as u64)));
+    }
+}
+
+#[test]
+fn renaming_is_stable_across_seeds() {
+    for seed in 0..5u64 {
+        let ids = uba::sim::sparse_ids(6, seed);
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().map(|&id| Renaming::new(id)))
+            .build();
+        let done = engine.run_to_completion(30).expect("terminates");
+        // New ids are exactly 1..=6 in identifier order.
+        let mut pairs: Vec<(uba::sim::NodeId, usize)> = done
+            .outputs
+            .iter()
+            .map(|(&id, o)| (id, o.my_rank))
+            .collect();
+        pairs.sort();
+        for (i, (_, rank)) in pairs.iter().enumerate() {
+            assert_eq!(*rank, i + 1, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn renaming_survives_byzantine_id_injection() {
+    use uba::core::renaming::RenameMsg;
+    use uba::sim::{AdversaryOutbox, AdversaryView, FnAdversary, NodeId};
+    let setup = Setup::new(7, 2, 12);
+    let ghost = NodeId::new(123456789);
+    let adv = FnAdversary::new(
+        move |view: &AdversaryView<'_, RenameMsg>, out: &mut AdversaryOutbox<RenameMsg>| {
+            for &b in view.faulty.iter() {
+                match view.round {
+                    1 => out.broadcast(b, RenameMsg::Init),
+                    2..=6 => out.broadcast(b, RenameMsg::Echo(ghost)),
+                    _ => {}
+                }
+            }
+        },
+    );
+    let mut engine = SyncEngine::builder()
+        .correct_many(setup.correct.iter().map(|&id| Renaming::new(id)))
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(adv)
+        .build();
+    let done = engine.run_to_completion(40).expect("terminates");
+    // All correct nodes share one final set (ghost may or may not be in it,
+    // but consistently so), and every correct node got a rank.
+    let sets: std::collections::BTreeSet<_> =
+        done.outputs.values().map(|o| o.ranks.clone()).collect();
+    assert_eq!(sets.len(), 1, "common final S");
+    for o in done.outputs.values() {
+        assert!(o.my_rank >= 1);
+    }
+}

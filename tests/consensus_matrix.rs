@@ -1,0 +1,173 @@
+//! Integration tests: consensus agreement/validity/termination (paper §7)
+//! across node counts, input patterns and the full adversary library.
+
+use std::collections::BTreeSet;
+
+use uba::adversary::attacks::{ConsensusEquivocator, GhostCandidateAdversary};
+use uba::adversary::{
+    CrashAdversary, MirrorAdversary, NoiseAdversary, ReplayAdversary, ScriptedAdversary,
+    SplitMirrorAdversary,
+};
+use uba::core::consensus::{ConsensusMsg, EarlyConsensus, PHASE_ROUNDS};
+use uba::core::harness::{max_faulty, Setup};
+use uba::sim::{Adversary, SyncEngine};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn run<A: Adversary<ConsensusMsg<u64>>>(
+    setup: &Setup,
+    inputs: &[u64],
+    adversary: A,
+) -> (BTreeSet<u64>, std::collections::BTreeMap<uba::sim::NodeId, u64>, u64) {
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .zip(inputs)
+                .map(|(&id, &x)| EarlyConsensus::new(id, x)),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(adversary)
+        .build();
+    let done = engine
+        .run_to_completion(2 + 5 * (setup.n() as u64 + 6))
+        .expect("consensus terminates");
+    let decided: BTreeSet<u64> = done.outputs.values().copied().collect();
+    let last = done.last_decided_round();
+    (decided, done.decided_round, last)
+}
+
+type NamedStrategy = (&'static str, Box<dyn Adversary<ConsensusMsg<u64>>>);
+
+fn strategies(setup: &Setup) -> Vec<NamedStrategy> {
+    vec![
+        ("vanish", Box::new(ScriptedAdversary::announce_then_vanish(ConsensusMsg::RotorInit))),
+        ("mirror", Box::new(MirrorAdversary::new())),
+        ("split-mirror", Box::new(SplitMirrorAdversary::new())),
+        ("equivocate", Box::new(ConsensusEquivocator::new(0u64, 1u64))),
+        (
+            "crash",
+            Box::new(CrashAdversary::new(
+                setup.faulty.iter().map(|&id| EarlyConsensus::new(id, 0u64)),
+                11,
+            )),
+        ),
+        (
+            "ghosts",
+            Box::new(GhostCandidateAdversary::new(setup.f().max(1), 12, 7)),
+        ),
+        ("replay-1", Box::new(ReplayAdversary::new(1))),
+        ("replay-5", Box::new(ReplayAdversary::new(5))),
+        (
+            "noise",
+            Box::new(NoiseAdversary::new(
+                |rng: &mut StdRng, _| match rng.gen_range(0..4) {
+                    0 => ConsensusMsg::Input(rng.gen_range(0..2)),
+                    1 => ConsensusMsg::Prefer(rng.gen_range(0..2)),
+                    2 => ConsensusMsg::StrongPrefer(rng.gen_range(0..2)),
+                    _ => ConsensusMsg::Opinion(rng.gen_range(0..2)),
+                },
+                4,
+                55,
+            )),
+        ),
+    ]
+}
+
+#[test]
+fn agreement_and_validity_against_every_strategy() {
+    for seed in 0..3u64 {
+        let setup = Setup::new(9, 2, seed);
+        let inputs: Vec<u64> = (0..9).map(|i| (i % 2) as u64).collect();
+        for (name, adversary) in strategies(&setup) {
+            let setup = Setup::new(9, 2, seed);
+            let (decided, _, _) = run(&setup, &inputs, adversary);
+            assert_eq!(decided.len(), 1, "agreement vs {name} (seed {seed})");
+            assert!(
+                decided.iter().all(|v| *v < 2),
+                "validity vs {name} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn unanimous_validity_is_strict_against_every_strategy() {
+    // With unanimous correct inputs, the output MUST be that input, no
+    // matter what the adversary pushes.
+    let setup = Setup::new(7, 2, 4);
+    let inputs = vec![1u64; 7];
+    for (name, adversary) in strategies(&setup) {
+        let setup = Setup::new(7, 2, 4);
+        let (decided, _, _) = run(&setup, &inputs, adversary);
+        assert_eq!(
+            decided.into_iter().collect::<Vec<_>>(),
+            vec![1],
+            "strict validity vs {name}"
+        );
+    }
+}
+
+#[test]
+fn decision_rounds_differ_by_at_most_one_phase() {
+    // Lemma earlyConTerminate: once one node terminates, everyone holds the
+    // same opinion and terminates by the end of the next phase.
+    let setup = Setup::new(10, 3, 8);
+    let inputs: Vec<u64> = (0..10).map(|i| (i % 2) as u64).collect();
+    let (_, decided_rounds, _) = run(&setup, &inputs, ConsensusEquivocator::new(0u64, 1u64));
+    let min = decided_rounds.values().min().unwrap();
+    let max = decided_rounds.values().max().unwrap();
+    assert!(
+        max - min <= PHASE_ROUNDS,
+        "termination spread {min}..{max} exceeds one phase"
+    );
+}
+
+#[test]
+fn works_from_one_node_up() {
+    for n in 1..=6usize {
+        let setup = Setup::new(n, 0, n as u64);
+        let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+        let (decided, _, last) = run(&setup, &inputs, uba::sim::NoAdversary);
+        assert_eq!(decided.len(), 1, "n = {n}");
+        assert!(inputs.contains(decided.iter().next().unwrap()));
+        assert!(last >= 7, "at least one phase");
+    }
+}
+
+#[test]
+fn non_binary_values_are_supported() {
+    // The paper's Algorithm 3 takes real-valued inputs; we agree on strings.
+    use uba::sim::sparse_ids;
+    let ids = sparse_ids(5, 3);
+    let options = ["release", "rollback", "release", "rollback", "release"];
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            ids.iter()
+                .zip(options)
+                .map(|(&id, s)| EarlyConsensus::new(id, s.to_string())),
+        )
+        .build();
+    let done = engine.run_to_completion(60).expect("terminates");
+    let decided: BTreeSet<String> = done.outputs.into_values().collect();
+    assert_eq!(decided.len(), 1);
+    assert!(["release", "rollback"].contains(&decided.iter().next().unwrap().as_str()));
+}
+
+#[test]
+fn rounds_scale_with_f_not_n() {
+    // Unanimous fast path: one phase regardless of n.
+    for n in [4usize, 16, 48] {
+        let f = max_faulty(n);
+        let setup = Setup::new(n - f, f, 6);
+        let inputs = vec![3u64; setup.correct.len()];
+        let (_, _, last) = run(
+            &setup,
+            &inputs,
+            ScriptedAdversary::announce_then_vanish(ConsensusMsg::RotorInit),
+        );
+        assert_eq!(last, 7, "unanimous inputs decide in one phase at n = {n}");
+    }
+}

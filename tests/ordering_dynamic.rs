@@ -1,0 +1,159 @@
+//! Integration tests: total ordering in dynamic networks (paper §11) —
+//! chain-prefix and chain-growth under churn and Byzantine membership
+//! flapping.
+
+use std::collections::BTreeSet;
+
+use uba::core::harness::mutual_prefix;
+use uba::core::ordering::{Chain, OrderMsg, TotalOrdering};
+use uba::sim::{
+    AdversaryOutbox, AdversaryView, ChurnSchedule, FnAdversary, NodeId, SyncEngine,
+};
+
+/// Overlap-consistency for chains that may start at different waves (late
+/// joiners report suffixes).
+fn assert_overlap_consistent(chains: &[Chain<u64>]) {
+    for i in 0..chains.len() {
+        for j in i + 1..chains.len() {
+            let (a, b) = (&chains[i], &chains[j]);
+            let (Some(a0), Some(b0)) = (a.first(), b.first()) else {
+                continue;
+            };
+            let lo = a0.wave.max(b0.wave);
+            let a_win: Vec<_> = a.iter().filter(|e| e.wave >= lo).collect();
+            let b_win: Vec<_> = b.iter().filter(|e| e.wave >= lo).collect();
+            assert!(
+                mutual_prefix(&a_win, &b_win),
+                "chains {i} and {j} disagree on their overlap"
+            );
+        }
+    }
+}
+
+#[test]
+fn heavy_churn_keeps_chains_consistent() {
+    let ids = uba::sim::sparse_ids(8, 404);
+    let founders = &ids[..4];
+    let horizon = 100;
+    let mut churn: ChurnSchedule<TotalOrdering<u64>> = ChurnSchedule::new();
+    // Four joiners arriving in pairs (simultaneous joins exercise the
+    // joiner-sees-joiner rule).
+    for (k, &joiner) in ids[4..8].iter().enumerate() {
+        let round = 6 + 2 * (k as u64 / 2);
+        churn.join_correct(
+            round,
+            TotalOrdering::joining(joiner)
+                .with_events((25..35).map(move |r| (r, 10_000 + 100 * k as u64 + r)))
+                .with_horizon(horizon),
+        );
+    }
+    let mut engine = SyncEngine::builder()
+        .correct_many(founders.iter().enumerate().map(|(i, &id)| {
+            let node = TotalOrdering::genesis(id)
+                .with_events((2..50).map(move |r| (r, 100 * i as u64 + r)));
+            if i == 3 {
+                node.with_leave_at(40)
+            } else {
+                node.with_horizon(horizon)
+            }
+        }))
+        .churn(churn)
+        .build();
+    let done = engine.run_to_completion(horizon + 5).expect("completes");
+    let chains: Vec<Chain<u64>> = done.outputs.values().cloned().collect();
+    assert_overlap_consistent(&chains);
+    // Every founder that stayed must have ordered joiner events.
+    let founder_chain = &done.outputs[&founders[0]];
+    assert!(
+        founder_chain.iter().any(|e| e.value >= 10_000),
+        "joiner events ordered"
+    );
+    assert!(founder_chain.len() > 40, "substantial chain growth");
+}
+
+#[test]
+fn byzantine_membership_flapping_does_not_break_chains() {
+    // A Byzantine node flaps present/absent every few rounds and spams
+    // events with wrong round tags.
+    let ids = uba::sim::sparse_ids(5, 71);
+    let byz = NodeId::new(999_999);
+    let horizon = 60;
+    let adv = FnAdversary::new(
+        move |view: &AdversaryView<'_, OrderMsg<u64>>, out: &mut AdversaryOutbox<OrderMsg<u64>>| {
+            for &b in view.faulty.iter() {
+                match view.round % 6 {
+                    0 => out.broadcast(b, OrderMsg::Present),
+                    3 => out.broadcast(b, OrderMsg::Absent),
+                    r => {
+                        out.broadcast(b, OrderMsg::Event(666, view.round.wrapping_sub(r)));
+                    }
+                }
+            }
+        },
+    );
+    let mut engine = SyncEngine::builder()
+        .correct_many(ids.iter().enumerate().map(|(i, &id)| {
+            TotalOrdering::genesis(id)
+                .with_events((2..30).map(move |r| (r, 10 * i as u64 + r)))
+                .with_horizon(horizon)
+        }))
+        .faulty(byz)
+        .adversary(adv)
+        .build();
+    let done = engine.run_to_completion(horizon + 5).expect("completes");
+    let chains: Vec<Chain<u64>> = done.outputs.values().cloned().collect();
+    assert_overlap_consistent(&chains);
+    assert!(chains[0].len() >= 20, "growth despite flapping");
+}
+
+#[test]
+fn events_from_equivocating_origins_are_agreed_or_dropped() {
+    // The Byzantine origin reports DIFFERENT events to different nodes in
+    // the same round; the per-wave parallel consensus must converge on one
+    // value (or drop the event), identically everywhere.
+    let ids = uba::sim::sparse_ids(7, 17);
+    let byz = NodeId::new(5);
+    let horizon = 55;
+    let adv = FnAdversary::new(
+        move |view: &AdversaryView<'_, OrderMsg<u64>>, out: &mut AdversaryOutbox<OrderMsg<u64>>| {
+            for &b in view.faulty.iter() {
+                if view.round == 1 {
+                    out.broadcast(b, OrderMsg::Present);
+                }
+                if view.round >= 4 && view.round <= 10 {
+                    for (i, &to) in view.correct.iter().enumerate() {
+                        out.send(b, to, OrderMsg::Event(7000 + i as u64, view.round));
+                    }
+                }
+            }
+        },
+    );
+    let mut engine = SyncEngine::builder()
+        .correct_many(ids.iter().enumerate().map(|(i, &id)| {
+            TotalOrdering::genesis(id)
+                .with_events([(4, i as u64)])
+                .with_horizon(horizon)
+        }))
+        .faulty(byz)
+        .adversary(adv)
+        .build();
+    let done = engine.run_to_completion(horizon + 5).expect("completes");
+    let distinct: BTreeSet<Chain<u64>> = done.outputs.into_values().collect();
+    assert_eq!(distinct.len(), 1, "identical chains despite equivocation");
+}
+
+#[test]
+fn empty_system_rounds_are_cheap_and_consistent() {
+    // No events at all: chains stay empty, nothing panics, waves terminate.
+    let ids = uba::sim::sparse_ids(4, 5);
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            ids.iter()
+                .map(|&id| TotalOrdering::<u64>::genesis(id).with_horizon(30)),
+        )
+        .build();
+    let done = engine.run_to_completion(35).expect("completes");
+    for chain in done.outputs.values() {
+        assert!(chain.is_empty());
+    }
+}

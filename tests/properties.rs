@@ -1,0 +1,156 @@
+//! Property-based tests: randomized populations, inputs, seeds and
+//! adversary strategies; the paper's invariants must hold on every sample.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use uba::adversary::attacks::{ApproxExtremist, ConsensusEquivocator};
+use uba::adversary::{MirrorAdversary, NoiseAdversary, ScriptedAdversary, SplitMirrorAdversary};
+use uba::core::approx::ApproxAgreement;
+use uba::core::consensus::{ConsensusMsg, EarlyConsensus};
+use uba::core::harness::{output_range, Setup};
+use uba::core::reliable::{RbMsg, ReliableBroadcast};
+use uba::sim::{Adversary, SyncEngine};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn consensus_adversary(kind: u8) -> Box<dyn Adversary<ConsensusMsg<u64>>> {
+    match kind % 5 {
+        0 => Box::new(uba::sim::NoAdversary),
+        1 => Box::new(ScriptedAdversary::announce_then_vanish(
+            ConsensusMsg::RotorInit,
+        )),
+        2 => Box::new(MirrorAdversary::new()),
+        3 => Box::new(SplitMirrorAdversary::new()),
+        _ => Box::new(ConsensusEquivocator::new(0u64, 1u64)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Agreement + validity + termination for any resilient population,
+    /// any binary input vector, any strategy.
+    #[test]
+    fn consensus_invariants(
+        f in 0usize..3,
+        extra in 0usize..4,
+        seed in 0u64..1_000_000,
+        kind in 0u8..5,
+        input_bits in 0u16..u16::MAX,
+    ) {
+        let g = 3 * f + 1 + extra;
+        let setup = Setup::new(g, f, seed);
+        let inputs: Vec<u64> = (0..g).map(|i| ((input_bits >> (i % 16)) & 1) as u64).collect();
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                setup.correct.iter().zip(&inputs).map(|(&id, &x)| EarlyConsensus::new(id, x)),
+            )
+            .faulty_many(setup.faulty.iter().copied())
+            .adversary(consensus_adversary(kind))
+            .build();
+        let done = engine
+            .run_to_completion(2 + 5 * (setup.n() as u64 + 6))
+            .expect("termination");
+        let decided: BTreeSet<u64> = done.outputs.values().copied().collect();
+        prop_assert_eq!(decided.len(), 1, "agreement");
+        prop_assert!(inputs.contains(decided.iter().next().unwrap()), "validity");
+    }
+
+    /// Approximate agreement: containment and per-iteration halving for any
+    /// resilient population and any inputs, with extremist Byzantine nodes.
+    #[test]
+    fn approx_invariants(
+        f in 0usize..3,
+        extra in 0usize..4,
+        seed in 0u64..1_000_000,
+        raw_inputs in proptest::collection::vec(-1_000.0f64..1_000.0, 13),
+        iterations in 1u64..5,
+    ) {
+        let g = 3 * f + 1 + extra;
+        let setup = Setup::new(g, f, seed);
+        let inputs = &raw_inputs[..g];
+        let i_lo = inputs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let i_hi = inputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                setup.correct.iter().zip(inputs).map(|(&id, &x)| {
+                    ApproxAgreement::new(id, x).with_iterations(iterations)
+                }),
+            )
+            .faulty_many(setup.faulty.iter().copied())
+            .adversary(ApproxExtremist::new(1e9))
+            .build();
+        let done = engine.run_to_completion(iterations + 3).expect("termination");
+        let (o_lo, o_hi) = output_range(&done.outputs);
+        prop_assert!(o_lo >= i_lo - 1e-9 && o_hi <= i_hi + 1e-9, "containment");
+        let bound = (i_hi - i_lo) / 2f64.powi(iterations as i32) + 1e-9;
+        prop_assert!(o_hi - o_lo <= bound, "contraction: {} > {}", o_hi - o_lo, bound);
+    }
+
+    /// Reliable broadcast: correctness in round 3 and ≤ 1 relay gap with
+    /// randomized Byzantine echo noise.
+    #[test]
+    fn reliable_broadcast_invariants(
+        f in 0usize..3,
+        extra in 0usize..4,
+        seed in 0u64..1_000_000,
+        noise_rate in 0usize..4,
+    ) {
+        let g = 3 * f + 1 + extra;
+        let setup = Setup::new(g, f, seed);
+        let sender = setup.correct[0];
+        let noise = NoiseAdversary::new(
+            move |rng: &mut StdRng, _| {
+                if rng.gen_bool(0.5) {
+                    RbMsg::Echo(rng.gen_range(0u8..3))
+                } else {
+                    RbMsg::Payload(rng.gen_range(0u8..3))
+                }
+            },
+            noise_rate,
+            seed,
+        );
+        let mut engine = SyncEngine::builder()
+            .correct_many(setup.correct.iter().map(|&id| {
+                ReliableBroadcast::new(id, sender, (id == sender).then_some(0u8)).with_horizon(8)
+            }))
+            .faulty_many(setup.faulty.iter().copied())
+            .adversary(noise)
+            .build();
+        let done = engine.run_to_completion(10).expect("horizon");
+        for accepted in done.outputs.values() {
+            prop_assert_eq!(accepted.get(&0).copied(), Some(3), "round-3 acceptance");
+        }
+    }
+
+    /// Determinism: identical seeds reproduce identical outcomes, including
+    /// adversary behaviour — the property every experiment relies on.
+    #[test]
+    fn runs_are_deterministic(seed in 0u64..1_000_000) {
+        let run = || {
+            let setup = Setup::new(7, 2, seed);
+            let mut engine = SyncEngine::builder()
+                .correct_many(
+                    setup.correct.iter().enumerate().map(|(i, &id)| {
+                        EarlyConsensus::new(id, (i % 2) as u64)
+                    }),
+                )
+                .faulty_many(setup.faulty.iter().copied())
+                .adversary(NoiseAdversary::new(
+                    |rng: &mut StdRng, _| ConsensusMsg::Input(rng.gen_range(0..2)),
+                    2,
+                    seed,
+                ))
+                .build();
+            let done = engine.run_to_completion(150).expect("termination");
+            (done.outputs, done.decided_round, done.stats)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+}

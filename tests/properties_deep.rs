@@ -1,0 +1,203 @@
+//! Property-based tests for the intricate protocols: parallel consensus
+//! (random awareness patterns and injection rounds), total ordering (random
+//! churn and event schedules), and the rotor-coordinator (random noise).
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+use uba::core::harness::Setup;
+use uba::core::ordering::{Chain, OrderMsg, TotalOrdering};
+use uba::core::parallel::{ParMsg, ParallelConsensus};
+use uba::core::rotor::{RotorCoordinator, RotorMsg};
+use uba::core::spec;
+use uba::sim::{
+    AdversaryOutbox, AdversaryView, ChurnSchedule, FnAdversary, NodeId, SyncEngine,
+};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Parallel consensus: random per-node awareness of up to 4 instances,
+    /// random fake-injection round. Agreement on the whole output set,
+    /// validity for unanimously-known pairs, no fake output.
+    #[test]
+    fn parallel_consensus_with_random_awareness(
+        awareness in proptest::collection::vec(0u8..16, 7),
+        inject_round in 3u64..12,
+        seed in 0u64..100_000,
+    ) {
+        let setup = Setup::new(7, 2, seed);
+        let node_inputs: Vec<Vec<(u8, u64)>> = awareness
+            .iter()
+            .map(|mask| {
+                (0..4u8)
+                    .filter(|k| mask & (1 << k) != 0)
+                    .map(|k| (k, 100 + k as u64))
+                    .collect()
+            })
+            .collect();
+        // Instances known to every node (validity applies to these).
+        let unanimous: BTreeSet<u8> = (0..4u8)
+            .filter(|k| awareness.iter().all(|m| m & (1 << k) != 0))
+            .collect();
+        let faulty = setup.faulty.clone();
+        let adv = FnAdversary::new(
+            move |view: &AdversaryView<'_, ParMsg<u8, u64>>,
+                  out: &mut AdversaryOutbox<ParMsg<u8, u64>>| {
+                if view.round == 1 {
+                    for &b in &faulty {
+                        out.broadcast(b, ParMsg::RotorInit);
+                    }
+                }
+                if view.round == inject_round {
+                    for &b in &faulty {
+                        for (i, &to) in view.correct.iter().enumerate() {
+                            out.send(b, to, ParMsg::Input(99, i as u64));
+                            out.send(b, to, ParMsg::StrongPrefer(99, Some(i as u64)));
+                        }
+                    }
+                }
+            },
+        );
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                setup
+                    .correct
+                    .iter()
+                    .zip(node_inputs)
+                    .map(|(&id, inputs)| ParallelConsensus::new(id, inputs)),
+            )
+            .faulty_many(setup.faulty.iter().copied())
+            .adversary(adv)
+            .build();
+        let done = engine
+            .run_to_completion(2 + 5 * (setup.n() as u64 + 6))
+            .expect("termination");
+        let distinct: BTreeSet<_> = done.outputs.values().cloned().collect();
+        prop_assert_eq!(distinct.len(), 1, "agreement on output sets");
+        let out = done.outputs.values().next().unwrap();
+        for k in unanimous {
+            prop_assert_eq!(out.get(&k), Some(&(100 + k as u64)), "validity");
+        }
+        prop_assert!(!out.contains_key(&99), "fake instance output");
+    }
+
+    /// Total ordering: random join rounds, leave round and event schedule.
+    /// Overlap-consistency and per-node growth hold at the horizon.
+    #[test]
+    fn ordering_with_random_churn(
+        join_a in 4u64..10,
+        join_b in 4u64..10,
+        leave_round in 15u64..25,
+        event_mask in 0u32..u32::MAX,
+        seed in 0u64..100_000,
+    ) {
+        let ids = uba::sim::sparse_ids(6, seed);
+        let horizon = 70;
+        let mut churn: ChurnSchedule<TotalOrdering<u64>> = ChurnSchedule::new();
+        for (k, (&joiner, round)) in ids[4..6].iter().zip([join_a, join_b]).enumerate() {
+            churn.join_correct(
+                round,
+                TotalOrdering::joining(joiner)
+                    .with_events((12..30).filter(|r| event_mask >> (r % 30) & 1 == 1).map(move |r| (r, 1000 * k as u64 + r)))
+                    .with_horizon(horizon),
+            );
+        }
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids[..4].iter().enumerate().map(|(i, &id)| {
+                let node = TotalOrdering::genesis(id)
+                    .with_events((2..30).filter(|r| event_mask >> ((r + i as u64) % 30) & 1 == 1).map(move |r| (r, 100 * i as u64 + r)));
+                if i == 0 {
+                    node.with_leave_at(leave_round)
+                } else {
+                    node.with_horizon(horizon)
+                }
+            }))
+            .churn(churn)
+            .build();
+        let done = engine.run_to_completion(horizon + 5).expect("completes");
+        let chains: BTreeMap<NodeId, Chain<u64>> = done.outputs;
+        spec::chain_prefix(&chains).assert_holds();
+    }
+
+    /// Rotor-coordinator: under random rotor-message noise, termination is
+    /// linear and a good round exists.
+    #[test]
+    fn rotor_under_random_noise(per_round in 0usize..5, seed in 0u64..100_000) {
+        let setup = Setup::new(7, 2, seed);
+        let correct_ids = setup.correct.clone();
+        let noise = uba::adversary::NoiseAdversary::new(
+            move |rng: &mut StdRng, _round| match rng.gen_range(0..3) {
+                0 => RotorMsg::Init,
+                1 => {
+                    let i = rng.gen_range(0..correct_ids.len());
+                    RotorMsg::Echo(correct_ids[i])
+                }
+                _ => RotorMsg::Opinion(rng.gen_range(0..5u64)),
+            },
+            per_round,
+            seed,
+        );
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                setup
+                    .correct
+                    .iter()
+                    .map(|&id| RotorCoordinator::new(id, id.raw())),
+            )
+            .faulty_many(setup.faulty.iter().copied())
+            .adversary(noise)
+            .build();
+        let done = engine
+            .run_to_completion(3 + 2 * setup.n() as u64 + 8)
+            .expect("linear termination");
+        let correct: BTreeSet<NodeId> = setup.correct.iter().copied().collect();
+        let all: Vec<_> = done.outputs.values().collect();
+        let good = all[0].selections.iter().any(|&(round, p)| {
+            correct.contains(&p)
+                && all
+                    .iter()
+                    .all(|o| o.selections.iter().any(|&(r, q)| r == round && q == p))
+        });
+        prop_assert!(good, "no good round under noise");
+    }
+
+    /// Byzantine membership flapping in total ordering never breaks chain
+    /// consistency, for random flap periods.
+    #[test]
+    fn ordering_with_random_flapping(period in 2u64..8, seed in 0u64..100_000) {
+        let ids = uba::sim::sparse_ids(5, seed);
+        let byz = NodeId::new(u64::MAX - seed);
+        let horizon = 45;
+        let adv = FnAdversary::new(
+            move |view: &AdversaryView<'_, OrderMsg<u64>>, out: &mut AdversaryOutbox<OrderMsg<u64>>| {
+                for &b in view.faulty.iter() {
+                    if view.round.is_multiple_of(period) {
+                        out.broadcast(b, OrderMsg::Present);
+                    } else if view.round % period == 1 {
+                        out.broadcast(b, OrderMsg::Absent);
+                    } else {
+                        out.broadcast(b, OrderMsg::Event(666, view.round - 1));
+                    }
+                }
+            },
+        );
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().enumerate().map(|(i, &id)| {
+                TotalOrdering::genesis(id)
+                    .with_events((2..20).map(move |r| (r, 10 * i as u64 + r)))
+                    .with_horizon(horizon)
+            }))
+            .faulty(byz)
+            .adversary(adv)
+            .build();
+        let done = engine.run_to_completion(horizon + 5).expect("completes");
+        let chains: BTreeMap<NodeId, Chain<u64>> = done.outputs;
+        spec::chain_prefix(&chains).assert_holds();
+        let distinct: BTreeSet<&Chain<u64>> = chains.values().collect();
+        prop_assert_eq!(distinct.len(), 1, "identical chains for same-time nodes");
+    }
+}

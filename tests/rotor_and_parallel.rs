@@ -1,0 +1,160 @@
+//! Integration tests: rotor-coordinator good rounds (paper §6) and parallel
+//! consensus instance semantics (paper §10) under attack.
+
+use std::collections::BTreeSet;
+
+use uba::adversary::attacks::{GhostCandidateAdversary, RotorSplitAdversary};
+use uba::core::harness::{max_faulty, Setup};
+use uba::core::parallel::{ParMsg, ParallelConsensus};
+use uba::core::rotor::RotorCoordinator;
+use uba::sim::{AdversaryOutbox, AdversaryView, FnAdversary, NodeId, SyncEngine};
+
+#[test]
+fn rotor_selection_sequences_are_near_identical() {
+    // Candidate sets may diverge for at most one round (Lemma rc-relay);
+    // selection sequences of correct nodes can therefore differ only while
+    // an addition is in flight. We check full-run agreement of selections
+    // per round index where all nodes have a selection.
+    let setup = Setup::new(7, 2, 3);
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .map(|&id| RotorCoordinator::new(id, id.raw())),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(RotorSplitAdversary::new())
+        .build();
+    let done = engine
+        .run_to_completion(3 + 2 * setup.n() as u64 + 8)
+        .expect("terminates");
+    let correct: BTreeSet<NodeId> = setup.correct.iter().copied().collect();
+    // Good round: same correct coordinator selected by everyone in some round.
+    let all: Vec<_> = done.outputs.values().collect();
+    let good = all[0].selections.iter().any(|&(round, p)| {
+        correct.contains(&p)
+            && all
+                .iter()
+                .all(|o| o.selections.iter().any(|&(r, q)| r == round && q == p))
+    });
+    assert!(good, "no good round");
+}
+
+#[test]
+fn rotor_tolerates_ghost_candidates_and_stays_linear() {
+    for n in [4usize, 10, 19] {
+        let f = max_faulty(n);
+        let setup = Setup::new(n - f, f, n as u64);
+        let ghosts = 2 * f + 1;
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                setup
+                    .correct
+                    .iter()
+                    .map(|&id| RotorCoordinator::new(id, id.raw())),
+            )
+            .faulty_many(setup.faulty.iter().copied())
+            .adversary(GhostCandidateAdversary::new(ghosts, 10, 1))
+            .build();
+        // Candidates ≤ n + ghosts, termination ≤ 3 + (candidates + 1).
+        let budget = 3 + (n as u64 + ghosts as u64 + 1) + 5;
+        let done = engine.run_to_completion(budget).expect("linear termination");
+        assert!(done.last_decided_round() <= budget);
+    }
+}
+
+#[test]
+fn parallel_consensus_agreement_under_equivocated_instance_values() {
+    // The adversary seeds the SAME instance id with different values at
+    // different correct nodes via targeted sends in the input window.
+    type M = ParMsg<&'static str, u64>;
+    let setup = Setup::new(7, 2, 13);
+    let faulty = setup.faulty.clone();
+    let adv = FnAdversary::new(move |view: &AdversaryView<'_, M>, out: &mut AdversaryOutbox<M>| {
+        match view.round {
+            1 => {
+                for &b in &faulty {
+                    out.broadcast(b, ParMsg::RotorInit);
+                }
+            }
+            3 => {
+                for &b in &faulty {
+                    for (i, &to) in view.correct.iter().enumerate() {
+                        out.send(b, to, ParMsg::Input("poison", i as u64));
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .map(|&id| ParallelConsensus::new(id, [("real", 1u64)])),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(adv)
+        .build();
+    let done = engine
+        .run_to_completion(2 + 5 * (setup.n() as u64 + 4))
+        .expect("terminates");
+    let distinct: BTreeSet<_> = done.outputs.values().cloned().collect();
+    assert_eq!(distinct.len(), 1, "agreement on the full output set");
+    let out = distinct.into_iter().next().unwrap();
+    assert_eq!(out.get("real"), Some(&1), "validity for the real instance");
+    // The poisoned instance may be decided or dropped, but never with
+    // different values at different nodes (checked by set equality above).
+}
+
+#[test]
+fn parallel_consensus_scales_to_many_instances() {
+    let setup = Setup::new(6, 1, 21);
+    let instances: Vec<(u64, u64)> = (0..40u64).map(|i| (i, i * 3)).collect();
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .map(|&id| ParallelConsensus::new(id, instances.clone())),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .build();
+    let done = engine
+        .run_to_completion(2 + 5 * (setup.n() as u64 + 4))
+        .expect("terminates");
+    for out in done.outputs.values() {
+        assert_eq!(out.len(), 40, "all unanimous instances decided");
+        for (id, v) in out {
+            assert_eq!(*v, id * 3);
+        }
+    }
+}
+
+#[test]
+fn unaware_nodes_join_via_every_window_and_stay_consistent() {
+    // Instances known to exactly one correct node force the others through
+    // the join-on-input / join-on-prefer paths; outputs must still agree.
+    let setup = Setup::new(8, 2, 31);
+    let g = setup.correct.len();
+    let mut engine = SyncEngine::builder()
+        .correct_many(setup.correct.iter().enumerate().map(|(i, &id)| {
+            let mut inputs: Vec<(u64, u64)> = vec![(1000, 5)]; // common instance
+            inputs.push((i as u64, 100 + i as u64)); // private instance per node
+            if i >= g / 2 {
+                inputs.push((2000, 9)); // instance known to half
+            }
+            ParallelConsensus::new(id, inputs)
+        }))
+        .faulty_many(setup.faulty.iter().copied())
+        .build();
+    let done = engine
+        .run_to_completion(2 + 5 * (setup.n() as u64 + 6))
+        .expect("terminates");
+    let distinct: BTreeSet<_> = done.outputs.values().cloned().collect();
+    assert_eq!(distinct.len(), 1, "identical output sets");
+    let out = distinct.into_iter().next().unwrap();
+    assert_eq!(out.get(&1000), Some(&5), "unanimous instance kept");
+}
