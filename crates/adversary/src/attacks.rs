@@ -33,7 +33,11 @@ impl RotorSplitAdversary {
 }
 
 impl<V: Value> Adversary<RotorMsg<V>> for RotorSplitAdversary {
-    fn act(&mut self, view: &AdversaryView<'_, RotorMsg<V>>, out: &mut AdversaryOutbox<RotorMsg<V>>) {
+    fn act(
+        &mut self,
+        view: &AdversaryView<'_, RotorMsg<V>>,
+        out: &mut AdversaryOutbox<RotorMsg<V>>,
+    ) {
         let correct: Vec<NodeId> = view.correct.iter().copied().collect();
         let half = correct.len() / 2 + 1;
         match view.round {
@@ -81,7 +85,10 @@ impl GhostCandidateAdversary {
         let ghosts = (0..count)
             .map(|_| NodeId::new(rand::Rng::gen(&mut rng)))
             .collect();
-        GhostCandidateAdversary { ghosts, until_round }
+        GhostCandidateAdversary {
+            ghosts,
+            until_round,
+        }
     }
 
     /// The ghost identifiers used by the attack.
@@ -107,7 +114,11 @@ impl GhostCandidateAdversary {
 }
 
 impl<V: Value> Adversary<RotorMsg<V>> for GhostCandidateAdversary {
-    fn act(&mut self, view: &AdversaryView<'_, RotorMsg<V>>, out: &mut AdversaryOutbox<RotorMsg<V>>) {
+    fn act(
+        &mut self,
+        view: &AdversaryView<'_, RotorMsg<V>>,
+        out: &mut AdversaryOutbox<RotorMsg<V>>,
+    ) {
         if view.round == 1 {
             for &b in view.faulty.iter() {
                 out.broadcast(b, RotorMsg::Init);
@@ -162,7 +173,11 @@ impl<V: Value> ConsensusEquivocator<V> {
         let half = correct.len() / 2;
         for &byz in view.faulty.iter() {
             for (i, &to) in correct.iter().enumerate() {
-                let v = if i < half { self.a.clone() } else { self.b.clone() };
+                let v = if i < half {
+                    self.a.clone()
+                } else {
+                    self.b.clone()
+                };
                 out.send(byz, to, make(v));
             }
         }
@@ -264,7 +279,11 @@ impl<V: Value> ByzantineCoordinator<V> {
 }
 
 impl<V: Value> Adversary<RotorMsg<V>> for ByzantineCoordinator<V> {
-    fn act(&mut self, view: &AdversaryView<'_, RotorMsg<V>>, out: &mut AdversaryOutbox<RotorMsg<V>>) {
+    fn act(
+        &mut self,
+        view: &AdversaryView<'_, RotorMsg<V>>,
+        out: &mut AdversaryOutbox<RotorMsg<V>>,
+    ) {
         if view.round == 1 {
             for &b in view.faulty.iter() {
                 out.broadcast(b, RotorMsg::Init);
@@ -275,7 +294,11 @@ impl<V: Value> Adversary<RotorMsg<V>> for ByzantineCoordinator<V> {
         let half = correct.len() / 2;
         for &byz in view.faulty.iter() {
             for (i, &to) in correct.iter().enumerate() {
-                let opinion = if i < half { self.a.clone() } else { self.b.clone() };
+                let opinion = if i < half {
+                    self.a.clone()
+                } else {
+                    self.b.clone()
+                };
                 out.send(byz, to, RotorMsg::Opinion(opinion));
             }
         }
@@ -309,11 +332,8 @@ mod tests {
             .expect("rotor terminates in O(n) rounds under attack");
         // Every correct node must have witnessed a good round: a round in
         // which all correct nodes selected the same correct coordinator.
-        let selections: Vec<&Vec<(u64, NodeId)>> = done
-            .outputs
-            .values()
-            .map(|o| &o.selections)
-            .collect();
+        let selections: Vec<&Vec<(u64, NodeId)>> =
+            done.outputs.values().map(|o| &o.selections).collect();
         let correct_set: BTreeSet<NodeId> = setup.correct.iter().copied().collect();
         let min_len = selections.iter().map(|s| s.len()).min().unwrap();
         let good_round_exists = (0..min_len).any(|i| {
@@ -387,7 +407,10 @@ mod tests {
         let done = engine.run_to_completion(8).expect("terminates");
         let (lo, hi) = output_range(&done.outputs);
         assert!(lo >= 0.0 && hi <= 6.0, "outputs inside the correct range");
-        assert!(hi - lo <= 6.0 / 16.0 + 1e-9, "still contracts per iteration");
+        assert!(
+            hi - lo <= 6.0 / 16.0 + 1e-9,
+            "still contracts per iteration"
+        );
     }
 
     #[test]
@@ -432,10 +455,7 @@ mod tests {
                         .map(|&(_, _, v)| v)
                 })
                 .collect();
-            assert!(
-                opinions.len() <= 1,
-                "correct coordinator {p} equivocated?!"
-            );
+            assert!(opinions.len() <= 1, "correct coordinator {p} equivocated?!");
         }
     }
 

@@ -258,7 +258,11 @@ impl<M: Payload> Adversary<M> for ReplayAdversary<M> {
             .map(|(_, o)| o.msg.clone())
             .collect();
         self.history.insert(view.round, recorded);
-        if let Some(stale) = view.round.checked_sub(self.lag).and_then(|r| self.history.remove(&r)) {
+        if let Some(stale) = view
+            .round
+            .checked_sub(self.lag)
+            .and_then(|r| self.history.remove(&r))
+        {
             for &b in view.faulty.iter() {
                 for msg in &stale {
                     out.broadcast(b, msg.clone());
@@ -379,10 +383,7 @@ mod tests {
     fn consensus_survives_crashes() {
         let setup = Setup::new(7, 2, 3);
         let crash = CrashAdversary::new(
-            setup
-                .faulty
-                .iter()
-                .map(|&id| EarlyConsensus::new(id, 1u64)),
+            setup.faulty.iter().map(|&id| EarlyConsensus::new(id, 1u64)),
             9,
         );
         let v = consensus_under(&setup, crash, 200);

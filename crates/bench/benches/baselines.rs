@@ -2,11 +2,11 @@
 //! classic known-(n, f) baselines on identical workloads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_core::approx::ApproxAgreement;
 use uba_core::baselines::{KnownApprox, PhaseKing, StBroadcast};
 use uba_core::consensus::{king::KingConsensus, EarlyConsensus};
 use uba_core::harness::{max_faulty, Setup};
 use uba_core::reliable::ReliableBroadcast;
-use uba_core::approx::ApproxAgreement;
 use uba_sim::SyncEngine;
 
 fn bench_broadcast(c: &mut Criterion) {
@@ -47,9 +47,13 @@ fn bench_approx(c: &mut Criterion) {
     group.bench_function("unknown_nf", |b| {
         b.iter(|| {
             let mut engine = SyncEngine::builder()
-                .correct_many(setup.correct.iter().enumerate().map(|(i, &id)| {
-                    ApproxAgreement::new(id, i as f64).with_iterations(4)
-                }))
+                .correct_many(
+                    setup
+                        .correct
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &id)| ApproxAgreement::new(id, i as f64).with_iterations(4)),
+                )
                 .build();
             engine.run_to_completion(7).expect("completes");
         })
@@ -57,9 +61,13 @@ fn bench_approx(c: &mut Criterion) {
     group.bench_function("dolev_known_f", |b| {
         b.iter(|| {
             let mut engine = SyncEngine::builder()
-                .correct_many(setup.correct.iter().enumerate().map(|(i, &id)| {
-                    KnownApprox::new(id, i as f64, f).with_iterations(4)
-                }))
+                .correct_many(
+                    setup
+                        .correct
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &id)| KnownApprox::new(id, i as f64, f).with_iterations(4)),
+                )
                 .build();
             engine.run_to_completion(7).expect("completes");
         })
@@ -76,9 +84,13 @@ fn bench_consensus(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("early_unknown_nf", n), &n, |b, _| {
             b.iter(|| {
                 let mut engine = SyncEngine::builder()
-                    .correct_many(setup.correct.iter().enumerate().map(|(i, &id)| {
-                        EarlyConsensus::new(id, (i % 2) as u64)
-                    }))
+                    .correct_many(
+                        setup
+                            .correct
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &id)| EarlyConsensus::new(id, (i % 2) as u64)),
+                    )
                     .build();
                 engine
                     .run_to_completion(2 + 5 * (n as u64 + 2))
@@ -88,9 +100,13 @@ fn bench_consensus(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rotor_king_unknown_nf", n), &n, |b, _| {
             b.iter(|| {
                 let mut engine = SyncEngine::builder()
-                    .correct_many(setup.correct.iter().enumerate().map(|(i, &id)| {
-                        KingConsensus::new(id, (i % 2) as u64)
-                    }))
+                    .correct_many(
+                        setup
+                            .correct
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &id)| KingConsensus::new(id, (i % 2) as u64)),
+                    )
                     .build();
                 engine
                     .run_to_completion(2 + 5 * (n as u64 + 2))

@@ -19,7 +19,9 @@ pub fn range_series(n: usize, attack: bool, iterations: u64, seed: u64) -> Vec<f
     let f = max_faulty(n);
     let setup = Setup::new(n - f, f, seed);
     let g = setup.correct.len();
-    let inputs: Vec<f64> = (0..g).map(|i| i as f64 * 10.0 / (g - 1).max(1) as f64).collect();
+    let inputs: Vec<f64> = (0..g)
+        .map(|i| i as f64 * 10.0 / (g - 1).max(1) as f64)
+        .collect();
     let build = |engine: uba_sim::EngineBuilder<ApproxAgreement, NoAdversary>| {
         engine.correct_many(
             setup
@@ -44,7 +46,9 @@ pub fn range_series(n: usize, attack: bool, iterations: u64, seed: u64) -> Vec<f
         engine.run_round();
         for _ in 0..iterations {
             engine.run_round();
-            record(&mut || current_range(&setup.correct, |id| engine.process(id).map(|p| p.current())));
+            record(&mut || {
+                current_range(&setup.correct, |id| engine.process(id).map(|p| p.current()))
+            });
         }
     } else {
         let mut engine = build(SyncEngine::builder()).build();
@@ -52,7 +56,9 @@ pub fn range_series(n: usize, attack: bool, iterations: u64, seed: u64) -> Vec<f
         engine.run_round();
         for _ in 0..iterations {
             engine.run_round();
-            record(&mut || current_range(&setup.correct, |id| engine.process(id).map(|p| p.current())));
+            record(&mut || {
+                current_range(&setup.correct, |id| engine.process(id).map(|p| p.current()))
+            });
         }
     }
     series
@@ -87,7 +93,11 @@ pub fn run() -> Vec<Table> {
             i.to_string(),
             format!("{:.6}", clean[i]),
             format!("{:.6}", attacked[i]),
-            if ratio.is_nan() { "—".into() } else { format!("{ratio:.3}") },
+            if ratio.is_nan() {
+                "—".into()
+            } else {
+                format!("{ratio:.3}")
+            },
             if ratio.is_nan() {
                 "—".into()
             } else {

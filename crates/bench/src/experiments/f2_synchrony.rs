@@ -25,7 +25,12 @@ pub fn run() -> Vec<Table> {
     );
     for patience in [2u64, 4, 8] {
         let horizon = TimeoutConsensus::decision_horizon(patience);
-        for point in delay_sweep(a, b, patience, [1, horizon - 1, horizon, horizon + 1, horizon + 4]) {
+        for point in delay_sweep(
+            a,
+            b,
+            patience,
+            [1, horizon - 1, horizon, horizon + 1, horizon + 4],
+        ) {
             let expected = point.cross_delay > horizon;
             sweep_table.row(&[
                 patience.to_string(),

@@ -15,9 +15,7 @@ use std::collections::BTreeMap;
 use uba_adversary::ScriptedAdversary;
 use uba_core::harness::{max_faulty, Setup};
 use uba_core::reliable::{RbMsg, ReliableBroadcast};
-use uba_sim::{
-    Adversary, AdversaryOutbox, AdversaryView, FnAdversary, NodeId, SyncEngine,
-};
+use uba_sim::{Adversary, AdversaryOutbox, AdversaryView, FnAdversary, NodeId, SyncEngine};
 
 use crate::Table;
 
@@ -48,12 +46,14 @@ fn run_one<A: Adversary<Msg>>(
 /// Echo-forging adversary: floods `echo("forged")` (and also echoes the real
 /// message to be maximally confusing) from every faulty node, every round.
 fn forger() -> impl Adversary<Msg> {
-    FnAdversary::new(|view: &AdversaryView<'_, Msg>, out: &mut AdversaryOutbox<Msg>| {
-        for &b in view.faulty.iter() {
-            out.broadcast(b, RbMsg::Echo("forged"));
-            out.broadcast(b, RbMsg::Echo("m"));
-        }
-    })
+    FnAdversary::new(
+        |view: &AdversaryView<'_, Msg>, out: &mut AdversaryOutbox<Msg>| {
+            for &b in view.faulty.iter() {
+                out.broadcast(b, RbMsg::Echo("forged"));
+                out.broadcast(b, RbMsg::Echo("m"));
+            }
+        },
+    )
 }
 
 /// Runs experiment T1.
@@ -129,8 +129,10 @@ mod tests {
     fn t1_claims_hold() {
         let tables = run();
         for row in &tables[0].rows {
-            assert!(row[3].starts_with(&row[3].split('/').next_back().unwrap().to_string()),
-                "all correct nodes accept: {row:?}");
+            assert!(
+                row[3].starts_with(&row[3].split('/').next_back().unwrap().to_string()),
+                "all correct nodes accept: {row:?}"
+            );
             let parts: Vec<&str> = row[3].split('/').collect();
             assert_eq!(parts[0], parts[1], "everyone accepted: {row:?}");
             assert_eq!(row[4], "3..3", "acceptance in round 3: {row:?}");

@@ -62,7 +62,15 @@ fn run_one<A: Adversary<uba_core::rotor::RotorMsg<u64>>>(
 pub fn run() -> Vec<Table> {
     let mut table = Table::new(
         "T2 — rotor-coordinator: O(n) termination and a guaranteed good round (Theorem rc)",
-        &["n", "f", "adversary", "termination round", "≤ 3 + 2n + 5", "good round", "selections"],
+        &[
+            "n",
+            "f",
+            "adversary",
+            "termination round",
+            "≤ 3 + 2n + 5",
+            "good round",
+            "selections",
+        ],
     );
     for n in [4usize, 7, 13, 25, 40] {
         let f = max_faulty(n);

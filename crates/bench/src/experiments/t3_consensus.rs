@@ -78,7 +78,15 @@ fn adversary_run(setup: &Setup, name: &str, split_inputs: bool) -> (bool, bool, 
 pub fn run() -> Vec<Table> {
     let mut by_f = Table::new(
         "T3a — O(f) round complexity: fixed n = 16, growing f (split inputs, equivocation attack)",
-        &["n", "f", "agreement", "validity", "decision round", "5f + 12 bound", "within"],
+        &[
+            "n",
+            "f",
+            "agreement",
+            "validity",
+            "decision round",
+            "5f + 12 bound",
+            "within",
+        ],
     );
     let g_total = 16;
     for f in 0..=max_faulty(g_total) {

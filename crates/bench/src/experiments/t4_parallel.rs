@@ -72,7 +72,11 @@ pub fn run() -> Vec<Table> {
 
     type InputsFor = Box<dyn Fn(usize, usize) -> Vec<(&'static str, u64)>>;
     let scenarios: Vec<(&str, Option<u64>, InputsFor)> = vec![
-        ("all-aware, two instances", None, Box::new(|_, _| vec![("a", 1), ("b", 2)])),
+        (
+            "all-aware, two instances",
+            None,
+            Box::new(|_, _| vec![("a", 1), ("b", 2)]),
+        ),
         (
             "one instance known to one node",
             None,
@@ -89,10 +93,26 @@ pub fn run() -> Vec<Table> {
                 }
             }),
         ),
-        ("fake injected @ input window", Some(3), Box::new(|_, _| vec![("a", 1)])),
-        ("fake injected @ prefer window", Some(4), Box::new(|_, _| vec![("a", 1)])),
-        ("fake injected @ strongprefer window", Some(5), Box::new(|_, _| vec![("a", 1)])),
-        ("fake injected @ second phase", Some(9), Box::new(|_, _| vec![("a", 1)])),
+        (
+            "fake injected @ input window",
+            Some(3),
+            Box::new(|_, _| vec![("a", 1)]),
+        ),
+        (
+            "fake injected @ prefer window",
+            Some(4),
+            Box::new(|_, _| vec![("a", 1)]),
+        ),
+        (
+            "fake injected @ strongprefer window",
+            Some(5),
+            Box::new(|_, _| vec![("a", 1)]),
+        ),
+        (
+            "fake injected @ second phase",
+            Some(9),
+            Box::new(|_, _| vec![("a", 1)]),
+        ),
     ];
 
     for (name, inject, make_inputs) in scenarios {
@@ -101,21 +121,19 @@ pub fn run() -> Vec<Table> {
         let node_inputs: Vec<Vec<(&'static str, u64)>> =
             (0..g).map(|i| make_inputs(i, g)).collect();
         // Pairs input at EVERY correct node must be in every output.
-        let unanimous: BTreeSet<(&str, u64)> = node_inputs
-            .iter()
-            .skip(1)
-            .fold(node_inputs[0].iter().copied().collect(), |acc, inputs| {
+        let unanimous: BTreeSet<(&str, u64)> = node_inputs.iter().skip(1).fold(
+            node_inputs[0].iter().copied().collect(),
+            |acc, inputs| {
                 acc.intersection(&inputs.iter().copied().collect())
                     .copied()
                     .collect()
-            });
+            },
+        );
         let (outputs, rounds) = run_scenario(&setup, node_inputs, inject);
         let distinct: BTreeSet<&Out> = outputs.values().collect();
         let agreement = distinct.len() == 1;
         let sample = outputs.values().next().expect("outputs");
-        let unanimous_kept = unanimous
-            .iter()
-            .all(|(id, v)| sample.get(id) == Some(v));
+        let unanimous_kept = unanimous.iter().all(|(id, v)| sample.get(id) == Some(v));
         let fake = outputs.values().any(|o| o.contains_key("fake"));
         table.row(&[
             name.to_string(),

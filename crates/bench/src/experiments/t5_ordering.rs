@@ -68,7 +68,13 @@ pub fn run() -> Vec<Table> {
             .filter(|c| !c.is_empty())
             .collect();
         if chains.is_empty() {
-            growth.row(&[round.to_string(), "0".into(), "0".into(), "true".into(), "—".into()]);
+            growth.row(&[
+                round.to_string(),
+                "0".into(),
+                "0".into(),
+                "true".into(),
+                "—".into(),
+            ]);
             continue;
         }
         let min_len = chains.iter().map(Vec::len).min().unwrap_or(0);

@@ -147,11 +147,14 @@ pub fn run() -> Vec<Table> {
             .expect("completes")
             .last_decided_round();
 
-        let mut pk = SyncEngine::builder()
-            .correct_many(setup.correct.iter().enumerate().map(|(i, &id)| {
-                PhaseKing::new(id, (i % 2) as u64, setup.correct.clone(), f)
-            }))
-            .build();
+        let mut pk =
+            SyncEngine::builder()
+                .correct_many(
+                    setup.correct.iter().enumerate().map(|(i, &id)| {
+                        PhaseKing::new(id, (i % 2) as u64, setup.correct.clone(), f)
+                    }),
+                )
+                .build();
         let pk_rounds = pk
             .run_to_completion(4 * (f as u64 + 1) + 2)
             .expect("completes")
@@ -189,6 +192,9 @@ mod tests {
         let last = tables[2].rows.last().expect("rows");
         let early: u64 = last[2].parse().unwrap();
         let king: u64 = last[3].parse().unwrap();
-        assert!(early < king, "early termination must win at n = 40: {last:?}");
+        assert!(
+            early < king,
+            "early termination must win at n = 40: {last:?}"
+        );
     }
 }

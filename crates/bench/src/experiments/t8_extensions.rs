@@ -49,11 +49,7 @@ pub fn run() -> Vec<Table> {
             );
             let mut engine = SyncEngine::builder()
                 .correct_many(setup.correct.iter().map(|&id| {
-                    TerminatingBroadcast::new(
-                        id,
-                        sender,
-                        (id == sender).then_some("m"),
-                    )
+                    TerminatingBroadcast::new(id, sender, (id == sender).then_some("m"))
                 }))
                 .faulty_many(setup.faulty.iter().copied())
                 .adversary(adv)
@@ -76,7 +72,13 @@ pub fn run() -> Vec<Table> {
 
     let mut renaming = Table::new(
         "T8b — Byzantine renaming: sparse 64-bit ids renamed to 1..=|S| consistently, O(f) rounds",
-        &["n (correct)", "f (vanishing)", "common ranks", "compact", "termination round"],
+        &[
+            "n (correct)",
+            "f (vanishing)",
+            "common ranks",
+            "compact",
+            "termination round",
+        ],
     );
     for n in [3usize, 6, 12, 24] {
         // n correct + f faulty must satisfy (n + f) > 3f, i.e. f < n/2.

@@ -25,7 +25,8 @@ impl Table {
 
     /// Appends a row (anything `Display` works per cell).
     pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 

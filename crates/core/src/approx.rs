@@ -320,7 +320,10 @@ mod tests {
     fn iterations_for_reaches_epsilon() {
         for (range, eps) in [(10.0, 1.0), (100.0, 0.01), (1.0, 0.5), (3.0, 3.0)] {
             let k = iterations_for(range, eps);
-            assert!(range / 2f64.powi(k as i32) < eps, "range {range}, eps {eps}");
+            assert!(
+                range / 2f64.powi(k as i32) < eps,
+                "range {range}, eps {eps}"
+            );
             if k > 1 {
                 assert!(
                     range / 2f64.powi(k as i32 - 1) >= eps,

@@ -115,10 +115,9 @@ impl<M: Value> Process for StBroadcast<M> {
             let mut to_echo: Vec<M> = Vec::new();
             for e in ctx.inbox() {
                 match &e.msg {
-                    StMsg::Payload(m) if e.from == self.sender
-                        && !self.echoed.contains(m) => {
-                            to_echo.push(m.clone());
-                        }
+                    StMsg::Payload(m) if e.from == self.sender && !self.echoed.contains(m) => {
+                        to_echo.push(m.clone());
+                    }
                     StMsg::Echo(m) => {
                         self.echoers.entry(m.clone()).or_default().insert(e.from);
                     }
@@ -288,7 +287,10 @@ impl<V: Value> PhaseKing<V> {
         let n = members.len();
         let mut sorted = members;
         sorted.sort_unstable();
-        assert!(sorted.len() > f, "need at least f + 1 members for the king schedule");
+        assert!(
+            sorted.len() > f,
+            "need at least f + 1 members for the king schedule"
+        );
         PhaseKing {
             me,
             x: input,
@@ -417,11 +419,15 @@ mod tests {
         let ids = sparse_ids(7, 8);
         let f = 2;
         let mut engine = SyncEngine::builder()
-            .correct_many(ids.iter().enumerate().map(|(i, &id)| {
-                PhaseKing::new(id, (i % 2) as u8, ids.clone(), f)
-            }))
+            .correct_many(
+                ids.iter()
+                    .enumerate()
+                    .map(|(i, &id)| PhaseKing::new(id, (i % 2) as u8, ids.clone(), f)),
+            )
             .build();
-        let done = engine.run_to_completion(4 * (f as u64 + 1)).expect("completes");
+        let done = engine
+            .run_to_completion(4 * (f as u64 + 1))
+            .expect("completes");
         let mut decided: Vec<u8> = done.outputs.values().copied().collect();
         decided.dedup();
         assert_eq!(decided.len(), 1, "agreement");

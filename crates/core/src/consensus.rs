@@ -62,7 +62,10 @@ pub const INIT_ROUNDS: u64 = 2;
 ///
 /// Panics if `round` is an initialization round (≤ 2).
 pub fn phase_of_round(round: u64) -> (u64, u8) {
-    assert!(round > INIT_ROUNDS, "round {round} is an initialization round");
+    assert!(
+        round > INIT_ROUNDS,
+        "round {round} is an initialization round"
+    );
     let k = round - INIT_ROUNDS - 1;
     (k / PHASE_ROUNDS + 1, (k % PHASE_ROUNDS + 1) as u8)
 }
@@ -176,8 +179,11 @@ impl<V: Value> EarlyConsensus<V> {
         let mut counts = tally(values);
         if self.substitution {
             if let Some(own) = sent {
-                let missing =
-                    frozen.members().iter().filter(|m| !senders.contains(m)).count();
+                let missing = frozen
+                    .members()
+                    .iter()
+                    .filter(|m| !senders.contains(m))
+                    .count();
                 if missing > 0 {
                     *counts.entry(own.clone()).or_insert(0) += missing;
                 }
@@ -323,9 +329,7 @@ impl<V: Value> Process for EarlyConsensus<V> {
                 });
 
                 let strongest = max_tally(&self.strong_counts);
-                let has_third = strongest
-                    .as_ref()
-                    .is_some_and(|(_, c)| meets_third(*c, n));
+                let has_third = strongest.as_ref().is_some_and(|(_, c)| meets_third(*c, n));
                 if !has_third {
                     if let Some(c) = coordinator_opinion {
                         self.x = c;
@@ -400,7 +404,10 @@ mod tests {
         let decided: BTreeSet<u64> = outputs.values().copied().collect();
         assert_eq!(decided.len(), 1, "agreement");
         assert!(inputs.contains(decided.iter().next().unwrap()), "validity");
-        assert!(last_round <= 2 + 3 * PHASE_ROUNDS, "all-correct: decided fast");
+        assert!(
+            last_round <= 2 + 3 * PHASE_ROUNDS,
+            "all-correct: decided fast"
+        );
     }
 
     #[test]

@@ -127,7 +127,11 @@ impl<V: Value> KingConsensus<V> {
         }
         let mut counts = tally(values);
         if let Some(own) = sent {
-            let missing = frozen.members().iter().filter(|m| !senders.contains(m)).count();
+            let missing = frozen
+                .members()
+                .iter()
+                .filter(|m| !senders.contains(m))
+                .count();
             if missing > 0 {
                 *counts.entry(own.clone()).or_insert(0) += missing;
             }
@@ -258,8 +262,8 @@ impl<V: Value> Process for KingConsensus<V> {
                     opinions.sort();
                     opinions.first().map(|v| (*v).clone())
                 });
-                let strong_enough = max_tally(&self.support_counts)
-                    .is_some_and(|(_, c)| meets_two_thirds(c, n));
+                let strong_enough =
+                    max_tally(&self.support_counts).is_some_and(|(_, c)| meets_two_thirds(c, n));
                 if !strong_enough {
                     if let Some(c) = coordinator_opinion {
                         self.x = c;

@@ -30,7 +30,10 @@ impl Setup {
         let total = all.len();
         for (i, id) in all.into_iter().enumerate() {
             // Assign every ⌈total/n_faulty⌉-th position to the adversary.
-            let is_faulty = n_faulty > 0 && (i * n_faulty) % total < n_faulty && faulty.len() < n_faulty && i % 2 == 1;
+            let is_faulty = n_faulty > 0
+                && (i * n_faulty) % total < n_faulty
+                && faulty.len() < n_faulty
+                && i % 2 == 1;
             if is_faulty {
                 faulty.push(id);
             } else {

@@ -30,6 +30,8 @@
 //!   of the primitives per the Discussion section;
 //! - [`spec`] — the paper's problem definitions as executable property
 //!   checkers;
+//! - [`monitor`] — online (per-round) monitors of the same properties, for
+//!   the engine's [`RoundMonitor`](uba_sim::RoundMonitor) hook;
 //! - [`harness`] — convenience runners used by tests, examples and
 //!   benchmarks.
 //!
@@ -65,6 +67,7 @@ pub mod baselines;
 pub mod consensus;
 pub mod harness;
 pub mod lower_bounds;
+pub mod monitor;
 pub mod ordering;
 pub mod parallel;
 pub mod quorum;

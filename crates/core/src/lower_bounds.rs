@@ -263,8 +263,8 @@ mod tests {
         let ids = sparse_ids(4, 8);
         for patience in [1, 2, 5, 9] {
             let horizon = TimeoutConsensus::decision_horizon(patience);
-            let outcome = partition_run(&ids[..2], &ids[2..], patience, horizon + 1, 400)
-                .expect("decides");
+            let outcome =
+                partition_run(&ids[..2], &ids[2..], patience, horizon + 1, 400).expect("decides");
             assert!(outcome.disagreement, "patience {patience} still fails");
         }
     }

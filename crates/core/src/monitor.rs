@@ -1,0 +1,356 @@
+//! Online monitors evaluating the paper's properties on partial state.
+//!
+//! The [`spec`](crate::spec) checkers judge finished runs; the monitors
+//! here implement the *prefix-closed* strengthening of the same properties
+//! so a [`RoundMonitor`] installed on the engine can abort a run at the
+//! **first** round in which a property breaks:
+//!
+//! - [`AgreementMonitor`] — *agreement-so-far*: all outputs produced so far
+//!   by the watched nodes are equal (agreement can never be repaired once
+//!   two nodes have decided differently);
+//! - [`ValidityMonitor`] — every output produced so far is a watched node's
+//!   input, and unanimity is preserved;
+//! - [`ApproxMonitor`] — every watched node's *current estimate* stays in
+//!   the watched input range (containment is inductive round by round), and
+//!   the final outputs satisfy the contraction bound;
+//! - [`RelayMonitor`] / [`UnforgeabilityMonitor`] — reliable-broadcast
+//!   relay (acceptance by a watched node in round `r` forces acceptance by
+//!   all watched nodes by round `r + 1`) and unforgeability (a silent
+//!   correct sender's message is never accepted).
+//!
+//! `watched` should be the run's *pristine* nodes: correct, never touched
+//! by the [`FaultPlan`](uba_sim::FaultPlan), and within the `n > 3f`
+//! budget; the paper promises nothing to anyone else.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use uba_sim::{MonitorView, NodeId, Process, RoundMonitor, ViolationReport};
+
+use crate::approx::ApproxAgreement;
+use crate::reliable::ReliableBroadcast;
+use crate::spec::{self, SpecReport};
+use crate::value::Value;
+
+/// Converts a [`SpecReport`] into the monitor result for `round`.
+fn lift(round: u64, report: SpecReport) -> Result<(), ViolationReport> {
+    if report.holds() {
+        Ok(())
+    } else {
+        Err(ViolationReport {
+            round,
+            spec: report.property.to_string(),
+            violations: report.violations,
+        })
+    }
+}
+
+/// *Agreement-so-far*: the outputs produced so far by the watched nodes are
+/// all equal.
+///
+/// Works for any protocol whose output is a [`Value`] (consensus, vector
+/// consensus, renaming, …).
+#[derive(Debug, Clone)]
+pub struct AgreementMonitor {
+    watched: BTreeSet<NodeId>,
+}
+
+impl AgreementMonitor {
+    /// Watches the given (pristine) nodes.
+    pub fn new<I: IntoIterator<Item = NodeId>>(watched: I) -> Self {
+        AgreementMonitor {
+            watched: watched.into_iter().collect(),
+        }
+    }
+}
+
+impl<P> RoundMonitor<P> for AgreementMonitor
+where
+    P: Process,
+    P::Output: Value,
+{
+    fn check(&mut self, view: &MonitorView<'_, P>) -> Result<(), ViolationReport> {
+        let outputs: BTreeMap<NodeId, P::Output> = view
+            .outputs()
+            .into_iter()
+            .filter(|(id, _)| self.watched.contains(id))
+            .collect();
+        lift(view.round, spec::consensus_agreement(&outputs))
+    }
+}
+
+/// *Validity-so-far*: every output produced so far by a watched node is some
+/// watched node's input, and unanimous inputs force that very output.
+#[derive(Debug, Clone)]
+pub struct ValidityMonitor<V: Value> {
+    inputs: BTreeMap<NodeId, V>,
+}
+
+impl<V: Value> ValidityMonitor<V> {
+    /// Watches the nodes keyed in `inputs` (their protocol inputs).
+    pub fn new(inputs: BTreeMap<NodeId, V>) -> Self {
+        ValidityMonitor { inputs }
+    }
+}
+
+impl<V: Value, P: Process<Output = V>> RoundMonitor<P> for ValidityMonitor<V> {
+    fn check(&mut self, view: &MonitorView<'_, P>) -> Result<(), ViolationReport> {
+        let outputs: BTreeMap<NodeId, V> = view
+            .outputs()
+            .into_iter()
+            .filter(|(id, _)| self.inputs.contains_key(id))
+            .collect();
+        lift(view.round, spec::consensus_validity(&self.inputs, &outputs))
+    }
+}
+
+/// Approximate-agreement containment (checked every round on the current
+/// estimates) and contraction (checked once every watched node has decided).
+#[derive(Debug, Clone)]
+pub struct ApproxMonitor {
+    inputs: BTreeMap<NodeId, f64>,
+    watched: BTreeSet<NodeId>,
+    iterations: u32,
+}
+
+impl ApproxMonitor {
+    /// Watches the nodes keyed in `inputs`; `iterations` is the configured
+    /// iteration count the contraction bound `range / 2^iterations` uses.
+    pub fn new(inputs: BTreeMap<NodeId, f64>, iterations: u32) -> Self {
+        ApproxMonitor {
+            watched: inputs.keys().copied().collect(),
+            inputs,
+            iterations,
+        }
+    }
+
+    /// Restricts the checked nodes to `watched` (the run's pristine nodes).
+    ///
+    /// The containment/contraction range still spans *all* inputs: a
+    /// benign-faulted victim is honest, so its input legitimately pulls on
+    /// everyone's estimates — but the paper promises convergence only to
+    /// nodes within the `n > 3f` budget, and an omission-faulted victim
+    /// that hears nobody rightfully keeps its own input forever.
+    pub fn watched<I: IntoIterator<Item = NodeId>>(mut self, watched: I) -> Self {
+        self.watched = watched.into_iter().collect();
+        self
+    }
+}
+
+impl RoundMonitor<ApproxAgreement> for ApproxMonitor {
+    fn check(&mut self, view: &MonitorView<'_, ApproxAgreement>) -> Result<(), ViolationReport> {
+        // Containment is inductive: the current estimate of every watched
+        // node must stay within the input range in *every* round, not just
+        // at termination.
+        let estimates: BTreeMap<NodeId, f64> = self
+            .watched
+            .iter()
+            .filter_map(|&id| view.process(id).map(|p| (id, p.current())))
+            .collect();
+        lift(
+            view.round,
+            spec::approx_containment(&self.inputs, &estimates),
+        )?;
+
+        // Contraction is only promised for the final outputs.
+        let outputs: BTreeMap<NodeId, f64> = view
+            .outputs()
+            .into_iter()
+            .filter(|(id, _)| self.watched.contains(id))
+            .collect();
+        if outputs.len() == self.watched.len() {
+            lift(
+                view.round,
+                spec::approx_contraction(&self.inputs, &outputs, self.iterations),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Gathers the accepted-message maps of the watched, present nodes.
+fn watched_accepted<M: Value>(
+    watched: &BTreeSet<NodeId>,
+    view: &MonitorView<'_, ReliableBroadcast<M>>,
+) -> BTreeMap<NodeId, BTreeMap<M, u64>> {
+    watched
+        .iter()
+        .filter_map(|&id| view.process(id).map(|p| (id, p.accepted())))
+        .collect()
+}
+
+/// Online reliable-broadcast *relay*: once a watched node accepts `m` in
+/// round `r`, every watched node must have accepted `m` by round `r + 1`
+/// (and never more than one round apart).
+#[derive(Debug, Clone)]
+pub struct RelayMonitor {
+    watched: BTreeSet<NodeId>,
+}
+
+impl RelayMonitor {
+    /// Watches the given (pristine) nodes.
+    pub fn new<I: IntoIterator<Item = NodeId>>(watched: I) -> Self {
+        RelayMonitor {
+            watched: watched.into_iter().collect(),
+        }
+    }
+}
+
+impl<M: Value> RoundMonitor<ReliableBroadcast<M>> for RelayMonitor {
+    fn check(
+        &mut self,
+        view: &MonitorView<'_, ReliableBroadcast<M>>,
+    ) -> Result<(), ViolationReport> {
+        let accepted = watched_accepted(&self.watched, view);
+        let mut per_message: BTreeMap<&M, Vec<(NodeId, u64)>> = BTreeMap::new();
+        for (id, acc) in &accepted {
+            for (m, r) in acc {
+                per_message.entry(m).or_default().push((*id, *r));
+            }
+        }
+        let mut violations = Vec::new();
+        for (m, holders) in per_message {
+            let first = holders.iter().map(|(_, r)| *r).min().unwrap_or(0);
+            // The relay window is still open in rounds `first` and
+            // `first + 1`; from `first + 1` on, everyone must have it.
+            if view.round < first + 1 {
+                continue;
+            }
+            for (&id, acc) in &accepted {
+                match acc.get(m) {
+                    None => violations.push(format!(
+                        "{id} has not accepted {m:?}, first accepted in round {first}"
+                    )),
+                    Some(&r) if r > first + 1 => violations.push(format!(
+                        "{id} accepted {m:?} in round {r}, more than one round after {first}"
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(ViolationReport {
+                round: view.round,
+                spec: "reliable broadcast relay".to_string(),
+                violations,
+            })
+        }
+    }
+}
+
+/// Reliable-broadcast *unforgeability* for a correct, silent sender: no
+/// watched node may ever accept anything.
+#[derive(Debug, Clone)]
+pub struct UnforgeabilityMonitor {
+    watched: BTreeSet<NodeId>,
+}
+
+impl UnforgeabilityMonitor {
+    /// Watches the given (pristine) nodes.
+    pub fn new<I: IntoIterator<Item = NodeId>>(watched: I) -> Self {
+        UnforgeabilityMonitor {
+            watched: watched.into_iter().collect(),
+        }
+    }
+}
+
+impl<M: Value> RoundMonitor<ReliableBroadcast<M>> for UnforgeabilityMonitor {
+    fn check(
+        &mut self,
+        view: &MonitorView<'_, ReliableBroadcast<M>>,
+    ) -> Result<(), ViolationReport> {
+        let accepted = watched_accepted(&self.watched, view);
+        lift(view.round, spec::broadcast_unforgeability(&accepted))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::EarlyConsensus;
+    use uba_sim::{sparse_ids, EngineError, SyncEngine};
+
+    #[test]
+    fn agreement_monitor_passes_an_honest_consensus_run() {
+        let ids = sparse_ids(4, 7);
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                ids.iter()
+                    .enumerate()
+                    .map(|(i, &id)| EarlyConsensus::new(id, (i % 2) as u64)),
+            )
+            .monitor(AgreementMonitor::new(ids.iter().copied()))
+            .build();
+        engine.run_to_completion(50).expect("no violation");
+    }
+
+    #[test]
+    fn validity_monitor_passes_unanimous_run() {
+        let ids = sparse_ids(4, 7);
+        let inputs: BTreeMap<NodeId, u64> = ids.iter().map(|&id| (id, 9)).collect();
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().map(|&id| EarlyConsensus::new(id, 9u64)))
+            .monitor(ValidityMonitor::new(inputs))
+            .build();
+        let done = engine.run_to_completion(50).expect("no violation");
+        assert!(done.outputs.values().all(|&v| v == 9));
+    }
+
+    #[test]
+    fn approx_monitor_flags_estimate_outside_input_range() {
+        // The monitor is told the inputs are {0, 1} but one process actually
+        // starts at 5: containment is violated in the very first round.
+        let ids = sparse_ids(2, 3);
+        let inputs: BTreeMap<NodeId, f64> = [(ids[0], 0.0), (ids[1], 1.0)].into_iter().collect();
+        let mut engine = SyncEngine::builder()
+            .correct(ApproxAgreement::new(ids[0], 0.0).with_iterations(1))
+            .correct(ApproxAgreement::new(ids[1], 5.0).with_iterations(1))
+            .monitor(ApproxMonitor::new(inputs, 1))
+            .build();
+        match engine.try_run_round().unwrap_err() {
+            EngineError::InvariantViolated(report) => {
+                assert_eq!(report.round, 1);
+                assert_eq!(report.spec, "approximate agreement containment");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relay_monitor_passes_an_honest_broadcast() {
+        let ids = sparse_ids(4, 11);
+        let sender = ids[0];
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().map(|&id| {
+                ReliableBroadcast::new(id, sender, (id == sender).then_some(7u64)).with_horizon(6)
+            }))
+            .monitor(RelayMonitor::new(ids.iter().copied()))
+            .build();
+        engine.run_to_completion(8).expect("relay holds");
+    }
+
+    #[test]
+    fn unforgeability_monitor_flags_acceptance_at_its_round() {
+        // Install the silent-sender monitor on a run whose sender *does*
+        // broadcast: acceptance happens in round 3 and the monitor must
+        // pinpoint exactly that round.
+        let ids = sparse_ids(4, 11);
+        let sender = ids[0];
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().map(|&id| {
+                ReliableBroadcast::new(id, sender, (id == sender).then_some(7u64)).with_horizon(6)
+            }))
+            .monitor(UnforgeabilityMonitor::new(ids.iter().copied()))
+            .build();
+        let mut first_violation = None;
+        for _ in 0..6 {
+            if let Err(EngineError::InvariantViolated(report)) = engine.try_run_round() {
+                first_violation = Some(report);
+                break;
+            }
+        }
+        let report = first_violation.expect("monitor fires");
+        assert_eq!(report.round, 3, "acceptance happens in round 3");
+    }
+}

@@ -254,19 +254,18 @@ impl<V: Value> TotalOrdering<V> {
                 OrderMsg::Absent => {
                     self.s.remove(&env.from);
                 }
-                OrderMsg::Event(m, round)
-                    if *round + 1 == self.r && self.s.contains(&env.from) => {
-                        // Deterministic pick if an equivocating origin sends
-                        // several events in one round.
-                        events
-                            .entry(env.from)
-                            .and_modify(|v| {
-                                if m < v {
-                                    *v = m.clone();
-                                }
-                            })
-                            .or_insert_with(|| m.clone());
-                    }
+                OrderMsg::Event(m, round) if *round + 1 == self.r && self.s.contains(&env.from) => {
+                    // Deterministic pick if an equivocating origin sends
+                    // several events in one round.
+                    events
+                        .entry(env.from)
+                        .and_modify(|v| {
+                            if m < v {
+                                *v = m.clone();
+                            }
+                        })
+                        .or_insert_with(|| m.clone());
+                }
                 _ => {}
             }
         }
@@ -510,8 +509,7 @@ mod tests {
             .build();
         let done = engine.run_to_completion(75).expect("horizon");
         // All founding members output identical chains.
-        let member_chains: Vec<&Chain<u64>> =
-            ids[..4].iter().map(|id| &done.outputs[id]).collect();
+        let member_chains: Vec<&Chain<u64>> = ids[..4].iter().map(|id| &done.outputs[id]).collect();
         for c in &member_chains {
             assert_eq!(*c, member_chains[0], "chain agreement among members");
         }

@@ -347,7 +347,11 @@ impl<I: Value, V: Value> ParallelConsensusCore<I, V> {
                             *counts.entry(val).or_insert(0) += 1;
                         }
                     }
-                    let missing = frozen.members().iter().filter(|m| !senders.contains(m)).count();
+                    let missing = frozen
+                        .members()
+                        .iter()
+                        .filter(|m| !senders.contains(m))
+                        .count();
                     if phase == 1 {
                         *counts.entry(None).or_insert(0) += missing;
                     } else if let SentSlot::Val(own) = &inst.sent_prefer {
@@ -448,9 +452,7 @@ impl<I: Value, V: Value> ParallelConsensusCore<I, V> {
                         *counts.entry(own.clone()).or_insert(0) += missing;
                     }
                     let strongest = max_tally(&counts);
-                    let has_third = strongest
-                        .as_ref()
-                        .is_some_and(|(_, c)| meets_third(*c, n));
+                    let has_third = strongest.as_ref().is_some_and(|(_, c)| meets_third(*c, n));
                     if !has_third {
                         if let Some(cs) = opinions.get(id) {
                             let mut cs = cs.clone();
@@ -644,17 +646,18 @@ mod tests {
         let byz = NodeId::new(7);
         // The adversary announces itself during initialization, then feeds a
         // fake instance to a single correct node in phase 1 round 1.
-        let adv = FnAdversary::new(move |view: &AdversaryView<'_, M>, out: &mut AdversaryOutbox<M>| {
-            match view.round {
+        let adv = FnAdversary::new(
+            move |view: &AdversaryView<'_, M>, out: &mut AdversaryOutbox<M>| match view.round {
                 1 => out.broadcast(byz, ParMsg::RotorInit),
                 3 => out.send(byz, target, ParMsg::Input("fake", 666)),
                 _ => {}
-            }
-        });
+            },
+        );
         let mut engine = SyncEngine::builder()
-            .correct_many(ids.iter().map(|&id| {
-                ParallelConsensus::new(id, [("real", 5u64)])
-            }))
+            .correct_many(
+                ids.iter()
+                    .map(|&id| ParallelConsensus::new(id, [("real", 5u64)])),
+            )
             .faulty(byz)
             .adversary(adv)
             .build();

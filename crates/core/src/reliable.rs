@@ -212,8 +212,7 @@ mod tests {
         let sender = ids[0];
         let mut engine = SyncEngine::builder()
             .correct_many(ids.iter().map(|&id| {
-                ReliableBroadcast::new(id, sender, (id == sender).then_some("m"))
-                    .with_horizon(6)
+                ReliableBroadcast::new(id, sender, (id == sender).then_some("m")).with_horizon(6)
             }))
             .build();
         engine.run_to_completion(8).expect("completes").outputs
@@ -251,9 +250,10 @@ mod tests {
         let ids = sparse_ids(5, 11);
         let sender = ids[0];
         let mut engine = SyncEngine::builder()
-            .correct_many(ids.iter().map(|&id| {
-                ReliableBroadcast::new(id, sender, (id == sender).then_some(1u8))
-            }))
+            .correct_many(
+                ids.iter()
+                    .map(|&id| ReliableBroadcast::new(id, sender, (id == sender).then_some(1u8))),
+            )
             .build();
         engine.run_rounds(3);
         for &id in &ids {

@@ -82,7 +82,9 @@ pub fn consensus_agreement<V: Value>(outputs: &BTreeMap<NodeId, V>) -> SpecRepor
     if let Some((first_id, first)) = iter.next() {
         for (id, v) in iter {
             if v != first {
-                report.violate(format!("{id} decided {v:?} but {first_id} decided {first:?}"));
+                report.violate(format!(
+                    "{id} decided {v:?} but {first_id} decided {first:?}"
+                ));
             }
         }
     }
@@ -374,7 +376,11 @@ mod tests {
     #[test]
     fn chain_prefix_detects_overlap_mismatch() {
         let nodes = ids(2);
-        let ev = |wave, origin: NodeId, value: u8| OrderedEvent { wave, origin, value };
+        let ev = |wave, origin: NodeId, value: u8| OrderedEvent {
+            wave,
+            origin,
+            value,
+        };
         let mut chains: BTreeMap<NodeId, Chain<u8>> = BTreeMap::new();
         chains.insert(nodes[0], vec![ev(1, nodes[0], 1), ev(2, nodes[1], 2)]);
         chains.insert(nodes[1], vec![ev(2, nodes[1], 9)]);

@@ -105,7 +105,10 @@ impl FrozenMembership {
 
     /// Keeps only the envelopes whose senders are members — the "discard
     /// messages from other nodes" rule of the consensus algorithms.
-    pub fn filter_inbox<'a, M>(&'a self, inbox: &'a [Envelope<M>]) -> impl Iterator<Item = &'a Envelope<M>> {
+    pub fn filter_inbox<'a, M>(
+        &'a self,
+        inbox: &'a [Envelope<M>],
+    ) -> impl Iterator<Item = &'a Envelope<M>> {
         inbox.iter().filter(|e| self.members.contains(&e.from))
     }
 }

@@ -189,14 +189,16 @@ mod tests {
         let byz_sender = NodeId::new(500);
         // The Byzantine sender tells half the nodes "a" and the rest "b".
         let split: BTreeSet<NodeId> = ids[..3].iter().copied().collect();
-        let adv = FnAdversary::new(move |view: &AdversaryView<'_, M>, out: &mut AdversaryOutbox<M>| {
-            if view.round == 1 {
-                for &to in view.correct.iter() {
-                    let m = if split.contains(&to) { "a" } else { "b" };
-                    out.send(byz_sender, to, TrbMsg::Payload(m));
+        let adv = FnAdversary::new(
+            move |view: &AdversaryView<'_, M>, out: &mut AdversaryOutbox<M>| {
+                if view.round == 1 {
+                    for &to in view.correct.iter() {
+                        let m = if split.contains(&to) { "a" } else { "b" };
+                        out.send(byz_sender, to, TrbMsg::Payload(m));
+                    }
                 }
-            }
-        });
+            },
+        );
         let mut engine = SyncEngine::builder()
             .correct_many(
                 ids.iter()

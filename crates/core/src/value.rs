@@ -49,7 +49,9 @@ impl Eq for OrderedF64 {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN is rejected at construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN is rejected at construction")
     }
 }
 

@@ -177,8 +177,8 @@ mod tests {
         let byz = NodeId::new(77);
         // The Byzantine contributor equivocates its entry per recipient and
         // also participates in initialization so it is counted everywhere.
-        let adv = FnAdversary::new(move |view: &AdversaryView<'_, M>, out: &mut AdversaryOutbox<M>| {
-            match view.round {
+        let adv = FnAdversary::new(
+            move |view: &AdversaryView<'_, M>, out: &mut AdversaryOutbox<M>| match view.round {
                 1 => {
                     for (i, &to) in view.correct.iter().enumerate() {
                         out.send(byz, to, VcMsg::Contribute(1000 + i as u64));
@@ -186,8 +186,8 @@ mod tests {
                 }
                 2 => out.broadcast(byz, VcMsg::Par(ParMsg::RotorInit)),
                 _ => {}
-            }
-        });
+            },
+        );
         let mut engine = SyncEngine::builder()
             .correct_many(
                 ids.iter()

@@ -1,0 +1,219 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! package provides the API subset the `uba-bench` benchmarks use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis, each benchmark closure is
+//! warmed up once and then timed over `sample_size` iterations; the mean is
+//! printed as `group/id ... ns/iter`. That is enough to compare the
+//! workloads in EXPERIMENTS.md by orders of magnitude, which is all the
+//! reproduction targets require (shapes, not absolute timings).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+/// Times one benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Runs `routine` once for warm-up, then `iterations` timed times, and
+    /// records the mean duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / self.iterations as f64);
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs (upstream: how
+    /// many samples criterion collects).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            mean_ns: None,
+        };
+        routine(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            mean_ns: None,
+        };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        match bencher.mean_ns {
+            Some(ns) => println!(
+                "{}/{}: {:.0} ns/iter ({} iters)",
+                self.name, id.label, ns, bencher.iterations
+            ),
+            None => println!(
+                "{}/{}: no measurement (iter was never called)",
+                self.name, id.label
+            ),
+        }
+    }
+
+    /// Ends the group (upstream finalizes reports here; a no-op for the
+    /// stand-in).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, routine);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one callable group, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(4);
+            group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+                b.iter(|| runs += x);
+            });
+            group.finish();
+        }
+        // 1 warm-up + 4 timed iterations, each adding 3.
+        assert_eq!(runs, 15);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("algo", 7).label, "algo/7");
+        assert_eq!(BenchmarkId::from_parameter(9).label, "9");
+    }
+}

@@ -192,11 +192,7 @@ impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
         let due = self.pending.remove(&tick).unwrap_or_default();
         let mut inboxes: BTreeMap<NodeId, Vec<Envelope<P::Msg>>> = BTreeMap::new();
         for (to, env) in due {
-            if self
-                .nodes
-                .get(&to)
-                .is_some_and(|p| p.output().is_none())
-            {
+            if self.nodes.get(&to).is_some_and(|p| p.output().is_none()) {
                 self.stats.record_delivery(false);
                 inboxes.entry(to).or_default().push(env);
             }

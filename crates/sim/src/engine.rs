@@ -7,18 +7,28 @@
 //! round-`r` messages and queues the faulty nodes' round-`r` messages before
 //! anything is delivered. Duplicate `(sender, payload)` pairs addressed to
 //! the same recipient within one round are discarded, as the model demands.
+//!
+//! On top of the Byzantine adversary the engine injects benign faults from a
+//! [`FaultPlan`] (crash-stop, crash-recovery, omission, lossy links) and
+//! checks a [`RoundMonitor`] after every round; see those types for the
+//! exact semantics.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 
 use crate::adversary::{Adversary, AdversaryOutbox, AdversaryView, NoAdversary};
 use crate::churn::{ChurnAction, ChurnSchedule};
+use crate::faults::{Fault, FaultPlan};
 use crate::id::NodeId;
 use crate::message::{Dest, Envelope, Outbox, Outgoing};
+use crate::monitor::{MonitorView, RoundMonitor, ViolationReport};
 use crate::process::{Context, Process};
 use crate::stats::Stats;
 
 /// A record of one send operation, kept when tracing is enabled.
+///
+/// A traced send may still be suppressed by the round's [`FaultPlan`] before
+/// delivery; the trace records intent, not receipt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SentRecord<M> {
     /// Round in which the message was sent (delivered in `round + 1`).
@@ -33,7 +43,7 @@ pub struct SentRecord<M> {
     pub from_adversary: bool,
 }
 
-/// Why [`SyncEngine::run_to_completion`] failed.
+/// Why the engine aborted a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// The round budget ran out before every correct node produced an output.
@@ -43,6 +53,35 @@ pub enum EngineError {
         /// Correct nodes that had not yet produced an output.
         undecided: Vec<NodeId>,
     },
+    /// A node scheduled to compute was not found in the engine's tables
+    /// (an internal invariant of the engine itself, not of any protocol).
+    MissingNode {
+        /// Round in which the lookup failed.
+        round: u64,
+        /// The id that was scheduled but absent.
+        node: NodeId,
+    },
+    /// The adversary sent on behalf of a node that is crash-faulted by the
+    /// fault plan; a crashed node must stay silent even if Byzantine.
+    FaultedNodeActed {
+        /// Round of the offending send.
+        round: u64,
+        /// The crashed node the adversary tried to drive.
+        node: NodeId,
+    },
+    /// A correct node sent point-to-point to a node it has never received a
+    /// message from, violating the model's acquaintance restriction.
+    AcquaintanceViolation {
+        /// Round of the offending send.
+        round: u64,
+        /// The sender.
+        from: NodeId,
+        /// The unacquainted destination.
+        to: NodeId,
+    },
+    /// An installed [`RoundMonitor`] observed a property violation; the
+    /// report carries the first offending round.
+    InvariantViolated(ViolationReport),
 }
 
 impl fmt::Display for EngineError {
@@ -53,11 +92,31 @@ impl fmt::Display for EngineError {
                 "round budget exhausted at round {round} with {} undecided node(s)",
                 undecided.len()
             ),
+            EngineError::MissingNode { round, node } => write!(
+                f,
+                "internal engine error: node {node} scheduled in round {round} is absent"
+            ),
+            EngineError::FaultedNodeActed { round, node } => write!(
+                f,
+                "adversary drove crash-faulted node {node} in round {round}"
+            ),
+            EngineError::AcquaintanceViolation { round, from, to } => write!(
+                f,
+                "protocol violation: {from} sent point-to-point to {to} \
+                 without having received a message from it (round {round})"
+            ),
+            EngineError::InvariantViolated(report) => write!(f, "{report}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<ViolationReport> for EngineError {
+    fn from(report: ViolationReport) -> Self {
+        EngineError::InvariantViolated(report)
+    }
+}
 
 /// Result of a completed run: every correct node terminated with an output.
 #[derive(Debug, Clone)]
@@ -101,6 +160,8 @@ pub struct EngineBuilder<P: Process, A> {
     adversary: A,
     enforce_acquaintance: bool,
     churn: ChurnSchedule<P>,
+    faults: FaultPlan,
+    monitor: Option<Box<dyn RoundMonitor<P>>>,
     trace: bool,
 }
 
@@ -112,6 +173,8 @@ impl<P: Process> EngineBuilder<P, NoAdversary> {
             adversary: NoAdversary,
             enforce_acquaintance: true,
             churn: ChurnSchedule::new(),
+            faults: FaultPlan::new(),
+            monitor: None,
             trace: false,
         }
     }
@@ -150,6 +213,8 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
             adversary,
             enforce_acquaintance: self.enforce_acquaintance,
             churn: self.churn,
+            faults: self.faults,
+            monitor: self.monitor,
             trace: self.trace,
         }
     }
@@ -164,6 +229,22 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
     /// Installs a churn schedule for dynamic-membership runs.
     pub fn churn(mut self, churn: ChurnSchedule<P>) -> Self {
         self.churn = churn;
+        self
+    }
+
+    /// Installs a deterministic fault plan (default: empty, no injected
+    /// faults). Faults compose with the adversary and the churn schedule;
+    /// see [`FaultPlan`] for the exact semantics.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Installs an online invariant monitor, checked at the end of every
+    /// round. A violation aborts the run with
+    /// [`EngineError::InvariantViolated`].
+    pub fn monitor<M: RoundMonitor<P> + 'static>(mut self, monitor: M) -> Self {
+        self.monitor = Some(Box::new(monitor));
         self
     }
 
@@ -184,12 +265,15 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
             correct: BTreeMap::new(),
             departed: BTreeMap::new(),
             faulty: BTreeSet::new(),
+            crashed: BTreeSet::new(),
             adversary: self.adversary,
             inboxes: BTreeMap::new(),
             acquaintance: BTreeMap::new(),
             round: 0,
             stats: Stats::new(),
             churn: self.churn,
+            faults: self.faults,
+            monitor: self.monitor,
             enforce_acquaintance: self.enforce_acquaintance,
             trace: self.trace.then(Vec::new),
         };
@@ -206,13 +290,17 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
 /// The synchronous round engine.
 ///
 /// Drives a set of correct [`Process`]es and one [`Adversary`] controlling
-/// the faulty nodes. The exact round semantics (delivery, rushing, dedup)
-/// are described in the [`uba_sim`](crate) crate docs.
+/// the faulty nodes, optionally under a [`FaultPlan`] of injected benign
+/// faults and a [`RoundMonitor`] of online invariants. The exact round
+/// semantics (delivery, rushing, dedup) are described in the
+/// [`uba_sim`](crate) crate docs.
 pub struct SyncEngine<P: Process, A> {
     correct: BTreeMap<NodeId, CorrectNode<P>>,
     /// Outputs of correct nodes that have left the system.
     departed: BTreeMap<NodeId, (u64, P::Output)>,
     faulty: BTreeSet<NodeId>,
+    /// Nodes currently crash-faulted by the fault plan (correct or faulty).
+    crashed: BTreeSet<NodeId>,
     adversary: A,
     /// Messages to be delivered at the start of the next round.
     inboxes: BTreeMap<NodeId, Vec<Envelope<P::Msg>>>,
@@ -222,6 +310,8 @@ pub struct SyncEngine<P: Process, A> {
     round: u64,
     stats: Stats,
     churn: ChurnSchedule<P>,
+    faults: FaultPlan,
+    monitor: Option<Box<dyn RoundMonitor<P>>>,
     enforce_acquaintance: bool,
     trace: Option<Vec<SentRecord<P::Msg>>>,
 }
@@ -286,6 +376,11 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
         &self.faulty
     }
 
+    /// Nodes currently crash-faulted by the fault plan.
+    pub fn crashed_ids(&self) -> &BTreeSet<NodeId> {
+        &self.crashed
+    }
+
     /// Immutable access to a correct node's process (for inspection).
     pub fn process(&self, id: NodeId) -> Option<&P> {
         self.correct.get(&id).map(|n| &n.process)
@@ -308,11 +403,8 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
 
     /// Round in which each correct node terminated, for those that have.
     pub fn decided_rounds(&self) -> BTreeMap<NodeId, u64> {
-        let mut map: BTreeMap<NodeId, u64> = self
-            .departed
-            .iter()
-            .map(|(id, (r, _))| (*id, *r))
-            .collect();
+        let mut map: BTreeMap<NodeId, u64> =
+            self.departed.iter().map(|(id, (r, _))| (*id, *r)).collect();
         for (id, node) in &self.correct {
             if let Some(r) = node.decided_round {
                 map.insert(*id, r);
@@ -331,6 +423,14 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
         self.correct.values().all(|n| n.decided_round.is_some())
     }
 
+    /// Whether every present, non-crashed correct node has terminated.
+    fn live_correct_decided(&self) -> bool {
+        self.correct
+            .iter()
+            .filter(|(id, _)| !self.crashed.contains(*id))
+            .all(|(_, n)| n.decided_round.is_some())
+    }
+
     fn apply_churn(&mut self, round: u64) {
         for action in self.churn.take_for_round(round) {
             match action {
@@ -338,23 +438,80 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                 ChurnAction::JoinFaulty(id) => self.insert_faulty(id),
                 ChurnAction::Leave(id) => {
                     if let Some(node) = self.correct.remove(&id) {
-                        if let (Some(r), Some(o)) =
-                            (node.decided_round, node.process.output())
-                        {
+                        if let (Some(r), Some(o)) = (node.decided_round, node.process.output()) {
                             self.departed.insert(id, (r, o));
                         }
                     }
                     self.faulty.remove(&id);
+                    self.crashed.remove(&id);
                     self.inboxes.remove(&id);
                 }
             }
         }
     }
 
-    /// Executes one synchronous round.
+    /// Applies the fault plan's events for `round` and returns the round's
+    /// transient filters: (senders silenced, recipients deafened, dead links).
+    fn apply_faults(
+        &mut self,
+        round: u64,
+    ) -> (
+        BTreeSet<NodeId>,
+        BTreeSet<NodeId>,
+        HashSet<(NodeId, NodeId)>,
+    ) {
+        let mut silenced = BTreeSet::new();
+        let mut deafened = BTreeSet::new();
+        let mut dead_links = HashSet::new();
+        for fault in self.faults.for_round(round).to_vec() {
+            match fault {
+                Fault::Crash(node) => {
+                    self.crashed.insert(node);
+                    // Messages addressed to a node crashing this round are
+                    // lost, exactly as if the node's machine went down with
+                    // its queue.
+                    self.inboxes.remove(&node);
+                }
+                Fault::Recover(node) => {
+                    self.crashed.remove(&node);
+                }
+                Fault::SilenceSend(node) => {
+                    silenced.insert(node);
+                }
+                Fault::DropInbound(node) => {
+                    deafened.insert(node);
+                }
+                Fault::DropLink { from, to } => {
+                    dead_links.insert((from, to));
+                }
+            }
+        }
+        (silenced, deafened, dead_links)
+    }
+
+    /// Executes one synchronous round, panicking on any [`EngineError`].
+    ///
+    /// Prefer [`try_run_round`](Self::try_run_round) in code that wants to
+    /// observe violations instead of crashing.
     pub fn run_round(&mut self) {
+        if let Err(err) = self.try_run_round() {
+            panic!("{err}");
+        }
+    }
+
+    /// Executes one synchronous round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::AcquaintanceViolation`] if a correct node
+    /// breaks the point-to-point restriction (when enforcement is on),
+    /// [`EngineError::FaultedNodeActed`] if the adversary sends on behalf of
+    /// a crash-faulted node, and [`EngineError::InvariantViolated`] if the
+    /// installed monitor observes a violation at the end of the round.
+    pub fn try_run_round(&mut self) -> Result<(), EngineError> {
         let round = self.round + 1;
         self.apply_churn(round);
+        let (silenced, deafened, dead_links) = self.apply_faults(round);
         self.round = round;
         self.stats.begin_round();
 
@@ -362,19 +519,22 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
 
         // Step 1: correct nodes compute and queue messages (in id order —
         // deterministic, and irrelevant to semantics since delivery is
-        // simultaneous).
+        // simultaneous). Crashed nodes neither compute nor send.
         let mut correct_traffic: Vec<(NodeId, Outgoing<P::Msg>)> = Vec::new();
         let active: Vec<NodeId> = self
             .correct
             .iter()
-            .filter(|(_, n)| n.decided_round.is_none())
+            .filter(|(id, n)| n.decided_round.is_none() && !self.crashed.contains(id))
             .map(|(id, _)| *id)
             .collect();
         for id in active {
             let inbox = delivered.remove(&id).unwrap_or_default();
             let mut outbox = Outbox::new();
             {
-                let node = self.correct.get_mut(&id).expect("active node present");
+                let node = self
+                    .correct
+                    .get_mut(&id)
+                    .ok_or(EngineError::MissingNode { round, node: id })?;
                 let mut ctx = Context::new(round, &inbox, &mut outbox);
                 node.process.on_round(&mut ctx);
                 if node.process.terminated() && node.decided_round.is_none() {
@@ -384,15 +544,14 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             for out in outbox.drain() {
                 if self.enforce_acquaintance {
                     if let Dest::To(to) = out.dest {
-                        let known = self
-                            .acquaintance
-                            .get(&id)
-                            .is_some_and(|s| s.contains(&to));
-                        assert!(
-                            known || to == id,
-                            "protocol violation: {id} sent point-to-point to {to} \
-                             without having received a message from it"
-                        );
+                        let known = self.acquaintance.get(&id).is_some_and(|s| s.contains(&to));
+                        if !known && to != id {
+                            return Err(EngineError::AcquaintanceViolation {
+                                round,
+                                from: id,
+                                to,
+                            });
+                        }
                     }
                 }
                 self.stats.record_send(false);
@@ -402,63 +561,77 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
 
         // Step 2: the rushing adversary sees this round's correct traffic and
         // the faulty nodes' inboxes, then queues the faulty nodes' messages.
+        // Crashed faulty nodes are hidden from the view and must stay silent.
+        let present_faulty: BTreeSet<NodeId> = self
+            .faulty
+            .iter()
+            .copied()
+            .filter(|id| !self.crashed.contains(id))
+            .collect();
         let mut adversary_traffic: Vec<(NodeId, Outgoing<P::Msg>)> = Vec::new();
         if !self.faulty.is_empty() {
-            let faulty_inboxes: BTreeMap<NodeId, Vec<Envelope<P::Msg>>> = self
-                .faulty
+            let faulty_inboxes: BTreeMap<NodeId, Vec<Envelope<P::Msg>>> = present_faulty
                 .iter()
                 .map(|id| (*id, delivered.remove(id).unwrap_or_default()))
                 .collect();
             let correct_ids: BTreeSet<NodeId> = self
                 .correct
                 .iter()
-                .filter(|(_, n)| n.decided_round.is_none())
+                .filter(|(id, n)| n.decided_round.is_none() && !self.crashed.contains(id))
                 .map(|(id, _)| *id)
                 .collect();
             let view = AdversaryView {
                 round,
                 correct: &correct_ids,
-                faulty: &self.faulty,
+                faulty: &present_faulty,
                 correct_traffic: &correct_traffic,
                 faulty_inboxes: &faulty_inboxes,
             };
             let mut out = AdversaryOutbox::new(&self.faulty);
             self.adversary.act(&view, &mut out);
-            for item in out.into_items() {
+            for (from, item) in out.into_items() {
+                if self.crashed.contains(&from) {
+                    return Err(EngineError::FaultedNodeActed { round, node: from });
+                }
                 self.stats.record_send(true);
-                adversary_traffic.push(item);
+                adversary_traffic.push((from, item));
             }
         }
 
-        // Step 3: delivery with per-recipient (sender, payload) dedup.
+        // Step 3: delivery with per-recipient (sender, payload) dedup. The
+        // round's transient faults filter here — after the adversary has
+        // committed, so attacks and faults compose — and crashed nodes are
+        // excluded from the recipient set.
         let recipients: Vec<NodeId> = self
             .correct
             .iter()
-            .filter(|(_, n)| n.decided_round.is_none())
+            .filter(|(id, n)| n.decided_round.is_none() && !self.crashed.contains(id))
             .map(|(id, _)| *id)
-            .chain(self.faulty.iter().copied())
+            .chain(present_faulty.iter().copied())
             .collect();
         let mut next: BTreeMap<NodeId, Vec<Envelope<P::Msg>>> = BTreeMap::new();
         let mut seen: BTreeMap<NodeId, HashSet<(NodeId, P::Msg)>> = BTreeMap::new();
-        let mut deliver =
-            |engine_stats: &mut Stats,
-             acquaintance: &mut BTreeMap<NodeId, BTreeSet<NodeId>>,
-             from: NodeId,
-             to: NodeId,
-             msg: &P::Msg,
-             from_adversary: bool| {
-                let dedup = seen.entry(to).or_default();
-                if !dedup.insert((from, msg.clone())) {
-                    return; // duplicate within the round: discarded by the model
-                }
-                acquaintance.entry(to).or_default().insert(from);
-                engine_stats.record_delivery(from_adversary);
-                next.entry(to).or_default().push(Envelope::new(from, msg.clone()));
-            };
+        let mut deliver = |engine_stats: &mut Stats,
+                           acquaintance: &mut BTreeMap<NodeId, BTreeSet<NodeId>>,
+                           from: NodeId,
+                           to: NodeId,
+                           msg: &P::Msg,
+                           from_adversary: bool| {
+            if deafened.contains(&to) || dead_links.contains(&(from, to)) {
+                return; // omission fault: the message is lost in transit
+            }
+            let dedup = seen.entry(to).or_default();
+            if !dedup.insert((from, msg.clone())) {
+                return; // duplicate within the round: discarded by the model
+            }
+            acquaintance.entry(to).or_default().insert(from);
+            engine_stats.record_delivery(from_adversary);
+            next.entry(to)
+                .or_default()
+                .push(Envelope::new(from, msg.clone()));
+        };
 
-        for (traffic, from_adversary) in
-            [(&correct_traffic, false), (&adversary_traffic, true)]
-        {
+        for (traffic, from_adversary) in [(&correct_traffic, false), (&adversary_traffic, true)] {
             for (from, out) in traffic {
                 if let Some(trace) = self.trace.as_mut() {
                     trace.push(SentRecord {
@@ -468,6 +641,9 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                         msg: out.msg.clone(),
                         from_adversary,
                     });
+                }
+                if silenced.contains(from) {
+                    continue; // send omission: everything from this node is lost
                 }
                 match out.dest {
                     Dest::Broadcast => {
@@ -483,8 +659,12 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                         }
                     }
                     Dest::To(to) => {
-                        if self.correct.get(&to).is_some_and(|n| n.decided_round.is_none())
-                            || self.faulty.contains(&to)
+                        if self
+                            .correct
+                            .get(&to)
+                            .is_some_and(|n| n.decided_round.is_none())
+                            && !self.crashed.contains(&to)
+                            || present_faulty.contains(&to)
                         {
                             deliver(
                                 &mut self.stats,
@@ -500,27 +680,54 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             }
         }
         self.inboxes = next;
+
+        // Step 4: the online monitor sees the round's resulting state.
+        if self.monitor.is_some() {
+            let decided_rounds = self.decided_rounds();
+            let processes: BTreeMap<NodeId, &P> = self
+                .correct
+                .iter()
+                .map(|(&id, n)| (id, &n.process))
+                .collect();
+            let view = MonitorView {
+                round,
+                processes,
+                decided_rounds,
+                faulty: &self.faulty,
+                crashed: &self.crashed,
+            };
+            if let Some(monitor) = self.monitor.as_mut() {
+                monitor.check(&view)?;
+            }
+        }
+        Ok(())
     }
 
-    /// Executes `count` rounds.
+    /// Executes `count` rounds, panicking on any [`EngineError`].
     pub fn run_rounds(&mut self, count: u64) {
         for _ in 0..count {
             self.run_round();
         }
     }
 
-    /// Runs until every present correct node has terminated, or the budget
-    /// runs out.
+    /// Runs until every present, non-crashed correct node has terminated
+    /// (and no churn or recovery is still scheduled), or the budget runs
+    /// out. Nodes left crashed by the fault plan are not waited for — their
+    /// failure is the injected fault, not a protocol defect.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::MaxRoundsExceeded`] if some correct node has
-    /// not terminated after `max_rounds` rounds.
+    /// not terminated after `max_rounds` rounds, or any error surfaced by
+    /// [`try_run_round`](Self::try_run_round).
     pub fn run_to_completion(
         &mut self,
         max_rounds: u64,
     ) -> Result<Completion<P::Output>, EngineError> {
-        while !(self.all_correct_decided() && self.churn.is_empty()) {
+        while !(self.live_correct_decided()
+            && self.churn.is_empty()
+            && !self.faults.has_pending_recover(self.round + 1))
+        {
             if self.round >= max_rounds {
                 return Err(EngineError::MaxRoundsExceeded {
                     round: self.round,
@@ -532,7 +739,7 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                         .collect(),
                 });
             }
-            self.run_round();
+            self.try_run_round()?;
         }
         Ok(Completion {
             outputs: self.outputs(),
@@ -548,6 +755,7 @@ impl<P: Process, A> fmt::Debug for SyncEngine<P, A> {
             .field("round", &self.round)
             .field("correct", &self.correct.keys().collect::<Vec<_>>())
             .field("faulty", &self.faulty)
+            .field("crashed", &self.crashed)
             .finish_non_exhaustive()
     }
 }
@@ -560,6 +768,22 @@ mod tests {
 
     fn ids(raw: &[u64]) -> Vec<NodeId> {
         raw.iter().map(|&r| NodeId::new(r)).collect()
+    }
+
+    /// Sends point-to-point to a node it has never heard from.
+    struct Rude(NodeId);
+    impl Process for Rude {
+        type Msg = u8;
+        type Output = ();
+        fn id(&self) -> NodeId {
+            self.0
+        }
+        fn on_round(&mut self, ctx: &mut Context<'_, u8>) {
+            ctx.send(NodeId::new(999), 1); // never heard from 999
+        }
+        fn output(&self) -> Option<()> {
+            None
+        }
     }
 
     #[test]
@@ -579,15 +803,17 @@ mod tests {
         // The adversary broadcasts the same payload twice in one round; the
         // recipient sees it once.
         let nodes = ids(&[1, 2, 3]);
-        let adv = FnAdversary::new(|view: &AdversaryView<'_, u64>, out: &mut AdversaryOutbox<u64>| {
-            if view.round == 1 {
-                for &b in view.faulty.iter() {
-                    out.broadcast(b, 42);
-                    out.broadcast(b, 42);
-                    out.broadcast(b, 43);
+        let adv = FnAdversary::new(
+            |view: &AdversaryView<'_, u64>, out: &mut AdversaryOutbox<u64>| {
+                if view.round == 1 {
+                    for &b in view.faulty.iter() {
+                        out.broadcast(b, 42);
+                        out.broadcast(b, 42);
+                        out.broadcast(b, 43);
+                    }
                 }
-            }
-        });
+            },
+        );
         let mut engine = SyncEngine::builder()
             .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 2)))
             .faulty(NodeId::new(100))
@@ -606,12 +832,14 @@ mod tests {
     #[test]
     fn adversary_can_equivocate_per_recipient() {
         let nodes = ids(&[1, 2]);
-        let adv = FnAdversary::new(|view: &AdversaryView<'_, u64>, out: &mut AdversaryOutbox<u64>| {
-            if view.round == 1 {
-                out.send(NodeId::new(50), NodeId::new(1), 111);
-                out.send(NodeId::new(50), NodeId::new(2), 222);
-            }
-        });
+        let adv = FnAdversary::new(
+            |view: &AdversaryView<'_, u64>, out: &mut AdversaryOutbox<u64>| {
+                if view.round == 1 {
+                    out.send(NodeId::new(50), NodeId::new(1), 111);
+                    out.send(NodeId::new(50), NodeId::new(2), 222);
+                }
+            },
+        );
         let mut engine = SyncEngine::builder()
             .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 2)))
             .faulty(NodeId::new(50))
@@ -652,6 +880,7 @@ mod tests {
                 assert_eq!(round, 3);
                 assert_eq!(undecided, vec![NodeId::new(1)]);
             }
+            other => panic!("unexpected error: {other:?}"),
         }
     }
 
@@ -667,25 +896,28 @@ mod tests {
     #[test]
     #[should_panic(expected = "without having received a message")]
     fn acquaintance_violation_panics() {
-        struct Rude(NodeId);
-        impl Process for Rude {
-            type Msg = u8;
-            type Output = ();
-            fn id(&self) -> NodeId {
-                self.0
-            }
-            fn on_round(&mut self, ctx: &mut Context<'_, u8>) {
-                ctx.send(NodeId::new(999), 1); // never heard from 999
-            }
-            fn output(&self) -> Option<()> {
-                None
-            }
-        }
         let mut engine = SyncEngine::builder()
             .correct(Rude(NodeId::new(1)))
             .correct(Rude(NodeId::new(999)))
             .build();
         engine.run_round();
+    }
+
+    #[test]
+    fn acquaintance_violation_is_a_typed_error() {
+        let mut engine = SyncEngine::builder()
+            .correct(Rude(NodeId::new(1)))
+            .correct(Rude(NodeId::new(999)))
+            .build();
+        let err = engine.try_run_round().unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::AcquaintanceViolation {
+                round: 1,
+                from: NodeId::new(1),
+                to: NodeId::new(999),
+            }
+        );
     }
 
     #[test]
@@ -731,5 +963,247 @@ mod tests {
         engine.run_rounds(2);
         assert_eq!(engine.stats().correct_sends, 3);
         assert_eq!(engine.stats().correct_deliveries, 9);
+    }
+
+    #[test]
+    fn crashed_node_neither_computes_nor_sends() {
+        let nodes = ids(&[1, 2, 3]);
+        let mut faults = FaultPlan::new();
+        faults.crash(1, NodeId::new(2));
+        let mut engine = SyncEngine::builder()
+            .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 2)))
+            .faults(faults)
+            .build();
+        engine.run_rounds(2);
+        assert_eq!(engine.crashed_ids().len(), 1);
+        let outputs = engine.outputs();
+        assert!(
+            !outputs.contains_key(&NodeId::new(2)),
+            "crashed node never decided"
+        );
+        for heard in outputs.values() {
+            assert_eq!(heard.len(), 2, "only the two live broadcasts arrive");
+            assert!(heard.iter().all(|e| e.from != NodeId::new(2)));
+        }
+    }
+
+    #[test]
+    fn recovered_node_resumes_with_retained_state() {
+        // Node 2 is crashed for round 1 only; its first computing round is
+        // round 2, where CollectAll broadcasts, so everyone still hears it —
+        // one round late. Node 2 itself missed the round-1 broadcasts (they
+        // were sent while it was down).
+        let nodes = ids(&[1, 2, 3]);
+        let mut faults = FaultPlan::new();
+        faults.crash(1, NodeId::new(2));
+        faults.recover(2, NodeId::new(2));
+        let mut engine = SyncEngine::builder()
+            .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 3)))
+            .faults(faults)
+            .build();
+        let done = engine.run_to_completion(6).expect("completes");
+        let heard1 = &done.outputs[&NodeId::new(1)];
+        assert_eq!(heard1.len(), 3);
+        assert!(heard1.iter().any(|e| e.from == NodeId::new(2)));
+        let heard2 = &done.outputs[&NodeId::new(2)];
+        assert_eq!(heard2.len(), 1, "only its own late broadcast");
+        assert!(heard2.iter().all(|e| e.from == NodeId::new(2)));
+    }
+
+    #[test]
+    fn silence_send_drops_all_outbound_for_the_round() {
+        let nodes = ids(&[1, 2, 3]);
+        let mut faults = FaultPlan::new();
+        faults.silence_send(1, NodeId::new(2));
+        let mut engine = SyncEngine::builder()
+            .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 2)))
+            .faults(faults)
+            .build();
+        engine.run_rounds(2);
+        let outputs = engine.outputs();
+        // Node 2 computed and decided — only its outbound traffic vanished.
+        assert!(outputs.contains_key(&NodeId::new(2)));
+        for heard in outputs.values() {
+            assert_eq!(heard.len(), 2);
+            assert!(heard.iter().all(|e| e.from != NodeId::new(2)));
+        }
+    }
+
+    #[test]
+    fn drop_inbound_and_drop_link_filter_deliveries() {
+        let nodes = ids(&[1, 2, 3]);
+        let mut faults = FaultPlan::new();
+        faults.drop_inbound(1, NodeId::new(1));
+        faults.drop_link(1, NodeId::new(2), NodeId::new(3));
+        let mut engine = SyncEngine::builder()
+            .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 2)))
+            .faults(faults)
+            .build();
+        engine.run_rounds(2);
+        let outputs = engine.outputs();
+        assert_eq!(outputs[&NodeId::new(1)].len(), 0, "receive omission");
+        assert_eq!(outputs[&NodeId::new(2)].len(), 3, "unaffected node");
+        let heard3 = &outputs[&NodeId::new(3)];
+        assert_eq!(heard3.len(), 2, "2 -> 3 link was down");
+        assert!(heard3.iter().all(|e| e.from != NodeId::new(2)));
+    }
+
+    #[test]
+    fn adversary_driving_crashed_node_is_an_error() {
+        let adv = FnAdversary::new(
+            |_: &AdversaryView<'_, u64>, out: &mut AdversaryOutbox<u64>| {
+                // Ignores the view on purpose: N100 is crash-faulted from round 1
+                // and a disciplined adversary would see it absent from
+                // `view.faulty`.
+                out.broadcast(NodeId::new(100), 7);
+            },
+        );
+        let mut faults = FaultPlan::new();
+        faults.crash(1, NodeId::new(100));
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 3))
+            .faulty(NodeId::new(100))
+            .adversary(adv)
+            .faults(faults)
+            .build();
+        let err = engine.try_run_round().unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::FaultedNodeActed {
+                round: 1,
+                node: NodeId::new(100),
+            }
+        );
+    }
+
+    #[test]
+    fn monitor_aborts_with_first_violating_round() {
+        let mut engine = SyncEngine::builder()
+            .correct(Idle::new(NodeId::new(1)))
+            .monitor(|view: &MonitorView<'_, Idle>| {
+                if view.round >= 3 {
+                    Err(ViolationReport {
+                        round: view.round,
+                        spec: "round bound".into(),
+                        violations: vec!["ran past round 2".into()],
+                    })
+                } else {
+                    Ok(())
+                }
+            })
+            .build();
+        assert!(engine.try_run_round().is_ok());
+        assert!(engine.try_run_round().is_ok());
+        match engine.try_run_round().unwrap_err() {
+            EngineError::InvariantViolated(report) => {
+                assert_eq!(report.round, 3);
+                assert_eq!(report.spec, "round bound");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completion_waits_for_scheduled_recovery() {
+        // Node 1 decides at round 2 while node 2 is down, but a recovery is
+        // scheduled for round 4 — the run must keep going until the
+        // recovered node catches up and decides too.
+        let mut faults = FaultPlan::new();
+        faults.crash(1, NodeId::new(2));
+        faults.recover(4, NodeId::new(2));
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 2))
+            .correct(CollectAll::new(NodeId::new(2), 2))
+            .faults(faults)
+            .build();
+        let done = engine.run_to_completion(10).expect("completes");
+        assert!(done.outputs.contains_key(&NodeId::new(2)));
+        assert!(done.decided_round[&NodeId::new(2)] >= 4);
+    }
+
+    #[test]
+    fn unrecovered_crash_does_not_block_completion() {
+        let mut faults = FaultPlan::new();
+        faults.crash(1, NodeId::new(2));
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 2))
+            .correct(CollectAll::new(NodeId::new(2), 2))
+            .faults(faults)
+            .build();
+        let done = engine.run_to_completion(10).expect("completes");
+        assert!(!done.outputs.contains_key(&NodeId::new(2)));
+        assert!(done.outputs.contains_key(&NodeId::new(1)));
+    }
+
+    #[test]
+    fn join_and_leave_in_the_same_round_is_a_no_show() {
+        // Actions for a round apply in schedule order: a node joined and
+        // removed before the same round never computes, never sends, and
+        // never appears in the outputs.
+        let mut churn: ChurnSchedule<CollectAll> = ChurnSchedule::new();
+        churn.join_correct(1, CollectAll::new(NodeId::new(7), 2));
+        churn.leave(1, NodeId::new(7));
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 2))
+            .correct(CollectAll::new(NodeId::new(2), 2))
+            .churn(churn)
+            .build();
+        let done = engine.run_to_completion(10).expect("completes");
+        assert!(!done.outputs.contains_key(&NodeId::new(7)));
+        for heard in done.outputs.values() {
+            assert!(
+                heard.iter().all(|e| e.from != NodeId::new(7)),
+                "the no-show node must never be heard from"
+            );
+        }
+    }
+
+    #[test]
+    fn leave_of_an_absent_node_is_ignored() {
+        // Leaving a node that never existed, or one that already left, is a
+        // no-op rather than an error: the paper's adversary controls the
+        // schedule, and the engine must not fall over on a stale action.
+        let mut churn: ChurnSchedule<CollectAll> = ChurnSchedule::new();
+        churn.leave(1, NodeId::new(99)); // never present
+        churn.leave(2, NodeId::new(2));
+        churn.leave(3, NodeId::new(2)); // already gone
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 4))
+            .correct(CollectAll::new(NodeId::new(2), 4))
+            .churn(churn)
+            .build();
+        let done = engine.run_to_completion(10).expect("completes");
+        assert!(done.outputs.contains_key(&NodeId::new(1)));
+        assert!(!done.outputs.contains_key(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn crashed_node_can_leave_and_rejoin_as_fresh() {
+        // Crash-recovery composes with churn: a node that crashes, leaves
+        // (clearing its crashed status), and rejoins under the same id runs
+        // a fresh process and participates normally again.
+        let mut faults = FaultPlan::new();
+        faults.crash(1, NodeId::new(2));
+        let mut churn: ChurnSchedule<CollectAll> = ChurnSchedule::new();
+        churn.leave(3, NodeId::new(2));
+        churn.join_correct(4, CollectAll::new(NodeId::new(2), 6));
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 6))
+            .correct(CollectAll::new(NodeId::new(2), 6))
+            .faults(faults)
+            .churn(churn)
+            .build();
+        let done = engine.run_to_completion(10).expect("completes");
+        assert!(engine.crashed_ids().is_empty(), "leave clears the crash");
+        assert!(
+            done.outputs.contains_key(&NodeId::new(2)),
+            "the rejoined node decides"
+        );
+        // Node 1 hears the rejoined node's broadcasts (sent from round 4 on).
+        let heard_from_2 = done.outputs[&NodeId::new(1)]
+            .iter()
+            .filter(|e| e.from == NodeId::new(2))
+            .count();
+        assert!(heard_from_2 > 0, "the rejoined node speaks again");
     }
 }

@@ -1,0 +1,397 @@
+//! Deterministic fault injection for the round engine.
+//!
+//! The paper's claims are quantified over *every* adversary and *every*
+//! failure pattern with `n > 3f`. Hand-written attacks only cover a few
+//! points of that space; a [`FaultPlan`] sweeps it systematically by
+//! injecting benign (non-Byzantine) faults — crash-stop, crash-recovery,
+//! send/receive omission and lossy links — at scheduled rounds, composing
+//! with whatever Byzantine [`Adversary`](crate::Adversary) is installed.
+//!
+//! Semantics, fixed by the engine:
+//!
+//! - [`Fault::Crash`]/[`Fault::Recover`] take effect at the **start** of
+//!   their round, before any node computes. A crashed node neither computes
+//!   nor sends, and messages addressed to it while crashed are lost. A
+//!   recovered node resumes from its retained process state with an empty
+//!   inbox, exactly like a late joiner's first round.
+//! - The transient faults ([`Fault::SilenceSend`], [`Fault::DropInbound`],
+//!   [`Fault::DropLink`]) filter the traffic **sent in** their round, i.e.
+//!   messages that would have been delivered at the start of the next round.
+//!   They are applied *after* the rushing adversary has committed its own
+//!   messages, so the adversary composes with the fault pattern at full
+//!   strength (it sees traffic that may subsequently be dropped).
+//!
+//! Faulted nodes count toward the resiliency budget: a plan that touches
+//! nodes `V` on a run with `b` Byzantine nodes exercises the guarantees for
+//! `f = b + |V|`, and the paper's properties are only promised to the nodes
+//! in neither set (the *pristine* nodes) while `n > 3f` holds.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::id::NodeId;
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Fault {
+    /// Crash-stop the node at the start of the round: it stops computing
+    /// and sending, and loses everything addressed to it, until a matching
+    /// [`Fault::Recover`].
+    Crash(NodeId),
+    /// Revive a crashed node at the start of the round; it resumes from its
+    /// retained state with an empty inbox.
+    Recover(NodeId),
+    /// Drop every message the node sends this round (send omission); the
+    /// node still computes and advances its own state.
+    SilenceSend(NodeId),
+    /// Drop every message addressed to the node this round (receive
+    /// omission).
+    DropInbound(NodeId),
+    /// Drop the messages sent from `from` to `to` this round (lossy link;
+    /// attributed to `from` as a send-omission fault).
+    DropLink {
+        /// Sending endpoint (the faulty one, for budget accounting).
+        from: NodeId,
+        /// Receiving endpoint.
+        to: NodeId,
+    },
+}
+
+impl Fault {
+    /// The node this fault is charged to in the resiliency budget.
+    pub fn victim(&self) -> NodeId {
+        match *self {
+            Fault::Crash(n) | Fault::Recover(n) | Fault::SilenceSend(n) | Fault::DropInbound(n) => {
+                n
+            }
+            Fault::DropLink { from, .. } => from,
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Crash(n) => write!(f, "crash({n})"),
+            Fault::Recover(n) => write!(f, "recover({n})"),
+            Fault::SilenceSend(n) => write!(f, "silence-send({n})"),
+            Fault::DropInbound(n) => write!(f, "drop-inbound({n})"),
+            Fault::DropLink { from, to } => write!(f, "drop-link({from}->{to})"),
+        }
+    }
+}
+
+/// A deterministic schedule of injected faults, keyed by round.
+///
+/// # Examples
+///
+/// ```
+/// use uba_sim::{Fault, FaultPlan, NodeId};
+///
+/// let mut plan = FaultPlan::new();
+/// plan.crash(3, NodeId::new(7)).recover(6, NodeId::new(7));
+/// plan.drop_link(2, NodeId::new(7), NodeId::new(9));
+/// assert_eq!(plan.len(), 3);
+/// assert_eq!(plan.victims(), [NodeId::new(7)].into_iter().collect());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: BTreeMap<u64, Vec<Fault>>,
+    len: usize,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (no faults ever fire).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan from `(round, fault)` pairs (the inverse of
+    /// [`events`](Self::events); used by the schedule shrinker).
+    pub fn from_events<I: IntoIterator<Item = (u64, Fault)>>(events: I) -> Self {
+        let mut plan = FaultPlan::new();
+        for (round, fault) in events {
+            plan.push(round, fault);
+        }
+        plan
+    }
+
+    /// Schedules a crash-stop at the start of `round`.
+    pub fn crash(&mut self, round: u64, node: NodeId) -> &mut Self {
+        self.push(round, Fault::Crash(node))
+    }
+
+    /// Schedules a recovery at the start of `round`.
+    pub fn recover(&mut self, round: u64, node: NodeId) -> &mut Self {
+        self.push(round, Fault::Recover(node))
+    }
+
+    /// Drops everything `node` sends during `round`.
+    pub fn silence_send(&mut self, round: u64, node: NodeId) -> &mut Self {
+        self.push(round, Fault::SilenceSend(node))
+    }
+
+    /// Drops everything addressed to `node` during `round`.
+    pub fn drop_inbound(&mut self, round: u64, node: NodeId) -> &mut Self {
+        self.push(round, Fault::DropInbound(node))
+    }
+
+    /// Drops the `from -> to` messages sent during `round`.
+    pub fn drop_link(&mut self, round: u64, from: NodeId, to: NodeId) -> &mut Self {
+        self.push(round, Fault::DropLink { from, to })
+    }
+
+    fn push(&mut self, round: u64, fault: Fault) -> &mut Self {
+        self.events.entry(round).or_default().push(fault);
+        self.len += 1;
+        self
+    }
+
+    /// Total number of scheduled fault events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All `(round, fault)` pairs in round order.
+    pub fn events(&self) -> impl Iterator<Item = (u64, Fault)> + '_ {
+        self.events
+            .iter()
+            .flat_map(|(&round, faults)| faults.iter().map(move |&f| (round, f)))
+    }
+
+    /// The set of nodes any event is charged to ([`Fault::victim`]).
+    pub fn victims(&self) -> std::collections::BTreeSet<NodeId> {
+        self.events().map(|(_, f)| f.victim()).collect()
+    }
+
+    /// A copy of the plan with the `index`-th event (in [`events`] order)
+    /// removed — the schedule shrinker's single step.
+    pub fn without_event(&self, index: usize) -> FaultPlan {
+        FaultPlan::from_events(
+            self.events()
+                .enumerate()
+                .filter(|&(i, _)| i != index)
+                .map(|(_, e)| e),
+        )
+    }
+
+    /// Whether any round ≥ `after` schedules a [`Fault::Recover`] (the
+    /// engine keeps running toward such rounds even when every live node
+    /// has terminated).
+    pub fn has_pending_recover(&self, after: u64) -> bool {
+        self.events
+            .range(after..)
+            .any(|(_, faults)| faults.iter().any(|f| matches!(f, Fault::Recover(_))))
+    }
+
+    /// The faults scheduled for `round`.
+    pub fn for_round(&self, round: u64) -> &[Fault] {
+        self.events.get(&round).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Samples a random plan from `seed`, confined to `universe`.
+    ///
+    /// Sampling is a pure function of `(seed, universe)`: the same pair
+    /// always yields the same plan, so every soak case is reproducible from
+    /// its seed alone. Faults are only charged to `universe.victims`, so the
+    /// caller controls the resiliency budget the plan consumes.
+    pub fn sample(seed: u64, universe: &FaultUniverse) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x8000_6EC7_F001_F001);
+        let mut plan = FaultPlan::new();
+        if universe.victims.is_empty() || universe.horizon < universe.onset {
+            return plan;
+        }
+        for &victim in &universe.victims {
+            // Independent lifecycle per victim: maybe a crash, maybe a
+            // recovery afterwards.
+            if rng.gen_bool(universe.crash_probability) {
+                let crash_round = rng.gen_range(universe.onset..=universe.horizon);
+                plan.crash(crash_round, victim);
+                if universe.allow_recovery && crash_round < universe.horizon && rng.gen_bool(0.5) {
+                    plan.recover(rng.gen_range(crash_round + 1..=universe.horizon), victim);
+                }
+            }
+        }
+        for _ in 0..universe.transient_events {
+            let victim = universe.victims[rng.gen_range(0..universe.victims.len())];
+            let round = rng.gen_range(universe.onset..=universe.horizon);
+            match rng.gen_range(0..3) {
+                0 => {
+                    plan.silence_send(round, victim);
+                }
+                1 => {
+                    plan.drop_inbound(round, victim);
+                }
+                _ => {
+                    let peers = &universe.population;
+                    if peers.is_empty() {
+                        plan.silence_send(round, victim);
+                    } else {
+                        let to = peers[rng.gen_range(0..peers.len())];
+                        plan.drop_link(round, victim, to);
+                    }
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// The space [`FaultPlan::sample`] draws from.
+#[derive(Debug, Clone)]
+pub struct FaultUniverse {
+    /// Nodes faults may be charged to. Together with the Byzantine nodes of
+    /// the run they must stay within the `n > 3f` budget for the paper's
+    /// guarantees to be expected.
+    pub victims: Vec<NodeId>,
+    /// All node ids of the run (used as link endpoints).
+    pub population: Vec<NodeId>,
+    /// First round (inclusive) at which a fault may fire. Protocols with an
+    /// initialization window (e.g. a participant-estimate freeze) set this
+    /// past it: a node that crashes *across* such a window and comes back
+    /// can never re-establish the frozen state, so that scenario is modeled
+    /// as a leave + join ([`crate::ChurnSchedule`]), not as a recoverable
+    /// crash.
+    pub onset: u64,
+    /// Last round (inclusive) at which a fault may fire.
+    pub horizon: u64,
+    /// Per-victim probability of a crash-stop somewhere in the horizon.
+    pub crash_probability: f64,
+    /// Whether crashed victims may recover within the horizon.
+    pub allow_recovery: bool,
+    /// Number of transient (omission/link) events to sample.
+    pub transient_events: usize,
+}
+
+impl FaultUniverse {
+    /// A universe over `victims` within `population`, with defaults suited
+    /// to the soak runner: crash probability 0.5, recovery allowed, two
+    /// transient events.
+    pub fn new(victims: Vec<NodeId>, population: Vec<NodeId>, horizon: u64) -> Self {
+        FaultUniverse {
+            victims,
+            population,
+            onset: 1,
+            horizon,
+            crash_probability: 0.5,
+            allow_recovery: true,
+            transient_events: 2,
+        }
+    }
+
+    /// Delays the first possible fault to `round` (see [`Self::onset`]).
+    pub fn starting_at(mut self, round: u64) -> Self {
+        self.onset = round;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn plan_round_trips_through_events() {
+        let mut plan = FaultPlan::new();
+        plan.crash(2, n(1)).silence_send(4, n(2)).recover(5, n(1));
+        let rebuilt = FaultPlan::from_events(plan.events());
+        assert_eq!(plan, rebuilt);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.for_round(4), &[Fault::SilenceSend(n(2))]);
+        assert!(plan.for_round(3).is_empty());
+    }
+
+    #[test]
+    fn without_event_removes_exactly_one() {
+        let mut plan = FaultPlan::new();
+        plan.crash(2, n(1))
+            .drop_inbound(3, n(2))
+            .drop_link(3, n(2), n(9));
+        let shrunk = plan.without_event(1);
+        assert_eq!(shrunk.len(), 2);
+        assert_eq!(
+            shrunk.for_round(3),
+            &[Fault::DropLink {
+                from: n(2),
+                to: n(9)
+            }]
+        );
+        assert_eq!(plan.len(), 3, "original untouched");
+    }
+
+    #[test]
+    fn pending_recover_is_round_sensitive() {
+        let mut plan = FaultPlan::new();
+        plan.crash(2, n(1)).recover(6, n(1));
+        assert!(plan.has_pending_recover(0));
+        assert!(plan.has_pending_recover(6));
+        assert!(!plan.has_pending_recover(7));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_confined() {
+        let victims = vec![n(3), n(5)];
+        let population = vec![n(1), n(2), n(3), n(4), n(5)];
+        let universe = FaultUniverse::new(victims.clone(), population, 10);
+        let a = FaultPlan::sample(77, &universe);
+        let b = FaultPlan::sample(77, &universe);
+        assert_eq!(a, b);
+        for (round, fault) in a.events() {
+            assert!((1..=10).contains(&round));
+            assert!(victims.contains(&fault.victim()), "{fault} outside budget");
+        }
+        // Different seeds eventually differ.
+        let other = (0..50)
+            .map(|s| FaultPlan::sample(s, &universe))
+            .any(|p| p != a);
+        assert!(other, "sampler ignores its seed");
+    }
+
+    #[test]
+    fn onset_delays_every_sampled_fault() {
+        let universe =
+            FaultUniverse::new(vec![n(3), n(5)], vec![n(1), n(3), n(5)], 10).starting_at(4);
+        for seed in 0..50 {
+            for (round, fault) in FaultPlan::sample(seed, &universe).events() {
+                assert!(
+                    round >= 4,
+                    "{fault} sampled before the onset (round {round})"
+                );
+            }
+        }
+        // An empty window yields an empty plan rather than panicking.
+        let empty = FaultUniverse::new(vec![n(3)], vec![n(3)], 10).starting_at(11);
+        assert!(FaultPlan::sample(7, &empty).is_empty());
+    }
+
+    #[test]
+    fn victims_reports_the_charged_nodes() {
+        let mut plan = FaultPlan::new();
+        plan.drop_link(1, n(4), n(8)).crash(2, n(6));
+        assert_eq!(plan.victims(), [n(4), n(6)].into_iter().collect());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Fault::Crash(n(3)).to_string(), "crash(N3)");
+        assert_eq!(
+            Fault::DropLink {
+                from: n(1),
+                to: n(2)
+            }
+            .to_string(),
+            "drop-link(N1->N2)"
+        );
+    }
+}

@@ -16,7 +16,10 @@
 //!   silent toward arbitrary subsets, and lie about received messages —
 //!   but unable to forge the sender id of a direct message;
 //! - dynamic membership ([`ChurnSchedule`]) with adversary-chosen joins and
-//!   leaves, and
+//!   leaves,
+//! - deterministic benign-fault injection ([`FaultPlan`]: crash-stop,
+//!   crash-recovery, omission and lossy links) with online invariant
+//!   monitoring ([`RoundMonitor`]), and
 //! - semi-synchronous / asynchronous execution ([`DelayedEngine`],
 //!   [`DelayModel`]) for the paper's impossibility results.
 //!
@@ -47,8 +50,10 @@ mod adversary;
 mod churn;
 mod delayed;
 mod engine;
+mod faults;
 mod id;
 mod message;
+mod monitor;
 mod process;
 mod rng;
 mod stats;
@@ -58,8 +63,10 @@ pub use adversary::{Adversary, AdversaryOutbox, AdversaryView, FnAdversary, NoAd
 pub use churn::{ChurnAction, ChurnSchedule};
 pub use delayed::{DelayModel, DelayedEngine, FixedDelay, PartitionDelay, UniformDelay};
 pub use engine::{Completion, EngineBuilder, EngineError, SentRecord, SyncEngine};
+pub use faults::{Fault, FaultPlan, FaultUniverse};
 pub use id::{consecutive_ids, sparse_ids, IdAllocator, NodeId};
 pub use message::{Dest, Envelope, Outbox, Outgoing, Payload};
+pub use monitor::{MonitorSet, MonitorView, RoundMonitor, ViolationReport};
 pub use process::{Context, Process};
 pub use rng::{derive, seeded};
 pub use stats::Stats;

@@ -48,7 +48,10 @@ use crate::message::{Envelope, Outbox, Payload};
 ///     fn output(&self) -> Option<BTreeSet<NodeId>> { self.peers.clone() }
 /// }
 /// ```
-pub trait Process {
+///
+/// Processes own their state (`'static`), which lets engines hand them to
+/// boxed observers such as [`RoundMonitor`](crate::RoundMonitor).
+pub trait Process: 'static {
     /// The protocol's message payload type.
     type Msg: Payload;
     /// The value the process terminates with.

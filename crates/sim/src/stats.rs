@@ -115,6 +115,9 @@ mod tests {
         s.record_send(false);
         s.record_send(true);
         s.record_delivery(false);
-        assert_eq!(s.to_string(), "1 rounds, 2 sends (1 adversarial), 1 deliveries");
+        assert_eq!(
+            s.to_string(),
+            "1 rounds, 2 sends (1 adversarial), 1 deliveries"
+        );
     }
 }

@@ -159,7 +159,10 @@ fn departed_nodes_stop_receiving_and_sending() {
         assert_eq!(inboxes[2].len(), 3, "node {id} round 3: in-flight message");
         assert_eq!(inboxes[3].len(), 2, "node {id} round 4: leaver gone");
     }
-    assert!(!done.outputs.contains_key(&ids[0]), "leaver produced no output");
+    assert!(
+        !done.outputs.contains_key(&ids[0]),
+        "leaver produced no output"
+    );
 }
 
 #[test]

@@ -26,7 +26,10 @@ fn main() -> Result<(), uba::sim::EngineError> {
 
     println!("== Byzantine clock synchronization ==");
     println!("honest clocks: {offsets:?} ms");
-    println!("compromised clocks: {} (reporting ±1e6 ms, split by recipient)\n", setup.f());
+    println!(
+        "compromised clocks: {} (reporting ±1e6 ms, split by recipient)\n",
+        setup.f()
+    );
 
     let mut engine = SyncEngine::builder()
         .correct_many(
@@ -62,14 +65,13 @@ fn main() -> Result<(), uba::sim::EngineError> {
     println!("\nsynchronized offsets: {lo:.5}..{hi:.5} ms");
 
     // Check the formal properties with the executable spec.
-    let inputs: std::collections::BTreeMap<_, _> = setup
-        .correct
-        .iter()
-        .copied()
-        .zip(offsets)
-        .collect();
+    let inputs: std::collections::BTreeMap<_, _> =
+        setup.correct.iter().copied().zip(offsets).collect();
     spec::approx_containment(&inputs, &done.outputs).assert_holds();
     spec::approx_contraction(&inputs, &done.outputs, beats as u32).assert_holds();
-    println!("containment and per-beat halving verified — clocks agree to within {:.4} ms.", hi - lo);
+    println!(
+        "containment and per-beat halving verified — clocks agree to within {:.4} ms.",
+        hi - lo
+    );
     Ok(())
 }

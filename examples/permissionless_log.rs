@@ -24,7 +24,10 @@ fn main() -> Result<(), uba::sim::EngineError> {
     churn.join_correct(
         6,
         TotalOrdering::joining(joiner)
-            .with_events([(14, "tx-from-joiner".to_string()), (18, "another-tx".to_string())])
+            .with_events([
+                (14, "tx-from-joiner".to_string()),
+                (18, "another-tx".to_string()),
+            ])
             .with_horizon(horizon),
     );
 
@@ -47,7 +50,10 @@ fn main() -> Result<(), uba::sim::EngineError> {
     println!("== permissionless event log ==");
     println!("founders: {founders:?}");
     println!("joiner:   {joiner} (joins at round 6)");
-    println!("leaver:   {} (announces absence at round 30)\n", founders[0]);
+    println!(
+        "leaver:   {} (announces absence at round 30)\n",
+        founders[0]
+    );
 
     let done = engine.run_to_completion(horizon + 5)?;
 
@@ -71,7 +77,11 @@ fn main() -> Result<(), uba::sim::EngineError> {
                 continue;
             };
             let lo = a0.wave.max(b0.wave);
-            let hi = a.last().expect("non-empty").wave.min(b.last().expect("non-empty").wave);
+            let hi = a
+                .last()
+                .expect("non-empty")
+                .wave
+                .min(b.last().expect("non-empty").wave);
             let a_win: Vec<_> = a.iter().filter(|e| e.wave >= lo && e.wave <= hi).collect();
             let b_win: Vec<_> = b.iter().filter(|e| e.wave >= lo && e.wave <= hi).collect();
             assert!(

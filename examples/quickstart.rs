@@ -30,8 +30,7 @@ fn main() -> Result<(), uba::sim::EngineError> {
     let sender = setup.correct[0];
     let mut engine = SyncEngine::builder()
         .correct_many(setup.correct.iter().map(|&id| {
-            ReliableBroadcast::new(id, sender, (id == sender).then_some("ship it"))
-                .with_horizon(6)
+            ReliableBroadcast::new(id, sender, (id == sender).then_some("ship it")).with_horizon(6)
         }))
         .build();
     let done = engine.run_to_completion(8)?;

@@ -24,7 +24,10 @@ fn main() -> Result<(), uba::sim::EngineError> {
     let honest_hi = readings.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
 
     println!("== Byzantine sensor fusion ==");
-    println!("honest sensors: {} (readings {honest_lo}..{honest_hi} °C)", setup.correct.len());
+    println!(
+        "honest sensors: {} (readings {honest_lo}..{honest_hi} °C)",
+        setup.correct.len()
+    );
     println!(
         "compromised sensors: {} (injecting ±1000 °C, different signs to different halves)\n",
         setup.faulty.len()
@@ -55,14 +58,22 @@ fn main() -> Result<(), uba::sim::EngineError> {
             .filter_map(|&id| engine.process(id).map(|p| (id, p.current())))
             .collect();
         let lo = estimates.values().cloned().fold(f64::INFINITY, f64::min);
-        let hi = estimates.values().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = estimates
+            .values()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         println!("{it:>9} | {:.6}", hi - lo);
     }
 
     let done = engine.run_to_completion(iterations + 3)?;
     let (lo, hi) = output_range(&done.outputs);
     println!("\nfused estimates: {lo:.4}..{hi:.4} °C");
-    assert!(lo >= honest_lo && hi <= honest_hi, "attack never escapes the honest range");
-    println!("every estimate is inside the honest range {honest_lo}..{honest_hi} — attack defused.");
+    assert!(
+        lo >= honest_lo && hi <= honest_hi,
+        "attack never escapes the honest range"
+    );
+    println!(
+        "every estimate is inside the honest range {honest_lo}..{honest_hi} — attack defused."
+    );
     Ok(())
 }

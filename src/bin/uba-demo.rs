@@ -26,9 +26,7 @@ use uba::core::ordering::TotalOrdering;
 use uba::core::reliable::{RbMsg, ReliableBroadcast};
 use uba::core::renaming::Renaming;
 use uba::core::rotor::RotorCoordinator;
-use uba::sim::{
-    Adversary, AdversaryOutbox, AdversaryView, FnAdversary, NoAdversary, SyncEngine,
-};
+use uba::sim::{Adversary, AdversaryOutbox, AdversaryView, FnAdversary, NoAdversary, SyncEngine};
 
 const USAGE: &str = "\
 uba-demo — Byzantine agreement with unknown participants and failures
@@ -115,17 +113,16 @@ fn run_consensus(args: &Args) -> Result<(), String> {
     banner(&setup);
     let inputs: Vec<u64> = (0..args.nodes).map(|i| (i % 2) as u64).collect();
     println!("inputs (by id order): {inputs:?}");
-    let adversary: Box<dyn Adversary<ConsensusMsg<u64>>> =
-        match args.adversary.as_str() {
-            "" | "equivocate" => Box::new(ConsensusEquivocator::new(0u64, 1u64)),
-            "none" => Box::new(NoAdversary),
-            "vanish" => Box::new(ScriptedAdversary::announce_then_vanish(
-                ConsensusMsg::RotorInit,
-            )),
-            "mirror" => Box::new(MirrorAdversary::new()),
-            "split-mirror" => Box::new(SplitMirrorAdversary::new()),
-            other => return Err(format!("unknown consensus adversary {other}")),
-        };
+    let adversary: Box<dyn Adversary<ConsensusMsg<u64>>> = match args.adversary.as_str() {
+        "" | "equivocate" => Box::new(ConsensusEquivocator::new(0u64, 1u64)),
+        "none" => Box::new(NoAdversary),
+        "vanish" => Box::new(ScriptedAdversary::announce_then_vanish(
+            ConsensusMsg::RotorInit,
+        )),
+        "mirror" => Box::new(MirrorAdversary::new()),
+        "split-mirror" => Box::new(SplitMirrorAdversary::new()),
+        other => return Err(format!("unknown consensus adversary {other}")),
+    };
     let mut engine = SyncEngine::builder()
         .correct_many(
             setup
@@ -197,7 +194,10 @@ fn run_approx(args: &Args) -> Result<(), String> {
     let setup = Setup::new(args.nodes, args.faulty, args.seed);
     banner(&setup);
     let inputs: Vec<f64> = (0..args.nodes).map(|i| i as f64).collect();
-    println!("inputs: 0.0..={:.1}, extremist adversary ±1e9", (args.nodes - 1) as f64);
+    println!(
+        "inputs: 0.0..={:.1}, extremist adversary ±1e9",
+        (args.nodes - 1) as f64
+    );
     let mut engine = SyncEngine::builder()
         .correct_many(
             setup
@@ -249,7 +249,11 @@ fn run_rotor(args: &Args) -> Result<(), String> {
     let sample = done.outputs.values().next().expect("outputs");
     println!("coordinator schedule (one node's view):");
     for (round, p) in &sample.selections {
-        let kind = if setup.correct.contains(p) { "correct" } else { "faulty/ghost" };
+        let kind = if setup.correct.contains(p) {
+            "correct"
+        } else {
+            "faulty/ghost"
+        };
         println!("  round {round}: {p} ({kind})");
     }
     println!("terminated in round {}", done.last_decided_round());
@@ -325,7 +329,11 @@ fn run_trap(args: &Args) -> Result<(), String> {
         println!(
             "{:>11} | {}",
             point.cross_delay,
-            if point.disagreement { "DISAGREEMENT" } else { "agreement" }
+            if point.disagreement {
+                "DISAGREEMENT"
+            } else {
+                "agreement"
+            }
         );
     }
     Ok(())

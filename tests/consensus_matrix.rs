@@ -19,7 +19,11 @@ fn run<A: Adversary<ConsensusMsg<u64>>>(
     setup: &Setup,
     inputs: &[u64],
     adversary: A,
-) -> (BTreeSet<u64>, std::collections::BTreeMap<uba::sim::NodeId, u64>, u64) {
+) -> (
+    BTreeSet<u64>,
+    std::collections::BTreeMap<uba::sim::NodeId, u64>,
+    u64,
+) {
     let mut engine = SyncEngine::builder()
         .correct_many(
             setup
@@ -43,10 +47,18 @@ type NamedStrategy = (&'static str, Box<dyn Adversary<ConsensusMsg<u64>>>);
 
 fn strategies(setup: &Setup) -> Vec<NamedStrategy> {
     vec![
-        ("vanish", Box::new(ScriptedAdversary::announce_then_vanish(ConsensusMsg::RotorInit))),
+        (
+            "vanish",
+            Box::new(ScriptedAdversary::announce_then_vanish(
+                ConsensusMsg::RotorInit,
+            )),
+        ),
         ("mirror", Box::new(MirrorAdversary::new())),
         ("split-mirror", Box::new(SplitMirrorAdversary::new())),
-        ("equivocate", Box::new(ConsensusEquivocator::new(0u64, 1u64))),
+        (
+            "equivocate",
+            Box::new(ConsensusEquivocator::new(0u64, 1u64)),
+        ),
         (
             "crash",
             Box::new(CrashAdversary::new(

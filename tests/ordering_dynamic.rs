@@ -6,9 +6,7 @@ use std::collections::BTreeSet;
 
 use uba::core::harness::mutual_prefix;
 use uba::core::ordering::{Chain, OrderMsg, TotalOrdering};
-use uba::sim::{
-    AdversaryOutbox, AdversaryView, ChurnSchedule, FnAdversary, NodeId, SyncEngine,
-};
+use uba::sim::{AdversaryOutbox, AdversaryView, ChurnSchedule, FnAdversary, NodeId, SyncEngine};
 
 /// Overlap-consistency for chains that may start at different waves (late
 /// joiners report suffixes).

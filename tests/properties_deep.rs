@@ -10,9 +10,7 @@ use uba::core::ordering::{Chain, OrderMsg, TotalOrdering};
 use uba::core::parallel::{ParMsg, ParallelConsensus};
 use uba::core::rotor::{RotorCoordinator, RotorMsg};
 use uba::core::spec;
-use uba::sim::{
-    AdversaryOutbox, AdversaryView, ChurnSchedule, FnAdversary, NodeId, SyncEngine,
-};
+use uba::sim::{AdversaryOutbox, AdversaryView, ChurnSchedule, FnAdversary, NodeId, SyncEngine};
 
 use rand::rngs::StdRng;
 use rand::Rng;

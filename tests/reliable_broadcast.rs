@@ -6,9 +6,7 @@ use std::collections::BTreeMap;
 use uba::adversary::ScriptedAdversary;
 use uba::core::harness::{max_faulty, Setup};
 use uba::core::reliable::{RbMsg, ReliableBroadcast};
-use uba::sim::{
-    Adversary, AdversaryOutbox, AdversaryView, FnAdversary, NodeId, SyncEngine,
-};
+use uba::sim::{Adversary, AdversaryOutbox, AdversaryView, FnAdversary, NodeId, SyncEngine};
 
 type Msg = RbMsg<&'static str>;
 
@@ -51,14 +49,16 @@ fn relay_property_under_targeted_echoes() {
     // to make some accept early and others never. Relay says: acceptance
     // rounds differ by at most one.
     let setup = Setup::new(7, 2, 5);
-    let adv = FnAdversary::new(|view: &AdversaryView<'_, Msg>, out: &mut AdversaryOutbox<Msg>| {
-        let half: Vec<NodeId> = view.correct.iter().copied().take(3).collect();
-        for &b in view.faulty.iter() {
-            for &to in &half {
-                out.send(b, to, RbMsg::Echo("m"));
+    let adv = FnAdversary::new(
+        |view: &AdversaryView<'_, Msg>, out: &mut AdversaryOutbox<Msg>| {
+            let half: Vec<NodeId> = view.correct.iter().copied().take(3).collect();
+            for &b in view.faulty.iter() {
+                for &to in &half {
+                    out.send(b, to, RbMsg::Echo("m"));
+                }
             }
-        }
-    });
+        },
+    );
     let outputs = run(&setup, Some("m"), adv);
     let rounds: Vec<u64> = outputs
         .values()
@@ -75,12 +75,14 @@ fn unforgeability_with_silent_correct_sender() {
     // forged echoes. Nothing may ever be accepted.
     for f in [1usize, 2, 4] {
         let setup = Setup::new(3 * f + 1, f, f as u64);
-        let adv = FnAdversary::new(|view: &AdversaryView<'_, Msg>, out: &mut AdversaryOutbox<Msg>| {
-            for &b in view.faulty.iter() {
-                out.broadcast(b, RbMsg::Echo("forged"));
-                out.broadcast(b, RbMsg::Payload("forged"));
-            }
-        });
+        let adv = FnAdversary::new(
+            |view: &AdversaryView<'_, Msg>, out: &mut AdversaryOutbox<Msg>| {
+                for &b in view.faulty.iter() {
+                    out.broadcast(b, RbMsg::Echo("forged"));
+                    out.broadcast(b, RbMsg::Payload("forged"));
+                }
+            },
+        );
         let outputs = run(&setup, None, adv);
         for accepted in outputs.values() {
             assert!(accepted.is_empty(), "forged acceptance at f = {f}");
@@ -97,14 +99,16 @@ fn byzantine_sender_equivocation_is_per_message_consistent() {
     let correct = uba::sim::sparse_ids(7, 9);
     let byz_sender = NodeId::new(42);
     let split: Vec<NodeId> = correct[..3].to_vec();
-    let adv = FnAdversary::new(move |view: &AdversaryView<'_, Msg>, out: &mut AdversaryOutbox<Msg>| {
-        if view.round == 1 {
-            for &to in view.correct.iter() {
-                let m = if split.contains(&to) { "a" } else { "b" };
-                out.send(byz_sender, to, RbMsg::Payload(m));
+    let adv = FnAdversary::new(
+        move |view: &AdversaryView<'_, Msg>, out: &mut AdversaryOutbox<Msg>| {
+            if view.round == 1 {
+                for &to in view.correct.iter() {
+                    let m = if split.contains(&to) { "a" } else { "b" };
+                    out.send(byz_sender, to, RbMsg::Payload(m));
+                }
             }
-        }
-    });
+        },
+    );
     let mut engine = SyncEngine::builder()
         .correct_many(
             correct

@@ -59,7 +59,9 @@ fn rotor_tolerates_ghost_candidates_and_stays_linear() {
             .build();
         // Candidates ≤ n + ghosts, termination ≤ 3 + (candidates + 1).
         let budget = 3 + (n as u64 + ghosts as u64 + 1) + 5;
-        let done = engine.run_to_completion(budget).expect("linear termination");
+        let done = engine
+            .run_to_completion(budget)
+            .expect("linear termination");
         assert!(done.last_decided_round() <= budget);
     }
 }
@@ -71,8 +73,8 @@ fn parallel_consensus_agreement_under_equivocated_instance_values() {
     type M = ParMsg<&'static str, u64>;
     let setup = Setup::new(7, 2, 13);
     let faulty = setup.faulty.clone();
-    let adv = FnAdversary::new(move |view: &AdversaryView<'_, M>, out: &mut AdversaryOutbox<M>| {
-        match view.round {
+    let adv = FnAdversary::new(
+        move |view: &AdversaryView<'_, M>, out: &mut AdversaryOutbox<M>| match view.round {
             1 => {
                 for &b in &faulty {
                     out.broadcast(b, ParMsg::RotorInit);
@@ -86,8 +88,8 @@ fn parallel_consensus_agreement_under_equivocated_instance_values() {
                 }
             }
             _ => {}
-        }
-    });
+        },
+    );
     let mut engine = SyncEngine::builder()
         .correct_many(
             setup
