@@ -3,7 +3,9 @@
 //! Samples deterministic fault plans, composes them with each algorithm's
 //! strongest Byzantine attack, and checks the paper's invariants online via
 //! the engine's monitor hook. On failure it prints a greedily shrunk,
-//! minimal reproducing fault plan and exits non-zero.
+//! minimal reproducing fault plan, re-runs it with full tracing, writes the
+//! postmortem JSONL next to the report, and exits non-zero naming the
+//! violated monitor and the offending nodes.
 //!
 //! Usage:
 //! ```text
@@ -11,18 +13,31 @@
 //! cargo run -p uba-bench --release --bin soak -- --seeds 10      # quick smoke
 //! cargo run -p uba-bench --release --bin soak -- --broken        # include f >= n/3
 //! cargo run -p uba-bench --release --bin soak -- consensus rotor # algorithm subset
+//! cargo run -p uba-bench --release --bin soak -- --trace-out target  # dump dir
+//! cargo run -p uba-bench --release --bin soak -- --trace-last-n 500  # window size
 //! ```
 //!
-//! Every case is reproducible from `(algorithm, sweep, seed)` alone.
+//! Every case is reproducible from `(algorithm, sweep, seed)` alone, and the
+//! postmortem trace is byte-identical across re-runs of the same case.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use uba_bench::experiments::t10_faults::{soak, Algo, FailureRepro, Sweep, HEALTHY_SEEDS};
+use uba_bench::experiments::t10_faults::{
+    soak, write_postmortem, Algo, FailureRepro, Sweep, HEALTHY_SEEDS,
+};
+use uba_sim::NodeId;
+
+/// Default `--trace-last-n`: large enough to keep every event of a shrunk
+/// minimal case, small enough that a pathological run stays bounded.
+const DEFAULT_TRACE_LAST_N: usize = 65_536;
 
 fn main() -> ExitCode {
     let mut seeds = HEALTHY_SEEDS;
     let mut broken = false;
     let mut algos: Vec<Algo> = Vec::new();
+    let mut trace_out = PathBuf::from(".");
+    let mut trace_last_n = DEFAULT_TRACE_LAST_N;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,11 +49,27 @@ fn main() -> ExitCode {
                 });
             }
             "--broken" => broken = true,
+            "--trace-out" => {
+                let value = args.next().unwrap_or_default();
+                if value.is_empty() {
+                    eprintln!("--trace-out expects a directory path");
+                    std::process::exit(2);
+                }
+                trace_out = PathBuf::from(value);
+            }
+            "--trace-last-n" => {
+                let value = args.next().unwrap_or_default();
+                trace_last_n = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--trace-last-n expects a number, got {value:?}");
+                    std::process::exit(2);
+                });
+            }
             other => match Algo::parse(other) {
                 Some(algo) => algos.push(algo),
                 None => {
                     eprintln!(
                         "unknown argument {other:?}; expected --seeds N, --broken, \
+                         --trace-out DIR, --trace-last-n N, \
                          or an algorithm (consensus, reliable, approx, rotor)"
                     );
                     std::process::exit(2);
@@ -50,7 +81,7 @@ fn main() -> ExitCode {
         algos = Algo::ALL.to_vec();
     }
 
-    let mut healthy_failed = false;
+    let mut healthy_failure: Option<(Algo, FailureRepro)> = None;
     let mut sweeps = vec![Sweep::HEALTHY];
     if broken {
         sweeps.push(Sweep::BROKEN);
@@ -69,18 +100,42 @@ fn main() -> ExitCode {
             );
             if let Some(first) = report.first_failure.as_deref() {
                 print_repro(first);
-                if sweep.name() == "healthy" {
-                    healthy_failed = true;
+                match write_postmortem(&trace_out, algo, &sweep, first, trace_last_n) {
+                    Ok((traced, path)) => {
+                        println!("  postmortem trace: {}", path.display());
+                        for line in traced.metrics.summary().lines() {
+                            println!("  metrics: {line}");
+                        }
+                    }
+                    Err(err) => eprintln!("  postmortem trace write failed: {err}"),
+                }
+                if sweep.name() == "healthy" && healthy_failure.is_none() {
+                    healthy_failure = Some((algo, first.clone()));
                 }
             }
         }
     }
-    if healthy_failed {
-        eprintln!("FAIL: invariant violated within the n > 3f budget");
+    if let Some((algo, first)) = healthy_failure {
+        eprintln!(
+            "FAIL: invariant violated within the n > 3f budget: \
+             {} seed {}: monitor '{}' blames nodes {}",
+            algo.name(),
+            first.seed,
+            first.monitor.as_deref().unwrap_or("post-hoc check"),
+            render_nodes(&first.nodes),
+        );
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn render_nodes(nodes: &[NodeId]) -> String {
+    if nodes.is_empty() {
+        return "(none attributed)".to_string();
+    }
+    let names: Vec<String> = nodes.iter().map(NodeId::to_string).collect();
+    names.join(", ")
 }
 
 fn print_repro(repro: &FailureRepro) {
@@ -89,6 +144,10 @@ fn print_repro(repro: &FailureRepro) {
         Some(round) => println!("  first violating round: {round}"),
         None => println!("  post-hoc failure (no single violating round)"),
     }
+    if let Some(monitor) = repro.monitor.as_deref() {
+        println!("  monitor: {monitor}");
+    }
+    println!("  offending nodes: {}", render_nodes(&repro.nodes));
     println!("  detail: {}", repro.detail);
     if repro.plan.is_empty() {
         println!("  minimal plan: (empty — the Byzantine nodes alone suffice)");

@@ -14,6 +14,7 @@
 //! `soak` binary re-runs any subset from the command line.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
 
 use uba_adversary::attacks::{ApproxExtremist, ConsensusEquivocator, RotorSplitAdversary};
 use uba_core::approx::ApproxAgreement;
@@ -22,6 +23,7 @@ use uba_core::harness::Setup;
 use uba_core::monitor::{
     AgreementMonitor, ApproxMonitor, RelayMonitor, UnforgeabilityMonitor, ValidityMonitor,
 };
+use uba_core::observe;
 use uba_core::reliable::{RbMsg, ReliableBroadcast};
 use uba_core::rotor::RotorCoordinator;
 use uba_core::spec;
@@ -29,6 +31,7 @@ use uba_sim::{
     Adversary, AdversaryOutbox, AdversaryView, EngineError, FaultPlan, FaultUniverse, FnAdversary,
     MonitorSet, NodeId, Process, SyncEngine,
 };
+use uba_trace::{to_json, Fanout, Metrics, RingTracer, SharedTracer, TraceEvent};
 
 use crate::Table;
 
@@ -54,6 +57,16 @@ impl Algo {
         match self {
             Algo::Consensus => "consensus",
             Algo::Reliable => "reliable bcast",
+            Algo::Approx => "approx",
+            Algo::Rotor => "rotor",
+        }
+    }
+
+    /// File-name-safe identifier (no spaces), also the CLI token.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Algo::Consensus => "consensus",
+            Algo::Reliable => "reliable",
             Algo::Approx => "approx",
             Algo::Rotor => "rotor",
         }
@@ -186,6 +199,10 @@ pub struct CaseFailure {
     /// First violating round, when an online monitor caught it; `None` for
     /// post-hoc failures (liveness, missing good round).
     pub round: Option<u64>,
+    /// Name of the monitor (property) that fired, when one did.
+    pub monitor: Option<String>,
+    /// Ids of the offending nodes, when blame is attributable.
+    pub nodes: Vec<NodeId>,
     /// Human-readable description.
     pub detail: String,
 }
@@ -194,21 +211,38 @@ impl CaseFailure {
     fn post_hoc(detail: String) -> Self {
         CaseFailure {
             round: None,
+            monitor: None,
+            nodes: Vec::new(),
             detail,
+        }
+    }
+
+    fn post_hoc_blaming(nodes: Vec<NodeId>, detail: String) -> Self {
+        CaseFailure {
+            nodes,
+            ..CaseFailure::post_hoc(detail)
         }
     }
 }
 
 fn engine_failure(err: EngineError) -> CaseFailure {
-    let round = match &err {
-        EngineError::InvariantViolated(report) => Some(report.round),
-        EngineError::FaultedNodeActed { round, .. }
-        | EngineError::AcquaintanceViolation { round, .. }
-        | EngineError::MissingNode { round, .. } => Some(*round),
-        EngineError::MaxRoundsExceeded { .. } => None,
+    let (round, monitor, nodes) = match &err {
+        EngineError::InvariantViolated(report) => (
+            Some(report.round),
+            Some(report.spec.clone()),
+            report.nodes.clone(),
+        ),
+        EngineError::FaultedNodeActed { round, node }
+        | EngineError::MissingNode { round, node } => (Some(*round), None, vec![*node]),
+        EngineError::AcquaintanceViolation { round, from, to } => {
+            (Some(*round), None, vec![*from, *to])
+        }
+        EngineError::MaxRoundsExceeded { undecided, .. } => (None, None, undecided.clone()),
     };
     CaseFailure {
         round,
+        monitor,
+        nodes,
         detail: err.to_string(),
     }
 }
@@ -240,12 +274,18 @@ where
         .copied()
         .filter(|id| !outputs.contains_key(id))
         .collect();
-    Err(CaseFailure::post_hoc(format!(
-        "liveness: {stuck:?} undecided after {budget} rounds"
-    )))
+    Err(CaseFailure::post_hoc_blaming(
+        stuck.clone(),
+        format!("liveness: {stuck:?} undecided after {budget} rounds"),
+    ))
 }
 
-fn consensus_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailure> {
+fn consensus_case(
+    sweep: &Sweep,
+    seed: u64,
+    plan: &FaultPlan,
+    tracer: Option<&CaseTracer>,
+) -> Option<CaseFailure> {
     let topo = topology(Algo::Consensus, sweep, seed);
     let inputs: BTreeMap<NodeId, u64> = topo
         .setup
@@ -257,7 +297,7 @@ fn consensus_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFail
     let monitors = MonitorSet::new()
         .with(AgreementMonitor::new(topo.pristine.iter().copied()))
         .with(ValidityMonitor::new(inputs.clone()));
-    let mut engine = SyncEngine::builder()
+    let mut builder = SyncEngine::builder()
         .correct_many(
             topo.setup
                 .correct
@@ -267,13 +307,21 @@ fn consensus_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFail
         .faulty_many(topo.setup.faulty.iter().copied())
         .adversary(ConsensusEquivocator::new(0u64, 1u64))
         .faults(plan.clone())
-        .monitor(monitors)
-        .build();
+        .monitor(monitors);
+    if let Some(handle) = tracer {
+        builder = builder.tracer(handle.clone()).observe(observe::probe);
+    }
+    let mut engine = builder.build();
     let budget = 2 + 5 * (topo.setup.n() as u64 + 4);
     drive(&mut engine, budget, &topo.pristine).err()
 }
 
-fn reliable_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailure> {
+fn reliable_case(
+    sweep: &Sweep,
+    seed: u64,
+    plan: &FaultPlan,
+    tracer: Option<&CaseTracer>,
+) -> Option<CaseFailure> {
     let topo = topology(Algo::Reliable, sweep, seed);
     let healthy = sweep.n() > 3 * sweep.f();
     // Healthy sweep: a pristine sender broadcasts and the relay property is
@@ -296,7 +344,7 @@ fn reliable_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailu
         monitors =
             MonitorSet::new().with(UnforgeabilityMonitor::new(topo.pristine.iter().copied()));
     }
-    let mut engine = SyncEngine::builder()
+    let mut builder = SyncEngine::builder()
         .correct_many(topo.setup.correct.iter().map(|&id| {
             let m = (healthy && id == sender).then_some(payload);
             ReliableBroadcast::new(id, sender, m).with_horizon(8)
@@ -304,8 +352,11 @@ fn reliable_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailu
         .faulty_many(topo.setup.faulty.iter().copied())
         .adversary(forger)
         .faults(plan.clone())
-        .monitor(monitors)
-        .build();
+        .monitor(monitors);
+    if let Some(handle) = tracer {
+        builder = builder.tracer(handle.clone()).observe(observe::probe);
+    }
+    let mut engine = builder.build();
     let outputs = match drive(&mut engine, 10, &topo.pristine) {
         Ok(outputs) => outputs,
         Err(fail) => return Some(fail),
@@ -322,7 +373,12 @@ fn reliable_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailu
     None
 }
 
-fn approx_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailure> {
+fn approx_case(
+    sweep: &Sweep,
+    seed: u64,
+    plan: &FaultPlan,
+    tracer: Option<&CaseTracer>,
+) -> Option<CaseFailure> {
     let topo = topology(Algo::Approx, sweep, seed);
     const ITERATIONS: u32 = 2;
     let inputs: BTreeMap<NodeId, f64> = topo
@@ -332,7 +388,7 @@ fn approx_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailure
         .enumerate()
         .map(|(i, &id)| (id, i as f64))
         .collect();
-    let mut engine = SyncEngine::builder()
+    let mut builder = SyncEngine::builder()
         .correct_many(
             topo.setup.correct.iter().map(|&id| {
                 ApproxAgreement::new(id, inputs[&id]).with_iterations(ITERATIONS as u64)
@@ -343,8 +399,11 @@ fn approx_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailure
         .faults(plan.clone())
         .monitor(
             ApproxMonitor::new(inputs.clone(), ITERATIONS).watched(topo.pristine.iter().copied()),
-        )
-        .build();
+        );
+    if let Some(handle) = tracer {
+        builder = builder.tracer(handle.clone()).observe(observe::probe);
+    }
+    let mut engine = builder.build();
     let outputs = match drive(&mut engine, 10, &topo.pristine) {
         Ok(outputs) => outputs,
         Err(fail) => return Some(fail),
@@ -358,9 +417,14 @@ fn approx_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailure
     None
 }
 
-fn rotor_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailure> {
+fn rotor_case(
+    sweep: &Sweep,
+    seed: u64,
+    plan: &FaultPlan,
+    tracer: Option<&CaseTracer>,
+) -> Option<CaseFailure> {
     let topo = topology(Algo::Rotor, sweep, seed);
-    let mut engine = SyncEngine::builder()
+    let mut builder = SyncEngine::builder()
         .correct_many(
             topo.setup
                 .correct
@@ -369,8 +433,11 @@ fn rotor_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailure>
         )
         .faulty_many(topo.setup.faulty.iter().copied())
         .adversary(RotorSplitAdversary::new())
-        .faults(plan.clone())
-        .build();
+        .faults(plan.clone());
+    if let Some(handle) = tracer {
+        builder = builder.tracer(handle.clone()).observe(observe::probe);
+    }
+    let mut engine = builder.build();
     let outputs = match drive(&mut engine, 60, &topo.pristine) {
         Ok(outputs) => outputs,
         Err(fail) => return Some(fail),
@@ -399,14 +466,116 @@ fn rotor_case(sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailure>
     None
 }
 
+/// The tracer stack a traced case installs: a bounded ring of the last
+/// events, fanned out with the metrics registry, behind a shared handle so
+/// the harness can read both back after the engine is done.
+pub type CaseTracer = SharedTracer<Fanout<RingTracer, Metrics>>;
+
 /// Runs one case: a single algorithm under a single fault plan.
 pub fn run_case(algo: Algo, sweep: &Sweep, seed: u64, plan: &FaultPlan) -> Option<CaseFailure> {
+    run_case_with(algo, sweep, seed, plan, None)
+}
+
+fn run_case_with(
+    algo: Algo,
+    sweep: &Sweep,
+    seed: u64,
+    plan: &FaultPlan,
+    tracer: Option<&CaseTracer>,
+) -> Option<CaseFailure> {
     match algo {
-        Algo::Consensus => consensus_case(sweep, seed, plan),
-        Algo::Reliable => reliable_case(sweep, seed, plan),
-        Algo::Approx => approx_case(sweep, seed, plan),
-        Algo::Rotor => rotor_case(sweep, seed, plan),
+        Algo::Consensus => consensus_case(sweep, seed, plan, tracer),
+        Algo::Reliable => reliable_case(sweep, seed, plan, tracer),
+        Algo::Approx => approx_case(sweep, seed, plan, tracer),
+        Algo::Rotor => rotor_case(sweep, seed, plan, tracer),
     }
+}
+
+/// One case re-run with full tracing: the outcome plus the captured event
+/// window and derived metrics.
+#[derive(Debug, Clone)]
+pub struct TracedCase {
+    /// The case's outcome (identical to the untraced run — tracing never
+    /// perturbs the schedule).
+    pub failure: Option<CaseFailure>,
+    /// The retained trace window, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events that fell out of the window (`--trace-last-n`).
+    pub dropped: u64,
+    /// Metrics derived from the full event stream (dropped events included).
+    pub metrics: Metrics,
+}
+
+impl TracedCase {
+    /// Renders the window as JSONL, with a `window` header line when events
+    /// were dropped — byte-identical across runs for a fixed
+    /// `(algo, sweep, seed, plan)`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "{{\"ev\":\"window\",\"dropped\":{}}}\n",
+                self.dropped
+            ));
+        }
+        for event in &self.events {
+            out.push_str(&to_json(event));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Re-runs one case with the [`CaseTracer`] stack installed, keeping the
+/// last `last_n` events.
+pub fn run_case_traced(
+    algo: Algo,
+    sweep: &Sweep,
+    seed: u64,
+    plan: &FaultPlan,
+    last_n: usize,
+) -> TracedCase {
+    let handle: CaseTracer = SharedTracer::new(Fanout(RingTracer::new(last_n), Metrics::default()));
+    let failure = run_case_with(algo, sweep, seed, plan, Some(&handle));
+    let (events, dropped, metrics) = handle.with(|fan| {
+        (
+            fan.0.events().cloned().collect(),
+            fan.0.dropped(),
+            fan.1.clone(),
+        )
+    });
+    TracedCase {
+        failure,
+        events,
+        dropped,
+        metrics,
+    }
+}
+
+/// Where a sweep's postmortem dump goes: `dir` joined with
+/// `soak-postmortem-<algo>-<sweep>-seed<seed>.jsonl` (a name CI can glob).
+pub fn postmortem_path(dir: &Path, algo: Algo, sweep: &Sweep, seed: u64) -> PathBuf {
+    dir.join(format!(
+        "soak-postmortem-{}-{}-seed{}.jsonl",
+        algo.slug(),
+        sweep.name(),
+        seed
+    ))
+}
+
+/// Re-runs a shrunk reproduction with tracing and writes the full JSONL
+/// next to the report. Returns the traced case and the path written.
+pub fn write_postmortem(
+    dir: &Path,
+    algo: Algo,
+    sweep: &Sweep,
+    repro: &FailureRepro,
+    last_n: usize,
+) -> std::io::Result<(TracedCase, PathBuf)> {
+    let traced = run_case_traced(algo, sweep, repro.seed, &repro.plan, last_n);
+    let path = postmortem_path(dir, algo, sweep, repro.seed);
+    std::fs::write(&path, traced.to_jsonl())?;
+    Ok((traced, path))
 }
 
 /// Greedy schedule shrinker: repeatedly drops single events whose removal
@@ -435,6 +604,10 @@ pub struct FailureRepro {
     pub seed: u64,
     /// First violating round, when an online monitor pinpointed one.
     pub round: Option<u64>,
+    /// Name of the monitor that fired, when one did.
+    pub monitor: Option<String>,
+    /// Offending nodes, when blame is attributable.
+    pub nodes: Vec<NodeId>,
     /// Failure description (after shrinking).
     pub detail: String,
     /// The shrunk, minimal fault plan that still reproduces the failure.
@@ -497,6 +670,8 @@ pub fn soak(algo: Algo, sweep: Sweep, seeds: u64) -> SweepReport {
             first_failure = Some(Box::new(FailureRepro {
                 seed,
                 round: after.round,
+                monitor: after.monitor,
+                nodes: after.nodes,
                 detail: after.detail,
                 plan: shrunk,
             }));
@@ -518,6 +693,13 @@ pub const BROKEN_SEEDS: u64 = 25;
 
 /// Runs experiment T10.
 pub fn run() -> Vec<Table> {
+    run_with_postmortem(None)
+}
+
+/// Like [`run`], but when `postmortem` supplies `(directory, last_n)` every
+/// sweep's first failure is re-run with tracing and dumped as JSONL via
+/// [`write_postmortem`] (the `--trace-out` / `--trace-last-n` flags).
+pub fn run_with_postmortem(postmortem: Option<(&Path, usize)>) -> Vec<Table> {
     let mut table = Table::new(
         "T10 — fault-injection soak: sampled fault plans composed with each algorithm's attack, online monitors on the pristine nodes",
         &["algorithm", "sweep", "n", "f", "cases", "violations", "first repro (shrunk)"],
@@ -528,6 +710,14 @@ pub fn run() -> Vec<Table> {
     ] {
         for algo in Algo::ALL {
             let report = soak(algo, sweep, seeds);
+            if let (Some((dir, last_n)), Some(first)) =
+                (postmortem, report.first_failure.as_deref())
+            {
+                match write_postmortem(dir, algo, &sweep, first, last_n) {
+                    Ok((_, path)) => eprintln!("postmortem trace: {}", path.display()),
+                    Err(err) => eprintln!("postmortem trace write failed: {err}"),
+                }
+            }
             table.row(&[
                 algo.name().to_string(),
                 sweep.name().to_string(),

@@ -68,6 +68,7 @@ pub mod consensus;
 pub mod harness;
 pub mod lower_bounds;
 pub mod monitor;
+pub mod observe;
 pub mod ordering;
 pub mod parallel;
 pub mod quorum;

@@ -39,6 +39,7 @@ fn lift(round: u64, report: SpecReport) -> Result<(), ViolationReport> {
         Err(ViolationReport {
             round,
             spec: report.property.to_string(),
+            nodes: report.offenders,
             violations: report.violations,
         })
     }
@@ -208,6 +209,12 @@ impl<M: Value> RoundMonitor<ReliableBroadcast<M>> for RelayMonitor {
             }
         }
         let mut violations = Vec::new();
+        let mut offenders: Vec<NodeId> = Vec::new();
+        let mut blame = |id: NodeId| {
+            if !offenders.contains(&id) {
+                offenders.push(id);
+            }
+        };
         for (m, holders) in per_message {
             let first = holders.iter().map(|(_, r)| *r).min().unwrap_or(0);
             // The relay window is still open in rounds `first` and
@@ -217,12 +224,18 @@ impl<M: Value> RoundMonitor<ReliableBroadcast<M>> for RelayMonitor {
             }
             for (&id, acc) in &accepted {
                 match acc.get(m) {
-                    None => violations.push(format!(
-                        "{id} has not accepted {m:?}, first accepted in round {first}"
-                    )),
-                    Some(&r) if r > first + 1 => violations.push(format!(
-                        "{id} accepted {m:?} in round {r}, more than one round after {first}"
-                    )),
+                    None => {
+                        violations.push(format!(
+                            "{id} has not accepted {m:?}, first accepted in round {first}"
+                        ));
+                        blame(id);
+                    }
+                    Some(&r) if r > first + 1 => {
+                        violations.push(format!(
+                            "{id} accepted {m:?} in round {r}, more than one round after {first}"
+                        ));
+                        blame(id);
+                    }
                     Some(_) => {}
                 }
             }
@@ -233,6 +246,7 @@ impl<M: Value> RoundMonitor<ReliableBroadcast<M>> for RelayMonitor {
             Err(ViolationReport {
                 round: view.round,
                 spec: "reliable broadcast relay".to_string(),
+                nodes: offenders,
                 violations,
             })
         }

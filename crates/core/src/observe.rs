@@ -1,0 +1,141 @@
+//! Projections of the paper's algorithms onto the trace vocabulary.
+//!
+//! The engine's observe hook ([`uba_sim::EngineBuilder::observe`]) takes a
+//! function from a process to a [`NodeSnapshot`]; this module provides that
+//! projection for each algorithm as an [`Observe`] impl, so harnesses can
+//! write `.observe(observe::probe)` and get phase/estimate/`n_v`/decision
+//! transitions in the trace without per-experiment plumbing.
+//!
+//! Snapshots deliberately render values through `Debug`: the trace layer
+//! is below the algorithms and must not know their value types.
+
+use uba_sim::{NodeSnapshot, Process};
+
+use crate::approx::ApproxAgreement;
+use crate::consensus::EarlyConsensus;
+use crate::reliable::ReliableBroadcast;
+use crate::rotor::RotorCoordinator;
+use crate::value::Value;
+
+/// An algorithm that can report its state as a [`NodeSnapshot`].
+///
+/// Implementations fill whatever fields make sense for the protocol; the
+/// engine diffs consecutive snapshots and emits
+/// [`TraceEvent::NodeState`](uba_sim::TraceEvent::NodeState) on change.
+pub trait Observe: Process {
+    /// The node's current observable state.
+    fn snapshot(&self) -> NodeSnapshot;
+}
+
+/// Free-function form of [`Observe::snapshot`], shaped for
+/// [`uba_sim::EngineBuilder::observe`]:
+///
+/// ```
+/// use uba_core::consensus::EarlyConsensus;
+/// use uba_core::observe;
+/// use uba_sim::{sparse_ids, SyncEngine};
+///
+/// let ids = sparse_ids(4, 42);
+/// let engine = SyncEngine::builder()
+///     .correct_many(ids.iter().map(|&id| EarlyConsensus::new(id, 1u64)))
+///     .observe(observe::probe)
+///     .build();
+/// # let _ = engine;
+/// ```
+pub fn probe<P: Observe>(process: &P) -> NodeSnapshot {
+    process.snapshot()
+}
+
+impl<V: Value> Observe for EarlyConsensus<V> {
+    fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            phase: Some(self.phases_executed()),
+            estimate: Some(format!("{:?}", self.current_opinion())),
+            n_v: self.frozen_estimate().map(|n| n as u64),
+            decided: self.output().map(|o| format!("{o:?}")),
+        }
+    }
+}
+
+impl Observe for ApproxAgreement {
+    fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            phase: Some(self.history().len() as u64),
+            estimate: Some(format!("{:?}", self.current())),
+            n_v: None,
+            decided: self.output().map(|o| format!("{o:?}")),
+        }
+    }
+}
+
+impl<M: Value> Observe for ReliableBroadcast<M> {
+    fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            phase: None,
+            estimate: Some(format!("{:?}", self.accepted())),
+            n_v: Some(self.participant_estimate() as u64),
+            decided: self.output().map(|o| format!("{o:?}")),
+        }
+    }
+}
+
+impl<V: Value> Observe for RotorCoordinator<V> {
+    fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            phase: Some(self.selections().len() as u64),
+            estimate: Some(format!("{:?}", self.selections())),
+            n_v: Some(self.candidates().len() as u64),
+            decided: self.output().map(|o| format!("{o:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_sim::{sparse_ids, SyncEngine, TraceEvent};
+    use uba_trace::{RingTracer, SharedTracer};
+
+    #[test]
+    fn consensus_snapshot_reports_phase_estimate_and_decision() {
+        let ids = sparse_ids(4, 7);
+        let p = EarlyConsensus::new(ids[0], 3u64);
+        let snap = p.snapshot();
+        assert_eq!(snap.phase, Some(0));
+        assert_eq!(snap.estimate.as_deref(), Some("3"));
+        assert_eq!(snap.n_v, None, "membership not frozen yet");
+        assert_eq!(snap.decided, None);
+    }
+
+    #[test]
+    fn traced_consensus_run_records_decision_transitions() {
+        let ids = sparse_ids(4, 7);
+        let handle = SharedTracer::new(RingTracer::new(65536));
+        let mut engine = SyncEngine::builder()
+            .correct_many(ids.iter().map(|&id| EarlyConsensus::new(id, 1u64)))
+            .tracer(handle.clone())
+            .observe(probe)
+            .build();
+        engine.run_to_completion(50).expect("completes");
+        handle.with(|ring| {
+            assert_eq!(ring.dropped(), 0);
+            let decisions: Vec<u64> = ring
+                .events()
+                .filter_map(|e| match e {
+                    TraceEvent::NodeState { node, state, .. } if state.decided.is_some() => {
+                        Some(*node)
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(decisions.len(), ids.len(), "each node decides exactly once");
+            let n_v_seen = ring
+                .events()
+                .any(|e| matches!(e, TraceEvent::NodeState { state, .. } if state.n_v.is_some()));
+            assert!(
+                n_v_seen,
+                "the frozen participant estimate reaches the trace"
+            );
+        });
+    }
+}

@@ -41,6 +41,10 @@ pub struct SpecReport {
     pub property: &'static str,
     /// Human-readable violations; empty means the property held.
     pub violations: Vec<String>,
+    /// Nodes implicated by the violations, deduplicated in first-blamed
+    /// order; empty when violations are global (e.g. a range bound) or when
+    /// the property held.
+    pub offenders: Vec<NodeId>,
 }
 
 impl SpecReport {
@@ -48,11 +52,22 @@ impl SpecReport {
         SpecReport {
             property,
             violations: Vec::new(),
+            offenders: Vec::new(),
         }
     }
 
     fn violate(&mut self, message: String) {
         self.violations.push(message);
+    }
+
+    /// Records a violation attributable to specific nodes.
+    fn violate_nodes(&mut self, nodes: &[NodeId], message: String) {
+        self.violations.push(message);
+        for &node in nodes {
+            if !self.offenders.contains(&node) {
+                self.offenders.push(node);
+            }
+        }
     }
 
     /// Whether the property held.
@@ -82,9 +97,10 @@ pub fn consensus_agreement<V: Value>(outputs: &BTreeMap<NodeId, V>) -> SpecRepor
     if let Some((first_id, first)) = iter.next() {
         for (id, v) in iter {
             if v != first {
-                report.violate(format!(
-                    "{id} decided {v:?} but {first_id} decided {first:?}"
-                ));
+                report.violate_nodes(
+                    &[*id, *first_id],
+                    format!("{id} decided {v:?} but {first_id} decided {first:?}"),
+                );
             }
         }
     }
@@ -102,14 +118,18 @@ pub fn consensus_validity<V: Value>(
     let unanimous = input_values.windows(2).all(|w| w[0] == w[1]);
     for (id, v) in outputs {
         if !input_values.contains(&v) {
-            report.violate(format!("{id} decided {v:?}, which no correct node input"));
+            report.violate_nodes(
+                &[*id],
+                format!("{id} decided {v:?}, which no correct node input"),
+            );
         }
         if unanimous {
             if let Some(the_input) = input_values.first() {
                 if &v != the_input {
-                    report.violate(format!(
-                        "unanimous input {the_input:?} but {id} decided {v:?}"
-                    ));
+                    report.violate_nodes(
+                        &[*id],
+                        format!("unanimous input {the_input:?} but {id} decided {v:?}"),
+                    );
                 }
             }
         }
@@ -125,7 +145,7 @@ pub fn consensus_termination<V: Value>(
     let mut report = SpecReport::new("consensus termination");
     for id in expected {
         if !outputs.contains_key(id) {
-            report.violate(format!("{id} never decided"));
+            report.violate_nodes(&[*id], format!("{id} never decided"));
         }
     }
     report
@@ -140,9 +160,12 @@ pub fn broadcast_correctness<M: Value>(
     let mut report = SpecReport::new("reliable broadcast correctness");
     for (id, acc) in accepted {
         match acc.get(message) {
-            None => report.violate(format!("{id} never accepted {message:?}")),
+            None => report.violate_nodes(&[*id], format!("{id} never accepted {message:?}")),
             Some(3) => {}
-            Some(r) => report.violate(format!("{id} accepted {message:?} in round {r}, not 3")),
+            Some(r) => report.violate_nodes(
+                &[*id],
+                format!("{id} accepted {message:?} in round {r}, not 3"),
+            ),
         }
     }
     report
@@ -160,17 +183,34 @@ pub fn broadcast_relay<M: Value>(accepted: &BTreeMap<NodeId, BTreeMap<M, u64>>) 
     }
     for (m, rounds) in per_message {
         if rounds.len() != accepted.len() {
-            report.violate(format!(
-                "{m:?} accepted by {}/{} nodes",
-                rounds.len(),
-                accepted.len()
-            ));
+            let holders: Vec<NodeId> = rounds.iter().map(|(id, _)| *id).collect();
+            let missing: Vec<NodeId> = accepted
+                .keys()
+                .filter(|id| !holders.contains(id))
+                .copied()
+                .collect();
+            report.violate_nodes(
+                &missing,
+                format!(
+                    "{m:?} accepted by {}/{} nodes",
+                    rounds.len(),
+                    accepted.len()
+                ),
+            );
             continue;
         }
         let min = rounds.iter().map(|(_, r)| *r).min().unwrap_or(0);
         let max = rounds.iter().map(|(_, r)| *r).max().unwrap_or(0);
         if max - min > 1 {
-            report.violate(format!("{m:?} acceptance spread {min}..{max} exceeds 1"));
+            let extremes: Vec<NodeId> = rounds
+                .iter()
+                .filter(|(_, r)| *r == min || *r == max)
+                .map(|(id, _)| *id)
+                .collect();
+            report.violate_nodes(
+                &extremes,
+                format!("{m:?} acceptance spread {min}..{max} exceeds 1"),
+            );
         }
     }
     report
@@ -184,9 +224,12 @@ pub fn broadcast_unforgeability<M: Value>(
     let mut report = SpecReport::new("reliable broadcast unforgeability");
     for (id, acc) in accepted {
         for (m, r) in acc {
-            report.violate(format!(
-                "{id} accepted forged {m:?} in round {r} although the sender never broadcast"
-            ));
+            report.violate_nodes(
+                &[*id],
+                format!(
+                    "{id} accepted forged {m:?} in round {r} although the sender never broadcast"
+                ),
+            );
         }
     }
     report
@@ -203,7 +246,7 @@ pub fn approx_containment(
     let hi = inputs.values().cloned().fold(f64::NEG_INFINITY, f64::max);
     for (id, o) in outputs {
         if *o < lo - 1e-12 || *o > hi + 1e-12 {
-            report.violate(format!("{id} output {o} outside [{lo}, {hi}]"));
+            report.violate_nodes(&[*id], format!("{id} output {o} outside [{lo}, {hi}]"));
         }
     }
     report
@@ -254,7 +297,10 @@ pub fn chain_prefix<V: Value>(chains: &BTreeMap<NodeId, Chain<V>>) -> SpecReport
             let b_win: Vec<_> = b.iter().filter(|e| e.wave >= lo).collect();
             let k = a_win.len().min(b_win.len());
             if a_win[..k] != b_win[..k] {
-                report.violate(format!("{id_a} and {id_b} disagree on waves ≥ {lo}"));
+                report.violate_nodes(
+                    &[*id_a, *id_b],
+                    format!("{id_a} and {id_b} disagree on waves ≥ {lo}"),
+                );
             }
         }
     }
@@ -270,7 +316,7 @@ pub fn chain_growth(observations: &[BTreeMap<NodeId, usize>], expect_growth: boo
         for (id, &later) in &pair[1] {
             if let Some(&earlier) = pair[0].get(id) {
                 if later < earlier {
-                    report.violate(format!("{id} chain shrank {earlier} -> {later}"));
+                    report.violate_nodes(&[*id], format!("{id} chain shrank {earlier} -> {later}"));
                 }
             }
         }

@@ -19,6 +19,8 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use uba_trace::{NoopTracer, TraceEvent, Tracer};
+
 use crate::engine::{Completion, EngineError};
 use crate::id::NodeId;
 use crate::message::{Dest, Envelope, Outbox};
@@ -136,6 +138,7 @@ pub struct DelayedEngine<P: Process, D> {
     delay: D,
     tick: u64,
     stats: Stats,
+    tracer: Box<dyn Tracer>,
 }
 
 impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
@@ -157,7 +160,17 @@ impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
             delay,
             tick: 0,
             stats: Stats::new(),
+            tracer: Box::new(NoopTracer),
         }
+    }
+
+    /// Installs a structured event tracer (default: no-op). Ticks map onto
+    /// the trace vocabulary's rounds; a [`TraceEvent::Deliver`] here carries
+    /// the **arrival** tick, since with arbitrary delays the send tick is a
+    /// property of the matching [`TraceEvent::Send`], not of the delivery.
+    pub fn with_tracer<T: Tracer + 'static>(mut self, tracer: T) -> Self {
+        self.tracer = Box::new(tracer);
+        self
     }
 
     /// Completed ticks.
@@ -188,12 +201,24 @@ impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
         let tick = self.tick + 1;
         self.tick = tick;
         self.stats.begin_round();
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::RoundBegin { round: tick });
+        }
 
         let due = self.pending.remove(&tick).unwrap_or_default();
         let mut inboxes: BTreeMap<NodeId, Vec<Envelope<P::Msg>>> = BTreeMap::new();
         for (to, env) in due {
             if self.nodes.get(&to).is_some_and(|p| p.output().is_none()) {
                 self.stats.record_delivery(false);
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceEvent::Deliver {
+                        round: tick,
+                        from: env.from.raw(),
+                        to: to.raw(),
+                        payload: format!("{:?}", env.msg),
+                        adversary: false,
+                    });
+                }
                 inboxes.entry(to).or_default().push(env);
             }
         }
@@ -214,6 +239,19 @@ impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
             }
             for out in outbox.drain() {
                 self.stats.record_send(false);
+                if self.tracer.enabled() {
+                    let to = match out.dest {
+                        Dest::Broadcast => None,
+                        Dest::To(t) => Some(t.raw()),
+                    };
+                    self.tracer.record(TraceEvent::Send {
+                        round: tick,
+                        from: id.raw(),
+                        to,
+                        payload: format!("{:?}", out.msg),
+                        adversary: false,
+                    });
+                }
                 let targets: Vec<NodeId> = match out.dest {
                     Dest::Broadcast => present.clone(),
                     Dest::To(t) => vec![t],
@@ -226,6 +264,13 @@ impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
                         .push((to, Envelope::new(id, out.msg.clone())));
                 }
             }
+        }
+        if self.tracer.enabled() {
+            let deliveries = self.stats.deliveries_by_round.last().copied().unwrap_or(0);
+            self.tracer.record(TraceEvent::RoundEnd {
+                round: tick,
+                deliveries,
+            });
         }
     }
 
@@ -330,5 +375,34 @@ mod tests {
     fn zero_delay_is_clamped() {
         let mut m = FixedDelay(0);
         assert_eq!(m.delay(NodeId::new(1), NodeId::new(2), 1), 1);
+    }
+
+    #[test]
+    fn tracer_sees_sends_and_arrival_tick_deliveries() {
+        use uba_trace::{RingTracer, SharedTracer, TraceEvent};
+        let handle = SharedTracer::new(RingTracer::new(256));
+        let mut engine = DelayedEngine::new(
+            [
+                CollectAll::new(NodeId::new(1), 4),
+                CollectAll::new(NodeId::new(2), 4),
+            ],
+            FixedDelay(2),
+        )
+        .with_tracer(handle.clone());
+        engine.run_ticks(4);
+        handle.with(|ring| {
+            let sends: Vec<u64> = ring
+                .events()
+                .filter(|e| matches!(e, TraceEvent::Send { .. }))
+                .map(|e| e.round())
+                .collect();
+            assert_eq!(sends, vec![1, 1], "both nodes broadcast at tick 1");
+            let delivers: Vec<u64> = ring
+                .events()
+                .filter(|e| matches!(e, TraceEvent::Deliver { .. }))
+                .map(|e| e.round())
+                .collect();
+            assert_eq!(delivers, vec![3, 3, 3, 3], "delay 2: arrival at tick 3");
+        });
     }
 }

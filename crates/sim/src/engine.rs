@@ -16,6 +16,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 
+use uba_trace::{NodeSnapshot, NoopTracer, TraceEvent, Tracer};
+
 use crate::adversary::{Adversary, AdversaryOutbox, AdversaryView, NoAdversary};
 use crate::churn::{ChurnAction, ChurnSchedule};
 use crate::faults::{Fault, FaultPlan};
@@ -24,6 +26,37 @@ use crate::message::{Dest, Envelope, Outbox, Outgoing};
 use crate::monitor::{MonitorView, RoundMonitor, ViolationReport};
 use crate::process::{Context, Process};
 use crate::stats::Stats;
+
+/// The observe hook: projects a process onto the trace vocabulary's
+/// [`NodeSnapshot`]. Installed via [`EngineBuilder::observe`]; the engine
+/// diffs consecutive snapshots per node and emits a
+/// [`TraceEvent::NodeState`] only on change.
+pub type ObserveFn<P> = Box<dyn Fn(&P) -> NodeSnapshot>;
+
+/// Renders a [`Dest`] as the trace vocabulary's optional recipient.
+fn dest_to_trace(dest: Dest) -> Option<u64> {
+    match dest {
+        Dest::Broadcast => None,
+        Dest::To(to) => Some(to.raw()),
+    }
+}
+
+/// The trace rendering of one fault-plan event.
+fn fault_to_trace(round: u64, fault: &Fault) -> TraceEvent {
+    let (kind, node, peer) = match *fault {
+        Fault::Crash(node) => ("crash", node, None),
+        Fault::Recover(node) => ("recover", node, None),
+        Fault::SilenceSend(node) => ("silence-send", node, None),
+        Fault::DropInbound(node) => ("drop-inbound", node, None),
+        Fault::DropLink { from, to } => ("drop-link", from, Some(to.raw())),
+    };
+    TraceEvent::Fault {
+        round,
+        kind,
+        node: node.raw(),
+        peer,
+    }
+}
 
 /// A record of one send operation, kept when tracing is enabled.
 ///
@@ -163,6 +196,8 @@ pub struct EngineBuilder<P: Process, A> {
     faults: FaultPlan,
     monitor: Option<Box<dyn RoundMonitor<P>>>,
     trace: bool,
+    tracer: Box<dyn Tracer>,
+    observe: Option<ObserveFn<P>>,
 }
 
 impl<P: Process> EngineBuilder<P, NoAdversary> {
@@ -176,6 +211,8 @@ impl<P: Process> EngineBuilder<P, NoAdversary> {
             faults: FaultPlan::new(),
             monitor: None,
             trace: false,
+            tracer: Box::new(NoopTracer),
+            observe: None,
         }
     }
 }
@@ -216,6 +253,8 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
             faults: self.faults,
             monitor: self.monitor,
             trace: self.trace,
+            tracer: self.tracer,
+            observe: self.observe,
         }
     }
 
@@ -255,6 +294,28 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
         self
     }
 
+    /// Installs a structured event tracer (default: [`NoopTracer`], which
+    /// costs nothing on the hot path). The engine emits a [`TraceEvent`]
+    /// for every round boundary, send, delivery, duplicate drop, adversary
+    /// step, churn action, injected fault, and monitor violation; with an
+    /// [`observe`](Self::observe) hook also for node state transitions.
+    ///
+    /// Pass a [`SharedTracer`](uba_trace::SharedTracer) clone to keep access
+    /// to the collected events after the engine takes ownership.
+    pub fn tracer<T: Tracer + 'static>(mut self, tracer: T) -> Self {
+        self.tracer = Box::new(tracer);
+        self
+    }
+
+    /// Installs the observe hook projecting each correct process onto a
+    /// [`NodeSnapshot`]. At the end of every round the engine snapshots
+    /// every present correct node and emits a [`TraceEvent::NodeState`]
+    /// for those whose snapshot changed. No-op without a tracer.
+    pub fn observe<F: Fn(&P) -> NodeSnapshot + 'static>(mut self, observe: F) -> Self {
+        self.observe = Some(Box::new(observe));
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Panics
@@ -276,6 +337,9 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
             monitor: self.monitor,
             enforce_acquaintance: self.enforce_acquaintance,
             trace: self.trace.then(Vec::new),
+            tracer: self.tracer,
+            observe: self.observe,
+            last_snapshots: BTreeMap::new(),
         };
         for p in self.correct {
             engine.insert_correct(p);
@@ -314,6 +378,10 @@ pub struct SyncEngine<P: Process, A> {
     monitor: Option<Box<dyn RoundMonitor<P>>>,
     enforce_acquaintance: bool,
     trace: Option<Vec<SentRecord<P::Msg>>>,
+    tracer: Box<dyn Tracer>,
+    observe: Option<ObserveFn<P>>,
+    /// Last emitted snapshot per node, for change-only `NodeState` events.
+    last_snapshots: BTreeMap<NodeId, NodeSnapshot>,
 }
 
 impl<P: Process> SyncEngine<P, NoAdversary> {
@@ -432,11 +500,36 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
     }
 
     fn apply_churn(&mut self, round: u64) {
+        let traced = self.tracer.enabled();
         for action in self.churn.take_for_round(round) {
             match action {
-                ChurnAction::JoinCorrect(p) => self.insert_correct(p),
-                ChurnAction::JoinFaulty(id) => self.insert_faulty(id),
+                ChurnAction::JoinCorrect(p) => {
+                    if traced {
+                        self.tracer.record(TraceEvent::ChurnJoin {
+                            round,
+                            node: p.id().raw(),
+                            faulty: false,
+                        });
+                    }
+                    self.insert_correct(p);
+                }
+                ChurnAction::JoinFaulty(id) => {
+                    if traced {
+                        self.tracer.record(TraceEvent::ChurnJoin {
+                            round,
+                            node: id.raw(),
+                            faulty: true,
+                        });
+                    }
+                    self.insert_faulty(id);
+                }
                 ChurnAction::Leave(id) => {
+                    if traced {
+                        self.tracer.record(TraceEvent::ChurnLeave {
+                            round,
+                            node: id.raw(),
+                        });
+                    }
                     if let Some(node) = self.correct.remove(&id) {
                         if let (Some(r), Some(o)) = (node.decided_round, node.process.output()) {
                             self.departed.insert(id, (r, o));
@@ -445,6 +538,7 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                     self.faulty.remove(&id);
                     self.crashed.remove(&id);
                     self.inboxes.remove(&id);
+                    self.last_snapshots.remove(&id);
                 }
             }
         }
@@ -464,6 +558,9 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
         let mut deafened = BTreeSet::new();
         let mut dead_links = HashSet::new();
         for fault in self.faults.for_round(round).to_vec() {
+            if self.tracer.enabled() {
+                self.tracer.record(fault_to_trace(round, &fault));
+            }
             match fault {
                 Fault::Crash(node) => {
                     self.crashed.insert(node);
@@ -514,6 +611,9 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
         let (silenced, deafened, dead_links) = self.apply_faults(round);
         self.round = round;
         self.stats.begin_round();
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::RoundBegin { round });
+        }
 
         let mut delivered = std::mem::take(&mut self.inboxes);
 
@@ -555,6 +655,15 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                     }
                 }
                 self.stats.record_send(false);
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceEvent::Send {
+                        round,
+                        from: id.raw(),
+                        to: dest_to_trace(out.dest),
+                        payload: format!("{:?}", out.msg),
+                        adversary: false,
+                    });
+                }
                 correct_traffic.push((id, out));
             }
         }
@@ -594,7 +703,22 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                     return Err(EngineError::FaultedNodeActed { round, node: from });
                 }
                 self.stats.record_send(true);
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceEvent::Send {
+                        round,
+                        from: from.raw(),
+                        to: dest_to_trace(item.dest),
+                        payload: format!("{:?}", item.msg),
+                        adversary: true,
+                    });
+                }
                 adversary_traffic.push((from, item));
+            }
+            if self.tracer.enabled() {
+                self.tracer.record(TraceEvent::Adversary {
+                    round,
+                    sends: adversary_traffic.len() as u64,
+                });
             }
         }
 
@@ -613,6 +737,7 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
         let mut seen: BTreeMap<NodeId, HashSet<(NodeId, P::Msg)>> = BTreeMap::new();
         let mut deliver = |engine_stats: &mut Stats,
                            acquaintance: &mut BTreeMap<NodeId, BTreeSet<NodeId>>,
+                           tracer: &mut Box<dyn Tracer>,
                            from: NodeId,
                            to: NodeId,
                            msg: &P::Msg,
@@ -622,10 +747,28 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             }
             let dedup = seen.entry(to).or_default();
             if !dedup.insert((from, msg.clone())) {
-                return; // duplicate within the round: discarded by the model
+                // Duplicate within the round: discarded by the model.
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::DuplicateDrop {
+                        round,
+                        from: from.raw(),
+                        to: to.raw(),
+                        payload: format!("{msg:?}"),
+                    });
+                }
+                return;
             }
             acquaintance.entry(to).or_default().insert(from);
             engine_stats.record_delivery(from_adversary);
+            if tracer.enabled() {
+                tracer.record(TraceEvent::Deliver {
+                    round,
+                    from: from.raw(),
+                    to: to.raw(),
+                    payload: format!("{msg:?}"),
+                    adversary: from_adversary,
+                });
+            }
             next.entry(to)
                 .or_default()
                 .push(Envelope::new(from, msg.clone()));
@@ -651,6 +794,7 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                             deliver(
                                 &mut self.stats,
                                 &mut self.acquaintance,
+                                &mut self.tracer,
                                 *from,
                                 to,
                                 &out.msg,
@@ -669,6 +813,7 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                             deliver(
                                 &mut self.stats,
                                 &mut self.acquaintance,
+                                &mut self.tracer,
                                 *from,
                                 to,
                                 &out.msg,
@@ -680,6 +825,24 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             }
         }
         self.inboxes = next;
+
+        // Emit node-state transitions: one event per present correct node
+        // whose observed snapshot changed this round (in id order).
+        if self.tracer.enabled() {
+            if let Some(observe) = &self.observe {
+                for (&id, node) in &self.correct {
+                    let snapshot = observe(&node.process);
+                    if self.last_snapshots.get(&id) != Some(&snapshot) {
+                        self.tracer.record(TraceEvent::NodeState {
+                            round,
+                            node: id.raw(),
+                            state: snapshot.clone(),
+                        });
+                        self.last_snapshots.insert(id, snapshot);
+                    }
+                }
+            }
+        }
 
         // Step 4: the online monitor sees the round's resulting state.
         if self.monitor.is_some() {
@@ -697,8 +860,26 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                 crashed: &self.crashed,
             };
             if let Some(monitor) = self.monitor.as_mut() {
-                monitor.check(&view)?;
+                if let Err(report) = monitor.check(&view) {
+                    // The verdict becomes the final event of the aborted
+                    // run: a postmortem trace ends with what went wrong.
+                    if self.tracer.enabled() {
+                        self.tracer.record(TraceEvent::MonitorVerdict {
+                            round,
+                            monitor: report.spec.clone(),
+                            ok: false,
+                            nodes: report.nodes.iter().map(|n| n.raw()).collect(),
+                            details: report.violations.clone(),
+                        });
+                    }
+                    return Err(report.into());
+                }
             }
+        }
+        if self.tracer.enabled() {
+            let deliveries = self.stats.deliveries_by_round.last().copied().unwrap_or(0);
+            self.tracer
+                .record(TraceEvent::RoundEnd { round, deliveries });
         }
         Ok(())
     }
@@ -1085,6 +1266,7 @@ mod tests {
                     Err(ViolationReport {
                         round: view.round,
                         spec: "round bound".into(),
+                        nodes: vec![NodeId::new(1)],
                         violations: vec!["ran past round 2".into()],
                     })
                 } else {
@@ -1098,9 +1280,110 @@ mod tests {
             EngineError::InvariantViolated(report) => {
                 assert_eq!(report.round, 3);
                 assert_eq!(report.spec, "round bound");
+                assert_eq!(report.nodes, vec![NodeId::new(1)]);
             }
             other => panic!("unexpected error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn tracer_stream_reproduces_stats_exactly() {
+        use uba_trace::{RingTracer, SharedTracer};
+        let nodes = ids(&[1, 2, 3]);
+        let adv = FnAdversary::new(
+            |view: &AdversaryView<'_, u64>, out: &mut AdversaryOutbox<u64>| {
+                if view.round <= 2 {
+                    for &b in view.faulty.iter() {
+                        out.broadcast(b, 7);
+                        out.broadcast(b, 7); // duplicate, dropped on delivery
+                    }
+                }
+            },
+        );
+        let mut faults = FaultPlan::new();
+        faults.silence_send(1, NodeId::new(2));
+        faults.drop_link(2, NodeId::new(1), NodeId::new(3));
+        let handle = SharedTracer::new(RingTracer::new(4096));
+        let mut engine = SyncEngine::builder()
+            .correct_many(nodes.iter().map(|&id| CollectAll::new(id, 3)))
+            .faulty(NodeId::new(100))
+            .adversary(adv)
+            .faults(faults)
+            .tracer(handle.clone())
+            .build();
+        engine.run_rounds(4);
+        assert!(engine.stats().deliveries > 0);
+        let replayed = handle.with(|ring| {
+            assert_eq!(ring.dropped(), 0, "window must hold the whole run");
+            Stats::from_events(ring.events())
+        });
+        assert_eq!(&replayed, engine.stats());
+    }
+
+    #[test]
+    fn monitor_violation_is_the_final_trace_event() {
+        use uba_trace::{RingTracer, SharedTracer, TraceEvent};
+        let handle = SharedTracer::new(RingTracer::new(256));
+        let mut engine = SyncEngine::builder()
+            .correct(Idle::new(NodeId::new(1)))
+            .monitor(|view: &MonitorView<'_, Idle>| {
+                if view.round >= 2 {
+                    Err(ViolationReport {
+                        round: view.round,
+                        spec: "round bound".into(),
+                        nodes: vec![NodeId::new(1)],
+                        violations: vec!["ran past round 1".into()],
+                    })
+                } else {
+                    Ok(())
+                }
+            })
+            .tracer(handle.clone())
+            .build();
+        assert!(engine.try_run_round().is_ok());
+        assert!(engine.try_run_round().is_err());
+        handle.with(|ring| {
+            let last = ring.events().last().expect("events recorded");
+            match last {
+                TraceEvent::MonitorVerdict {
+                    round,
+                    monitor,
+                    ok,
+                    nodes,
+                    ..
+                } => {
+                    assert_eq!(*round, 2);
+                    assert_eq!(monitor, "round bound");
+                    assert!(!ok);
+                    assert_eq!(nodes, &[1]);
+                }
+                other => panic!("final event is {other:?}, not a verdict"),
+            }
+        });
+    }
+
+    #[test]
+    fn node_state_events_fire_only_on_change() {
+        use uba_trace::{NodeSnapshot, RingTracer, SharedTracer, TraceEvent};
+        let handle = SharedTracer::new(RingTracer::new(256));
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 3))
+            .tracer(handle.clone())
+            .observe(|p: &CollectAll| NodeSnapshot {
+                decided: p.output().map(|o| format!("{o:?}")),
+                ..NodeSnapshot::new()
+            })
+            .build();
+        engine.run_rounds(4);
+        let state_rounds: Vec<u64> = handle.with(|ring| {
+            ring.events()
+                .filter(|e| matches!(e, TraceEvent::NodeState { .. }))
+                .map(|e| e.round())
+                .collect()
+        });
+        // Undecided snapshot in round 1, decided snapshot in round 3,
+        // nothing afterwards: transitions only.
+        assert_eq!(state_rounds, vec![1, 3]);
     }
 
     #[test]

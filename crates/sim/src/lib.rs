@@ -62,7 +62,7 @@ pub mod testutil;
 pub use adversary::{Adversary, AdversaryOutbox, AdversaryView, FnAdversary, NoAdversary};
 pub use churn::{ChurnAction, ChurnSchedule};
 pub use delayed::{DelayModel, DelayedEngine, FixedDelay, PartitionDelay, UniformDelay};
-pub use engine::{Completion, EngineBuilder, EngineError, SentRecord, SyncEngine};
+pub use engine::{Completion, EngineBuilder, EngineError, ObserveFn, SentRecord, SyncEngine};
 pub use faults::{Fault, FaultPlan, FaultUniverse};
 pub use id::{consecutive_ids, sparse_ids, IdAllocator, NodeId};
 pub use message::{Dest, Envelope, Outbox, Outgoing, Payload};
@@ -70,3 +70,10 @@ pub use monitor::{MonitorSet, MonitorView, RoundMonitor, ViolationReport};
 pub use process::{Context, Process};
 pub use rng::{derive, seeded};
 pub use stats::Stats;
+
+/// The structured tracing vocabulary and tracers (re-exported from
+/// [`uba_trace`]); install one via [`EngineBuilder::tracer`] /
+/// [`DelayedEngine::with_tracer`] and an observe hook via
+/// [`EngineBuilder::observe`].
+pub use uba_trace as trace;
+pub use uba_trace::{NodeSnapshot, NoopTracer, TraceEvent, Tracer};

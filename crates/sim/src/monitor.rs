@@ -26,19 +26,21 @@ pub struct ViolationReport {
     pub round: u64,
     /// Name of the violated property (e.g. `"consensus agreement"`).
     pub spec: String,
+    /// Ids of the offending nodes, when the monitor attributes blame;
+    /// empty when the property is global (e.g. a round bound).
+    pub nodes: Vec<NodeId>,
     /// Human-readable details, one entry per offending node or message.
     pub violations: Vec<String>,
 }
 
 impl fmt::Display for ViolationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} violated at round {}: {}",
-            self.spec,
-            self.round,
-            self.violations.join("; ")
-        )
+        write!(f, "{} violated at round {}", self.spec, self.round)?;
+        if !self.nodes.is_empty() {
+            let names: Vec<String> = self.nodes.iter().map(NodeId::to_string).collect();
+            write!(f, " (nodes: {})", names.join(", "))?;
+        }
+        write!(f, ": {}", self.violations.join("; "))
     }
 }
 
@@ -110,6 +112,7 @@ where
 ///         Err(ViolationReport {
 ///             round: view.round,
 ///             spec: "round bound".into(),
+///             nodes: vec![],
 ///             violations: vec!["ran past round 3".into()],
 ///         })
 ///     } else {
@@ -203,6 +206,7 @@ mod tests {
             Err(ViolationReport {
                 round: view.round,
                 spec: "second".into(),
+                nodes: vec![],
                 violations: vec!["boom".into()],
             })
         });
@@ -221,8 +225,23 @@ mod tests {
         let report = ViolationReport {
             round: 9,
             spec: "agreement".into(),
+            nodes: vec![],
             violations: vec!["a".into(), "b".into()],
         };
         assert_eq!(report.to_string(), "agreement violated at round 9: a; b");
+    }
+
+    #[test]
+    fn violation_report_names_offending_nodes() {
+        let report = ViolationReport {
+            round: 9,
+            spec: "agreement".into(),
+            nodes: vec![NodeId::new(3), NodeId::new(9)],
+            violations: vec!["split".into()],
+        };
+        assert_eq!(
+            report.to_string(),
+            "agreement violated at round 9 (nodes: N3, N9): split"
+        );
     }
 }

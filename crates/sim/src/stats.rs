@@ -5,6 +5,14 @@
 //! message deliveries (that is how message complexity is accounted in the
 //! cited literature, e.g. the polynomial message complexity of the king
 //! algorithm), and the number of *send operations* is tracked separately.
+//!
+//! The same information flows through the structured trace stream
+//! (`uba-trace`): [`Stats::from_events`] folds an event stream back into a
+//! `Stats` value, and the engine guarantees the two views agree — the
+//! counters are a cheap projection of the trace, kept hot because tracing
+//! is usually disabled.
+
+use uba_trace::TraceEvent;
 
 /// Statistics collected by an engine over a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -46,6 +54,14 @@ impl Stats {
         } else {
             self.correct_deliveries += 1;
         }
+        // A delivery before the first `begin_round` has no round to be
+        // attributed to; silently dropping it from the per-round breakdown
+        // would desynchronise `deliveries_by_round` from `deliveries`.
+        debug_assert!(
+            !self.deliveries_by_round.is_empty(),
+            "record_delivery called before begin_round: \
+             the delivery cannot be attributed to any round"
+        );
         if let Some(last) = self.deliveries_by_round.last_mut() {
             *last += 1;
         }
@@ -57,6 +73,28 @@ impl Stats {
         } else {
             self.correct_sends += 1;
         }
+    }
+
+    /// Folds a trace event stream back into run statistics.
+    ///
+    /// For a traced engine run this reproduces the engine's own [`Stats`]
+    /// exactly: the counters are a projection of the trace (rounds from
+    /// `RoundBegin`, sends from `Send`, deliveries from `Deliver`, with the
+    /// same sent-in-round attribution).
+    pub fn from_events<'a, I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = &'a TraceEvent>,
+    {
+        let mut stats = Stats::new();
+        for event in events {
+            match event {
+                TraceEvent::RoundBegin { .. } => stats.begin_round(),
+                TraceEvent::Send { adversary, .. } => stats.record_send(*adversary),
+                TraceEvent::Deliver { adversary, .. } => stats.record_delivery(*adversary),
+                _ => {}
+            }
+        }
+        stats
     }
 
     /// Mean deliveries per executed round, or 0.0 for an empty run.
@@ -106,6 +144,65 @@ mod tests {
     #[test]
     fn empty_run_mean_is_zero() {
         assert_eq!(Stats::new().mean_deliveries_per_round(), 0.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "record_delivery called before begin_round")]
+    fn delivery_before_first_round_is_rejected() {
+        let mut s = Stats::new();
+        s.record_delivery(false);
+    }
+
+    #[test]
+    fn from_events_replays_the_engine_attribution() {
+        let events = vec![
+            TraceEvent::RoundBegin { round: 1 },
+            TraceEvent::Send {
+                round: 1,
+                from: 1,
+                to: None,
+                payload: "a".into(),
+                adversary: false,
+            },
+            TraceEvent::Deliver {
+                round: 1,
+                from: 1,
+                to: 2,
+                payload: "a".into(),
+                adversary: false,
+            },
+            TraceEvent::Deliver {
+                round: 1,
+                from: 9,
+                to: 2,
+                payload: "b".into(),
+                adversary: true,
+            },
+            TraceEvent::RoundBegin { round: 2 },
+            TraceEvent::Send {
+                round: 2,
+                from: 9,
+                to: Some(2),
+                payload: "c".into(),
+                adversary: true,
+            },
+            TraceEvent::Deliver {
+                round: 2,
+                from: 9,
+                to: 2,
+                payload: "c".into(),
+                adversary: true,
+            },
+        ];
+        let s = Stats::from_events(&events);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.correct_sends, 1);
+        assert_eq!(s.adversary_sends, 1);
+        assert_eq!(s.deliveries, 3);
+        assert_eq!(s.correct_deliveries, 1);
+        assert_eq!(s.adversary_deliveries, 2);
+        assert_eq!(s.deliveries_by_round, vec![2, 1]);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! The trace event vocabulary.
+//!
+//! One [`TraceEvent`] is emitted for every observable step of an engine run:
+//! round boundaries, message traffic (sends, deliveries, duplicate drops),
+//! adversary activity, churn, injected faults, monitor verdicts, and
+//! per-node algorithm state transitions. Node identifiers appear as raw
+//! `u64` values so the vocabulary stays independent of the simulator crate;
+//! payloads are carried as their `Debug` rendering, produced only when a
+//! tracer is actually attached.
+
+/// A point-in-time snapshot of one node's algorithm state, reported through
+/// the engine's observe hook (see `uba-core::observe`).
+///
+/// Every field is optional: an algorithm reports whatever it has. The engine
+/// diffs consecutive snapshots per node and emits a
+/// [`TraceEvent::NodeState`] only when something changed, so the trace
+/// records *transitions*, not steady state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeSnapshot {
+    /// Protocol-level phase counter (e.g. consensus phases executed,
+    /// approximate-agreement iterations completed).
+    pub phase: Option<u64>,
+    /// The node's current estimate/opinion, rendered via `Debug`.
+    pub estimate: Option<String>,
+    /// The node's participant estimate `n_v`, once frozen/known.
+    pub n_v: Option<u64>,
+    /// The node's final output, rendered via `Debug`, once decided.
+    pub decided: Option<String>,
+}
+
+impl NodeSnapshot {
+    /// An empty snapshot (nothing reported yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One structured event of an engine run.
+///
+/// Rounds are 1-based engine rounds (ticks, for the delayed engine). A
+/// delivery is attributed to the round its message was *sent* in — it
+/// physically arrives at the start of the next round — matching the
+/// round-attribution of the engine's statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A round started executing (after churn and fault application).
+    RoundBegin {
+        /// The 1-based round.
+        round: u64,
+    },
+    /// A round finished executing.
+    RoundEnd {
+        /// The 1-based round.
+        round: u64,
+        /// Deliveries recorded during the round (messages sent this round
+        /// that will arrive next round).
+        deliveries: u64,
+    },
+    /// A node performed one send operation (broadcast or point-to-point).
+    /// The message may still be suppressed by a fault before delivery; a
+    /// send records intent, not receipt.
+    Send {
+        /// Round of the send.
+        round: u64,
+        /// Sender id.
+        from: u64,
+        /// Destination id; `None` means broadcast to every present node.
+        to: Option<u64>,
+        /// `Debug` rendering of the payload.
+        payload: String,
+        /// Whether the sender was adversary-controlled.
+        adversary: bool,
+    },
+    /// A message was accepted for delivery at the start of the next round.
+    Deliver {
+        /// Round the message was sent in.
+        round: u64,
+        /// Sender id.
+        from: u64,
+        /// Recipient id.
+        to: u64,
+        /// `Debug` rendering of the payload.
+        payload: String,
+        /// Whether the sender was adversary-controlled.
+        adversary: bool,
+    },
+    /// A duplicate `(sender, payload)` pair addressed to the same recipient
+    /// within one round was discarded, as the model demands.
+    DuplicateDrop {
+        /// Round of the duplicate send.
+        round: u64,
+        /// Sender id.
+        from: u64,
+        /// Recipient id.
+        to: u64,
+        /// `Debug` rendering of the discarded payload.
+        payload: String,
+    },
+    /// The rushing adversary committed its traffic for the round.
+    Adversary {
+        /// Round of the adversary step.
+        round: u64,
+        /// Number of send operations the adversary performed.
+        sends: u64,
+    },
+    /// A node joined the system through the churn schedule.
+    ChurnJoin {
+        /// Round of the join.
+        round: u64,
+        /// The joining node.
+        node: u64,
+        /// Whether it joined as an adversary-controlled node.
+        faulty: bool,
+    },
+    /// A node left the system through the churn schedule.
+    ChurnLeave {
+        /// Round of the leave.
+        round: u64,
+        /// The leaving node.
+        node: u64,
+    },
+    /// A benign fault from the fault plan fired.
+    Fault {
+        /// Round the fault applies to.
+        round: u64,
+        /// Fault kind: `crash`, `recover`, `silence-send`, `drop-inbound`,
+        /// or `drop-link`.
+        kind: &'static str,
+        /// The node the fault is charged to.
+        node: u64,
+        /// The second endpoint, for link faults.
+        peer: Option<u64>,
+    },
+    /// An online monitor reached a verdict. Engines emit this only on
+    /// violation (a passing round is the steady state); it is therefore the
+    /// final event of a run aborted by an invariant violation.
+    MonitorVerdict {
+        /// Round the verdict applies to.
+        round: u64,
+        /// Name of the monitored property (e.g. `"consensus agreement"`).
+        monitor: String,
+        /// Whether the property held.
+        ok: bool,
+        /// Ids of the offending nodes, when the monitor attributes blame.
+        nodes: Vec<u64>,
+        /// Human-readable details, one entry per violation.
+        details: Vec<String>,
+    },
+    /// A node's observed algorithm state changed (see [`NodeSnapshot`]).
+    NodeState {
+        /// Round at the end of which the new state was observed.
+        round: u64,
+        /// The node.
+        node: u64,
+        /// The new snapshot.
+        state: NodeSnapshot,
+    },
+}
+
+impl TraceEvent {
+    /// Short machine-readable event kind (the `ev` field of the JSONL
+    /// encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RoundBegin { .. } => "round_begin",
+            TraceEvent::RoundEnd { .. } => "round_end",
+            TraceEvent::Send { .. } => "send",
+            TraceEvent::Deliver { .. } => "deliver",
+            TraceEvent::DuplicateDrop { .. } => "duplicate_drop",
+            TraceEvent::Adversary { .. } => "adversary",
+            TraceEvent::ChurnJoin { .. } => "churn_join",
+            TraceEvent::ChurnLeave { .. } => "churn_leave",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::MonitorVerdict { .. } => "monitor_verdict",
+            TraceEvent::NodeState { .. } => "node_state",
+        }
+    }
+
+    /// The round the event belongs to.
+    pub fn round(&self) -> u64 {
+        match *self {
+            TraceEvent::RoundBegin { round }
+            | TraceEvent::RoundEnd { round, .. }
+            | TraceEvent::Send { round, .. }
+            | TraceEvent::Deliver { round, .. }
+            | TraceEvent::DuplicateDrop { round, .. }
+            | TraceEvent::Adversary { round, .. }
+            | TraceEvent::ChurnJoin { round, .. }
+            | TraceEvent::ChurnLeave { round, .. }
+            | TraceEvent::Fault { round, .. }
+            | TraceEvent::MonitorVerdict { round, .. }
+            | TraceEvent::NodeState { round, .. } => round,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_round_are_consistent() {
+        let ev = TraceEvent::Deliver {
+            round: 4,
+            from: 1,
+            to: 2,
+            payload: "x".into(),
+            adversary: false,
+        };
+        assert_eq!(ev.kind(), "deliver");
+        assert_eq!(ev.round(), 4);
+        let ev = TraceEvent::MonitorVerdict {
+            round: 9,
+            monitor: "agreement".into(),
+            ok: false,
+            nodes: vec![1, 2],
+            details: vec!["split".into()],
+        };
+        assert_eq!(ev.kind(), "monitor_verdict");
+        assert_eq!(ev.round(), 9);
+    }
+
+    #[test]
+    fn snapshot_diffing_uses_equality() {
+        let a = NodeSnapshot {
+            phase: Some(1),
+            ..NodeSnapshot::new()
+        };
+        let b = NodeSnapshot {
+            phase: Some(1),
+            ..NodeSnapshot::new()
+        };
+        assert_eq!(a, b);
+        let c = NodeSnapshot {
+            phase: Some(2),
+            ..NodeSnapshot::new()
+        };
+        assert_ne!(a, c);
+    }
+}

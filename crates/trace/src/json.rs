@@ -1,0 +1,238 @@
+//! Minimal, dependency-free JSONL encoding of [`TraceEvent`]s.
+//!
+//! Each event renders as exactly one line of JSON with a fixed key order,
+//! so traces of deterministic runs are byte-identical across runs — the
+//! property the postmortem workflow relies on (`diff` two traces to see
+//! where executions diverge).
+
+use crate::event::{NodeSnapshot, TraceEvent};
+
+/// Appends `s` to `out` as a JSON string literal (with escaping).
+fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_field_u64(out: &mut String, key: &str, value: u64) {
+    out.push(',');
+    push_str_escaped(out, key);
+    out.push(':');
+    out.push_str(&value.to_string());
+}
+
+fn push_field_str(out: &mut String, key: &str, value: &str) {
+    out.push(',');
+    push_str_escaped(out, key);
+    out.push(':');
+    push_str_escaped(out, value);
+}
+
+fn push_field_bool(out: &mut String, key: &str, value: bool) {
+    out.push(',');
+    push_str_escaped(out, key);
+    out.push(':');
+    out.push_str(if value { "true" } else { "false" });
+}
+
+fn push_field_str_list(out: &mut String, key: &str, values: &[String]) {
+    out.push(',');
+    push_str_escaped(out, key);
+    out.push_str(":[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_escaped(out, v);
+    }
+    out.push(']');
+}
+
+fn push_field_u64_list(out: &mut String, key: &str, values: &[u64]) {
+    out.push(',');
+    push_str_escaped(out, key);
+    out.push_str(":[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn push_snapshot(out: &mut String, state: &NodeSnapshot) {
+    if let Some(phase) = state.phase {
+        push_field_u64(out, "phase", phase);
+    }
+    if let Some(estimate) = &state.estimate {
+        push_field_str(out, "estimate", estimate);
+    }
+    if let Some(n_v) = state.n_v {
+        push_field_u64(out, "n_v", n_v);
+    }
+    if let Some(decided) = &state.decided {
+        push_field_str(out, "decided", decided);
+    }
+}
+
+/// Renders one event as a single JSON line (no trailing newline).
+///
+/// # Examples
+///
+/// ```
+/// use uba_trace::{to_json, TraceEvent};
+///
+/// let line = to_json(&TraceEvent::RoundBegin { round: 3 });
+/// assert_eq!(line, r#"{"ev":"round_begin","round":3}"#);
+/// ```
+pub fn to_json(event: &TraceEvent) -> String {
+    let mut out = String::with_capacity(96);
+    out.push('{');
+    push_str_escaped(&mut out, "ev");
+    out.push(':');
+    push_str_escaped(&mut out, event.kind());
+    push_field_u64(&mut out, "round", event.round());
+    match event {
+        TraceEvent::RoundBegin { .. } => {}
+        TraceEvent::RoundEnd { deliveries, .. } => {
+            push_field_u64(&mut out, "deliveries", *deliveries);
+        }
+        TraceEvent::Send {
+            from,
+            to,
+            payload,
+            adversary,
+            ..
+        } => {
+            push_field_u64(&mut out, "from", *from);
+            match to {
+                Some(to) => push_field_u64(&mut out, "to", *to),
+                None => push_field_str(&mut out, "to", "*"),
+            }
+            push_field_str(&mut out, "payload", payload);
+            push_field_bool(&mut out, "adversary", *adversary);
+        }
+        TraceEvent::Deliver {
+            from,
+            to,
+            payload,
+            adversary,
+            ..
+        } => {
+            push_field_u64(&mut out, "from", *from);
+            push_field_u64(&mut out, "to", *to);
+            push_field_str(&mut out, "payload", payload);
+            push_field_bool(&mut out, "adversary", *adversary);
+        }
+        TraceEvent::DuplicateDrop {
+            from, to, payload, ..
+        } => {
+            push_field_u64(&mut out, "from", *from);
+            push_field_u64(&mut out, "to", *to);
+            push_field_str(&mut out, "payload", payload);
+        }
+        TraceEvent::Adversary { sends, .. } => {
+            push_field_u64(&mut out, "sends", *sends);
+        }
+        TraceEvent::ChurnJoin { node, faulty, .. } => {
+            push_field_u64(&mut out, "node", *node);
+            push_field_bool(&mut out, "faulty", *faulty);
+        }
+        TraceEvent::ChurnLeave { node, .. } => {
+            push_field_u64(&mut out, "node", *node);
+        }
+        TraceEvent::Fault {
+            kind, node, peer, ..
+        } => {
+            push_field_str(&mut out, "kind", kind);
+            push_field_u64(&mut out, "node", *node);
+            if let Some(peer) = peer {
+                push_field_u64(&mut out, "peer", *peer);
+            }
+        }
+        TraceEvent::MonitorVerdict {
+            monitor,
+            ok,
+            nodes,
+            details,
+            ..
+        } => {
+            push_field_str(&mut out, "monitor", monitor);
+            push_field_bool(&mut out, "ok", *ok);
+            push_field_u64_list(&mut out, "nodes", nodes);
+            push_field_str_list(&mut out, "details", details);
+        }
+        TraceEvent::NodeState { node, state, .. } => {
+            push_field_u64(&mut out, "node", *node);
+            push_snapshot(&mut out, state);
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        let line = to_json(&TraceEvent::Send {
+            round: 1,
+            from: 7,
+            to: None,
+            payload: "say \"hi\"\\\n\u{1}".to_string(),
+            adversary: true,
+        });
+        assert_eq!(
+            line,
+            r#"{"ev":"send","round":1,"from":7,"to":"*","payload":"say \"hi\"\\\n\u0001","adversary":true}"#
+        );
+    }
+
+    #[test]
+    fn monitor_verdict_lists_nodes_and_details() {
+        let line = to_json(&TraceEvent::MonitorVerdict {
+            round: 5,
+            monitor: "consensus agreement".into(),
+            ok: false,
+            nodes: vec![3, 9],
+            details: vec!["N3 decided 1 but N9 decided 0".into()],
+        });
+        assert_eq!(
+            line,
+            r#"{"ev":"monitor_verdict","round":5,"monitor":"consensus agreement","ok":false,"nodes":[3,9],"details":["N3 decided 1 but N9 decided 0"]}"#
+        );
+    }
+
+    #[test]
+    fn node_state_skips_absent_fields() {
+        let line = to_json(&TraceEvent::NodeState {
+            round: 8,
+            node: 4,
+            state: NodeSnapshot {
+                phase: Some(2),
+                estimate: None,
+                n_v: Some(10),
+                decided: None,
+            },
+        });
+        assert_eq!(
+            line,
+            r#"{"ev":"node_state","round":8,"node":4,"phase":2,"n_v":10}"#
+        );
+    }
+}

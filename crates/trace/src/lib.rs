@@ -1,0 +1,65 @@
+//! # uba-trace — deterministic event tracing and metrics
+//!
+//! A zero-dependency observability layer for the `uba` engines. The crate
+//! provides three things:
+//!
+//! 1. **An event vocabulary** ([`TraceEvent`]): round boundaries, sends,
+//!    deliveries, duplicate drops, adversary activity, churn, injected
+//!    faults, monitor verdicts, and per-node algorithm state transitions
+//!    ([`NodeSnapshot`]). Node ids are raw `u64`s so the vocabulary stays
+//!    below the simulator in the dependency graph.
+//! 2. **Tracers** ([`Tracer`]): the no-op default ([`NoopTracer`], free on
+//!    the hot path), a bounded ring-buffer collector ([`RingTracer`],
+//!    keeping the last *N* events of a long run), a JSONL writer
+//!    ([`JsonlTracer`], behind the default `jsonl` feature), plus the
+//!    [`Fanout`] and [`SharedTracer`] combinators used to wire one event
+//!    stream into several consumers.
+//! 3. **A metrics registry** ([`Metrics`]): counters per event kind and
+//!    fixed-bucket [`Histogram`]s (deliveries per round, `n_v` growth,
+//!    rounds to decide) folded directly from the event stream.
+//!
+//! Everything is deterministic for a fixed seed: events carry no wall-clock
+//! timestamps, maps are ordered, and the JSONL encoding uses a fixed key
+//! order — two runs of the same seeded experiment produce byte-identical
+//! traces, so `diff` localises divergence.
+//!
+//! ## Feature flags
+//!
+//! * `jsonl` *(default)* — the JSON encoder ([`to_json`]), [`JsonlTracer`],
+//!   and [`RingTracer::to_jsonl`]. With `--no-default-features` the crate
+//!   is the pure in-memory core: vocabulary, no-op/ring tracers, metrics.
+//!
+//! ## Example
+//!
+//! ```
+//! use uba_trace::{Fanout, Metrics, RingTracer, SharedTracer, TraceEvent, Tracer};
+//!
+//! // A postmortem window and a metrics registry fed from one stream.
+//! let handle = SharedTracer::new(Fanout(RingTracer::new(1024), Metrics::new()));
+//! let mut tracer = handle.clone(); // this clone goes to the engine
+//!
+//! tracer.record(TraceEvent::RoundBegin { round: 1 });
+//! tracer.record(TraceEvent::RoundEnd { round: 1, deliveries: 6 });
+//!
+//! handle.with(|fan| {
+//!     assert_eq!(fan.0.len(), 2);
+//!     assert_eq!(fan.1.counter("round_end"), 1);
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+#[cfg(feature = "jsonl")]
+mod json;
+mod metrics;
+mod tracer;
+
+pub use event::{NodeSnapshot, TraceEvent};
+#[cfg(feature = "jsonl")]
+pub use json::to_json;
+pub use metrics::{Histogram, Metrics};
+#[cfg(feature = "jsonl")]
+pub use tracer::JsonlTracer;
+pub use tracer::{Fanout, NoopTracer, RingTracer, SharedTracer, Tracer};

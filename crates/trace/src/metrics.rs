@@ -1,0 +1,309 @@
+//! A metrics registry derived from the trace event stream.
+//!
+//! [`Metrics`] is itself a [`Tracer`]: attach it (alone or fanned out next
+//! to a collector) and it folds the event stream into named counters and
+//! fixed-bucket histograms — deliveries per round, `n_v` snapshots, and
+//! rounds-to-decide distributions — without a second instrumentation path.
+//! Everything is stored in `BTreeMap`s so rendering is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::TraceEvent;
+use crate::tracer::Tracer;
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Buckets are defined by their inclusive upper bounds plus an implicit
+/// overflow bucket; bounds are fixed at construction, so merging and
+/// rendering are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use uba_trace::Histogram;
+///
+/// let mut h = Histogram::new(&[1, 10, 100]);
+/// h.record(0);
+/// h.record(7);
+/// h.record(1_000);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.buckets(), vec![(Some(1), 1), (Some(10), 1), (Some(100), 0), (None, 1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds (sorted and
+    /// deduplicated) plus an overflow bucket.
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; buckets],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The buckets as `(inclusive upper bound, count)`; `None` is overflow.
+    pub fn buckets(&self) -> Vec<(Option<u64>, u64)> {
+        self.bounds
+            .iter()
+            .map(|&b| Some(b))
+            .chain(std::iter::once(None))
+            .zip(self.counts.iter().copied())
+            .collect()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} max={}",
+            self.count,
+            self.mean(),
+            self.max
+        )?;
+        for (bound, count) in self.buckets() {
+            match bound {
+                Some(b) => write!(f, " ≤{b}:{count}")?,
+                None => write!(f, " >:{count}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Default bucket bounds for per-round delivery counts.
+const DELIVERY_BUCKETS: &[u64] = &[0, 10, 25, 50, 100, 250, 500, 1000];
+/// Default bucket bounds for round numbers (decision rounds).
+const ROUND_BUCKETS: &[u64] = &[2, 5, 7, 10, 15, 25, 50, 100];
+/// Default bucket bounds for participant estimates.
+const N_V_BUCKETS: &[u64] = &[1, 3, 6, 10, 15, 25, 50, 100];
+
+/// Counters and histograms folded from a trace event stream.
+///
+/// # Examples
+///
+/// ```
+/// use uba_trace::{Metrics, TraceEvent, Tracer};
+///
+/// let mut m = Metrics::new();
+/// m.record(TraceEvent::RoundBegin { round: 1 });
+/// m.record(TraceEvent::RoundEnd { round: 1, deliveries: 9 });
+/// assert_eq!(m.counter("round_begin"), 1);
+/// assert_eq!(m.histogram("deliveries_per_round").unwrap().mean(), 9.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    /// Nodes already counted in `rounds_to_decide` (a node decides once).
+    decided: BTreeMap<u64, u64>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Value of the named counter (0 if never incremented). Counter names
+    /// are the event kinds plus `sends_adversary` / `delivers_adversary`.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram: `deliveries_per_round`, `rounds_to_decide`, or
+    /// `n_v`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Round in which each node was first observed decided.
+    pub fn decided_rounds(&self) -> &BTreeMap<u64, u64> {
+        &self.decided
+    }
+
+    fn bump(&mut self, name: &'static str) {
+        *self.counters.entry(name).or_insert(0) += 1;
+    }
+
+    fn sample(&mut self, name: &'static str, bounds: &[u64], value: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    }
+
+    /// Folds one event into the registry (the [`Tracer`] impl calls this).
+    pub fn observe(&mut self, event: &TraceEvent) {
+        self.bump(event.kind());
+        match event {
+            TraceEvent::RoundEnd { deliveries, .. } => {
+                self.sample("deliveries_per_round", DELIVERY_BUCKETS, *deliveries);
+            }
+            TraceEvent::Send {
+                adversary: true, ..
+            } => self.bump("sends_adversary"),
+            TraceEvent::Deliver {
+                adversary: true, ..
+            } => self.bump("delivers_adversary"),
+            TraceEvent::NodeState { round, node, state } => {
+                if let Some(n_v) = state.n_v {
+                    self.sample("n_v", N_V_BUCKETS, n_v);
+                }
+                if state.decided.is_some() && !self.decided.contains_key(node) {
+                    self.decided.insert(*node, *round);
+                    self.sample("rounds_to_decide", ROUND_BUCKETS, *round);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Compact multi-line summary: every counter, then every histogram.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{name}={value} "));
+        }
+        out.push('\n');
+        for (name, histogram) in &self.histograms {
+            out.push_str(&format!("{name}: {histogram}\n"));
+        }
+        out
+    }
+}
+
+impl Tracer for Metrics {
+    fn record(&mut self, event: TraceEvent) {
+        self.observe(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NodeSnapshot;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[5, 1, 5]); // unsorted + dup on purpose
+        for v in [0, 1, 2, 6, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets(), vec![(Some(1), 2), (Some(5), 1), (None, 2)]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_counts_kinds_and_adversary_traffic() {
+        let mut m = Metrics::new();
+        m.observe(&TraceEvent::Send {
+            round: 1,
+            from: 1,
+            to: None,
+            payload: "x".into(),
+            adversary: true,
+        });
+        m.observe(&TraceEvent::Send {
+            round: 1,
+            from: 2,
+            to: None,
+            payload: "y".into(),
+            adversary: false,
+        });
+        assert_eq!(m.counter("send"), 2);
+        assert_eq!(m.counter("sends_adversary"), 1);
+        assert_eq!(m.counter("never_seen"), 0);
+    }
+
+    #[test]
+    fn rounds_to_decide_counts_each_node_once() {
+        let mut m = Metrics::new();
+        let decided = |round, node| TraceEvent::NodeState {
+            round,
+            node,
+            state: NodeSnapshot {
+                decided: Some("1".into()),
+                n_v: Some(4),
+                ..NodeSnapshot::new()
+            },
+        };
+        m.observe(&decided(7, 1));
+        m.observe(&decided(8, 1)); // same node again: not re-counted
+        m.observe(&decided(12, 2));
+        let h = m.histogram("rounds_to_decide").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(m.decided_rounds()[&1], 7);
+        assert_eq!(m.decided_rounds()[&2], 12);
+        assert_eq!(m.histogram("n_v").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn summary_is_deterministic() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        for m in [&mut a, &mut b] {
+            m.observe(&TraceEvent::RoundBegin { round: 1 });
+            m.observe(&TraceEvent::RoundEnd {
+                round: 1,
+                deliveries: 3,
+            });
+        }
+        assert_eq!(a.summary(), b.summary());
+        assert!(a.summary().contains("deliveries_per_round"));
+    }
+}
