@@ -1,0 +1,73 @@
+//! Delivery hot-path bench: broadcast-heavy consensus at n ∈ {32, 64, 128}.
+//!
+//! Every round of `EarlyConsensus` under the equivocator is all-to-all
+//! traffic, so each extra node multiplies both the per-recipient dedup work
+//! and the envelope fan-out — exactly the O(n²)-clones regime the
+//! shared-payload delivery path exists to kill. Two payload shapes:
+//!
+//! - `word`: `V = u64`, the paper's own message sizes (clones were cheap
+//!   even before sharing; this isolates the dedup/bookkeeping cost);
+//! - `heavy`: `V = Vec<u8>` of 64 bytes (signature/certificate-sized
+//!   values), where the per-recipient deep clones dominated.
+//!
+//! Before/after numbers for this bench are recorded in EXPERIMENTS.md §T11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_adversary::attacks::ConsensusEquivocator;
+use uba_core::consensus::EarlyConsensus;
+use uba_core::harness::{max_faulty, Setup};
+use uba_core::value::Value;
+use uba_sim::SyncEngine;
+
+fn run_consensus<V: Value>(n: usize, seed: u64, value: impl Fn(usize) -> V, a: V, b: V) {
+    let f = max_faulty(n);
+    let setup = Setup::new(n - f, f, seed);
+    let mut engine = SyncEngine::builder()
+        .correct_many(
+            setup
+                .correct
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| EarlyConsensus::new(id, value(i))),
+        )
+        .faulty_many(setup.faulty.iter().copied())
+        .adversary(ConsensusEquivocator::new(a, b))
+        .build();
+    engine
+        .run_to_completion(2 + 5 * (setup.n() as u64 + 4))
+        .expect("consensus terminates");
+}
+
+fn bench_word(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delivery_consensus_word");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            bencher.iter(|| run_consensus(n, 7 + n as u64, |i| (i % 2) as u64, 0u64, 1u64));
+        });
+    }
+    group.finish();
+}
+
+fn bench_heavy(c: &mut Criterion) {
+    const LEN: usize = 64;
+    let mut group = c.benchmark_group("delivery_consensus_heavy64B");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            bencher.iter(|| {
+                run_consensus(
+                    n,
+                    7 + n as u64,
+                    |i| vec![(i % 2) as u8; LEN],
+                    vec![0u8; LEN],
+                    vec![1u8; LEN],
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_word, bench_heavy);
+criterion_main!(benches);

@@ -5,52 +5,43 @@
 //! cargo run -p uba-bench --release --bin experiments            # all experiments
 //! cargo run -p uba-bench --release --bin experiments t3 f1     # a selection
 //! cargo run -p uba-bench --release --bin experiments t10 -- --trace-out target
+//! cargo run -p uba-bench --release --bin experiments -- --jobs 4
 //! ```
 //!
 //! `--trace-out DIR` (with optional `--trace-last-n N`) makes T10 re-run
 //! each sweep's first failure with tracing and write the postmortem JSONL
-//! into `DIR`; other experiments ignore the flags.
+//! into `DIR`; other experiments ignore the flags. `--jobs N` runs the
+//! selected experiments on up to `N` worker threads; tables are printed in
+//! selection order regardless, so stdout is byte-identical to a sequential
+//! run (stderr progress lines may interleave).
 
-use std::path::PathBuf;
-
+use uba_bench::cli::{parse_experiments_args, ExperimentsArgs};
 use uba_bench::experiments::t10_faults;
-use uba_bench::{run_experiment, ALL_EXPERIMENTS};
+use uba_bench::runner::run_indexed;
+use uba_bench::{run_experiment, Table, ALL_EXPERIMENTS};
 
 fn main() {
-    let mut selected: Vec<String> = Vec::new();
-    let mut trace_out: Option<PathBuf> = None;
-    let mut trace_last_n: usize = 65_536;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--" => {}
-            "--trace-out" => {
-                let value = args.next().unwrap_or_default();
-                if value.is_empty() {
-                    eprintln!("--trace-out expects a directory path");
-                    std::process::exit(2);
-                }
-                trace_out = Some(PathBuf::from(value));
-            }
-            "--trace-last-n" => {
-                let value = args.next().unwrap_or_default();
-                trace_last_n = value.parse().unwrap_or_else(|_| {
-                    eprintln!("--trace-last-n expects a number, got {value:?}");
-                    std::process::exit(2);
-                });
-            }
-            other => selected.push(other.to_string()),
-        }
-    }
+    let ExperimentsArgs {
+        mut selected,
+        trace_out,
+        trace_last_n,
+        jobs,
+    } = parse_experiments_args(std::env::args().skip(1)).unwrap_or_else(|err| {
+        eprintln!("{err}");
+        std::process::exit(2);
+    });
     if selected.is_empty() {
         selected = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
-    for id in &selected {
+    let tables: Vec<Vec<Table>> = run_indexed(jobs, selected.len(), |i| {
+        let id = &selected[i];
         eprintln!("running {id}…");
-        let tables = match (id.as_str(), trace_out.as_deref()) {
+        match (id.as_str(), trace_out.as_deref()) {
             ("t10", Some(dir)) => t10_faults::run_with_postmortem(Some((dir, trace_last_n))),
             _ => run_experiment(id),
-        };
+        }
+    });
+    for tables in tables {
         for table in tables {
             println!("{table}");
         }

@@ -15,68 +15,32 @@
 //! cargo run -p uba-bench --release --bin soak -- consensus rotor # algorithm subset
 //! cargo run -p uba-bench --release --bin soak -- --trace-out target  # dump dir
 //! cargo run -p uba-bench --release --bin soak -- --trace-last-n 500  # window size
+//! cargo run -p uba-bench --release --bin soak -- --jobs 4        # parallel seeds
 //! ```
 //!
-//! Every case is reproducible from `(algorithm, sweep, seed)` alone, and the
-//! postmortem trace is byte-identical across re-runs of the same case.
+//! Every case is reproducible from `(algorithm, sweep, seed)` alone, the
+//! postmortem trace is byte-identical across re-runs of the same case, and
+//! `--jobs N` only changes wall-clock time: reports are merged in seed order
+//! and match the sequential output byte for byte.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use uba_bench::experiments::t10_faults::{
-    soak, write_postmortem, Algo, FailureRepro, Sweep, HEALTHY_SEEDS,
-};
+use uba_bench::cli::{parse_soak_args, SoakArgs};
+use uba_bench::experiments::t10_faults::{soak_jobs, write_postmortem, Algo, FailureRepro, Sweep};
 use uba_sim::NodeId;
 
-/// Default `--trace-last-n`: large enough to keep every event of a shrunk
-/// minimal case, small enough that a pathological run stays bounded.
-const DEFAULT_TRACE_LAST_N: usize = 65_536;
-
 fn main() -> ExitCode {
-    let mut seeds = HEALTHY_SEEDS;
-    let mut broken = false;
-    let mut algos: Vec<Algo> = Vec::new();
-    let mut trace_out = PathBuf::from(".");
-    let mut trace_last_n = DEFAULT_TRACE_LAST_N;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--seeds" => {
-                let value = args.next().unwrap_or_default();
-                seeds = value.parse().unwrap_or_else(|_| {
-                    eprintln!("--seeds expects a number, got {value:?}");
-                    std::process::exit(2);
-                });
-            }
-            "--broken" => broken = true,
-            "--trace-out" => {
-                let value = args.next().unwrap_or_default();
-                if value.is_empty() {
-                    eprintln!("--trace-out expects a directory path");
-                    std::process::exit(2);
-                }
-                trace_out = PathBuf::from(value);
-            }
-            "--trace-last-n" => {
-                let value = args.next().unwrap_or_default();
-                trace_last_n = value.parse().unwrap_or_else(|_| {
-                    eprintln!("--trace-last-n expects a number, got {value:?}");
-                    std::process::exit(2);
-                });
-            }
-            other => match Algo::parse(other) {
-                Some(algo) => algos.push(algo),
-                None => {
-                    eprintln!(
-                        "unknown argument {other:?}; expected --seeds N, --broken, \
-                         --trace-out DIR, --trace-last-n N, \
-                         or an algorithm (consensus, reliable, approx, rotor)"
-                    );
-                    std::process::exit(2);
-                }
-            },
-        }
-    }
+    let SoakArgs {
+        seeds,
+        broken,
+        mut algos,
+        trace_out,
+        trace_last_n,
+        jobs,
+    } = parse_soak_args(std::env::args().skip(1)).unwrap_or_else(|err| {
+        eprintln!("{err}");
+        std::process::exit(2);
+    });
     if algos.is_empty() {
         algos = Algo::ALL.to_vec();
     }
@@ -88,7 +52,7 @@ fn main() -> ExitCode {
     }
     for sweep in sweeps {
         for &algo in &algos {
-            let report = soak(algo, sweep, seeds);
+            let report = soak_jobs(algo, sweep, seeds, jobs);
             println!(
                 "{:<14} {:<8} n={:<3} f={:<2} cases={:<4} violations={}",
                 algo.name(),

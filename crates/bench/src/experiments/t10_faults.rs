@@ -573,6 +573,7 @@ pub fn write_postmortem(
     last_n: usize,
 ) -> std::io::Result<(TracedCase, PathBuf)> {
     let traced = run_case_traced(algo, sweep, repro.seed, &repro.plan, last_n);
+    std::fs::create_dir_all(dir)?;
     let path = postmortem_path(dir, algo, sweep, repro.seed);
     std::fs::write(&path, traced.to_jsonl())?;
     Ok((traced, path))
@@ -656,13 +657,23 @@ pub struct SweepReport {
 
 /// Soaks `algo` over `seeds` sampled fault plans on the given sweep.
 pub fn soak(algo: Algo, sweep: Sweep, seeds: u64) -> SweepReport {
+    soak_jobs(algo, sweep, seeds, 1)
+}
+
+/// Like [`soak`], running the independent seed trials on up to `jobs`
+/// worker threads. Every trial is a pure function of
+/// `(algo, sweep, seed)`; results are merged in seed order and the shrink
+/// pass runs once on the smallest failing seed, so the report is
+/// byte-identical to the sequential run.
+pub fn soak_jobs(algo: Algo, sweep: Sweep, seeds: u64, jobs: usize) -> SweepReport {
+    let results = crate::runner::run_indexed(jobs, seeds as usize, |i| {
+        let seed = i as u64;
+        let plan = build_plan(algo, &sweep, seed);
+        run_case(algo, &sweep, seed, &plan).map(|failure| (seed, plan, failure))
+    });
     let mut failures = 0;
     let mut first_failure = None;
-    for seed in 0..seeds {
-        let plan = build_plan(algo, &sweep, seed);
-        let Some(failure) = run_case(algo, &sweep, seed, &plan) else {
-            continue;
-        };
+    for (seed, plan, failure) in results.into_iter().flatten() {
         failures += 1;
         if first_failure.is_none() {
             let shrunk = shrink_plan(|p| run_case(algo, &sweep, seed, p), &plan);

@@ -16,7 +16,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
+pub mod runner;
 pub mod table;
 
 pub use table::Table;

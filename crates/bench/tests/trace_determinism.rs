@@ -14,8 +14,20 @@ use uba_sim::TraceEvent;
 
 fn assert_deterministic(algo: Algo, sweep: Sweep, seed: u64) {
     let plan = build_plan(algo, &sweep, seed);
-    let first = run_case_traced(algo, &sweep, seed, &plan, 65_536);
-    let second = run_case_traced(algo, &sweep, seed, &plan, 65_536);
+    let first = run_case_traced(
+        algo,
+        &sweep,
+        seed,
+        &plan,
+        uba_bench::cli::DEFAULT_TRACE_LAST_N,
+    );
+    let second = run_case_traced(
+        algo,
+        &sweep,
+        seed,
+        &plan,
+        uba_bench::cli::DEFAULT_TRACE_LAST_N,
+    );
     let a = first.to_jsonl();
     let b = second.to_jsonl();
     assert!(
@@ -66,8 +78,14 @@ fn forced_violation_postmortem_identifies_round_monitor_and_nodes() {
 
     let dir = std::env::temp_dir().join(format!("uba-trace-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
-    let (traced, path) =
-        write_postmortem(&dir, Algo::Consensus, &Sweep::BROKEN, &repro, 65_536).expect("dump");
+    let (traced, path) = write_postmortem(
+        &dir,
+        Algo::Consensus,
+        &Sweep::BROKEN,
+        &repro,
+        uba_bench::cli::DEFAULT_TRACE_LAST_N,
+    )
+    .expect("dump");
     assert_eq!(
         path,
         postmortem_path(&dir, Algo::Consensus, &Sweep::BROKEN, repro.seed)

@@ -192,8 +192,8 @@ impl Process for ApproxAgreement {
                 }
                 received
                     .entry(env.from)
-                    .and_modify(|v| *v = (*v).min(env.msg))
-                    .or_insert(env.msg);
+                    .and_modify(|v| *v = (*v).min(*env.msg()))
+                    .or_insert(*env.msg());
             }
             self.current = self.update(&received);
             self.history.push(self.current.get());

@@ -114,7 +114,7 @@ impl<M: Value> Process for StBroadcast<M> {
         } else {
             let mut to_echo: Vec<M> = Vec::new();
             for e in ctx.inbox() {
-                match &e.msg {
+                match e.msg() {
                     StMsg::Payload(m) if e.from == self.sender && !self.echoed.contains(m) => {
                         to_echo.push(m.clone());
                     }
@@ -202,8 +202,8 @@ impl Process for KnownApprox {
             for env in ctx.inbox() {
                 received
                     .entry(env.from)
-                    .and_modify(|v| *v = (*v).min(env.msg))
-                    .or_insert(env.msg);
+                    .and_modify(|v| *v = (*v).min(*env.msg()))
+                    .or_insert(*env.msg());
             }
             let mut values: Vec<OrderedF64> = received.values().copied().collect();
             values.sort_unstable();
@@ -319,7 +319,7 @@ impl<V: Value> Process for PhaseKing<V> {
         match phase_round {
             1 => ctx.broadcast(PkMsg::Value(self.x.clone())),
             2 => {
-                let counts = tally(ctx.inbox().iter().filter_map(|e| match &e.msg {
+                let counts = tally(ctx.inbox().iter().filter_map(|e| match e.msg() {
                     PkMsg::Value(v) => Some(v.clone()),
                     _ => None,
                 }));
@@ -330,7 +330,7 @@ impl<V: Value> Process for PhaseKing<V> {
                 }
             }
             3 => {
-                let counts = tally(ctx.inbox().iter().filter_map(|e| match &e.msg {
+                let counts = tally(ctx.inbox().iter().filter_map(|e| match e.msg() {
                     PkMsg::Propose(v) => Some(v.clone()),
                     _ => None,
                 }));
@@ -352,7 +352,7 @@ impl<V: Value> Process for PhaseKing<V> {
                         .inbox()
                         .iter()
                         .filter(|e| e.from == king)
-                        .filter_map(|e| match &e.msg {
+                        .filter_map(|e| match e.msg() {
                             PkMsg::King(v) => Some(v),
                             _ => None,
                         })

@@ -171,7 +171,7 @@ impl<V: Value> EarlyConsensus<V> {
         let mut senders: BTreeSet<NodeId> = BTreeSet::new();
         let mut values: Vec<V> = Vec::new();
         for env in frozen.filter_inbox(inbox) {
-            if let Some(v) = extract(&env.msg) {
+            if let Some(v) = extract(env.msg()) {
                 senders.insert(env.from);
                 values.push(v);
             }
@@ -195,7 +195,7 @@ impl<V: Value> EarlyConsensus<V> {
     fn buffer_rotor_echoes(&mut self, inbox: &[Envelope<ConsensusMsg<V>>]) {
         let frozen = self.frozen.as_ref().expect("initialized");
         for env in frozen.filter_inbox(inbox) {
-            if let ConsensusMsg::RotorEcho(p) = env.msg {
+            if let &ConsensusMsg::RotorEcho(p) = env.msg() {
                 self.rotor_echo_buf.entry(p).or_default().insert(env.from);
             }
         }
@@ -222,7 +222,7 @@ impl<V: Value> Process for EarlyConsensus<V> {
                 let initiators: BTreeSet<NodeId> = ctx
                     .inbox()
                     .iter()
-                    .filter(|e| matches!(e.msg, ConsensusMsg::RotorInit))
+                    .filter(|e| matches!(e.msg(), ConsensusMsg::RotorInit))
                     .map(|e| e.from)
                     .collect();
                 for p in initiators {
@@ -319,7 +319,7 @@ impl<V: Value> Process for EarlyConsensus<V> {
                     let mut opinions: Vec<&V> = frozen
                         .filter_inbox(ctx.inbox())
                         .filter(|e| e.from == p)
-                        .filter_map(|e| match &e.msg {
+                        .filter_map(|e| match e.msg() {
                             ConsensusMsg::Opinion(v) => Some(v),
                             _ => None,
                         })

@@ -120,7 +120,7 @@ impl<V: Value> KingConsensus<V> {
         let mut senders: BTreeSet<NodeId> = BTreeSet::new();
         let mut values: Vec<V> = Vec::new();
         for env in frozen.filter_inbox(inbox) {
-            if let Some(v) = extract(&env.msg) {
+            if let Some(v) = extract(env.msg()) {
                 senders.insert(env.from);
                 values.push(v);
             }
@@ -160,7 +160,7 @@ impl<V: Value> Process for KingConsensus<V> {
                 let initiators: BTreeSet<NodeId> = ctx
                     .inbox()
                     .iter()
-                    .filter(|e| matches!(e.msg, KingMsg::RotorInit))
+                    .filter(|e| matches!(e.msg(), KingMsg::RotorInit))
                     .map(|e| e.from)
                     .collect();
                 for p in initiators {
@@ -179,7 +179,7 @@ impl<V: Value> Process for KingConsensus<V> {
             let frozen = self.frozen.as_ref().expect("initialized");
             let echoes: Vec<(NodeId, NodeId)> = frozen
                 .filter_inbox(ctx.inbox())
-                .filter_map(|env| match env.msg {
+                .filter_map(|env| match *env.msg() {
                     KingMsg::RotorEcho(p) => Some((p, env.from)),
                     _ => None,
                 })
@@ -254,7 +254,7 @@ impl<V: Value> Process for KingConsensus<V> {
                     let mut opinions: Vec<&V> = frozen
                         .filter_inbox(ctx.inbox())
                         .filter(|e| e.from == p)
-                        .filter_map(|e| match &e.msg {
+                        .filter_map(|e| match e.msg() {
                             KingMsg::Opinion(v) => Some(v),
                             _ => None,
                         })

@@ -77,7 +77,7 @@ impl Process for TimeoutConsensus {
     fn on_round(&mut self, ctx: &mut Context<'_, u8>) {
         let mut new_participant = false;
         for env in ctx.inbox() {
-            if self.known.insert(env.from, env.msg).is_none() {
+            if self.known.insert(env.from, *env.msg()).is_none() {
                 new_participant = true;
             }
         }

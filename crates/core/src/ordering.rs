@@ -246,7 +246,7 @@ impl<V: Value> TotalOrdering<V> {
     ) -> BTreeMap<NodeId, V> {
         let mut events: BTreeMap<NodeId, V> = BTreeMap::new();
         for env in inbox {
-            match &env.msg {
+            match env.msg() {
                 OrderMsg::Present => {
                     self.s.insert(env.from);
                     ctx.send(env.from, OrderMsg::Ack(self.r));
@@ -276,7 +276,7 @@ impl<V: Value> TotalOrdering<V> {
     fn step_waves(&mut self, inbox: &[Envelope<OrderMsg<V>>], ctx: &mut Context<'_, OrderMsg<V>>) {
         let mut per_wave: BTreeMap<u64, Vec<Envelope<ParMsg<NodeId, V>>>> = BTreeMap::new();
         for env in inbox {
-            if let OrderMsg::Wave(w, msg) = &env.msg {
+            if let OrderMsg::Wave(w, msg) = env.msg() {
                 per_wave
                     .entry(*w)
                     .or_default()
@@ -376,14 +376,14 @@ impl<V: Value> Process for TotalOrdering<V> {
                 // Acks are in flight; record other joiners' presents so that
                 // simultaneous joiners know each other.
                 for env in ctx.inbox() {
-                    if matches!(env.msg, OrderMsg::Present) {
+                    if matches!(env.msg(), OrderMsg::Present) {
                         self.s.insert(env.from);
                     }
                 }
                 let acks: Vec<(NodeId, u64)> = ctx
                     .inbox()
                     .iter()
-                    .filter_map(|e| match e.msg {
+                    .filter_map(|e| match *e.msg() {
                         OrderMsg::Ack(t) => Some((e.from, t)),
                         _ => None,
                     })

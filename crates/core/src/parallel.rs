@@ -206,7 +206,7 @@ impl<I: Value, V: Value> ParallelConsensusCore<I, V> {
                 }
                 let initiators: BTreeSet<NodeId> = inbox
                     .iter()
-                    .filter(|e| matches!(e.msg, ParMsg::RotorInit))
+                    .filter(|e| matches!(e.msg(), ParMsg::RotorInit))
                     .map(|e| e.from)
                     .collect();
                 for p in initiators {
@@ -230,7 +230,7 @@ impl<I: Value, V: Value> ParallelConsensusCore<I, V> {
             .filter(|e| frozen.contains(e.from))
             .collect();
         for env in &inbox {
-            if let ParMsg::RotorEcho(p) = env.msg {
+            if let &ParMsg::RotorEcho(p) = env.msg() {
                 self.rotor_echo_buf.entry(p).or_default().insert(env.from);
             }
         }
@@ -262,7 +262,7 @@ impl<I: Value, V: Value> ParallelConsensusCore<I, V> {
                 // Group this round's input messages per instance.
                 let mut per_id: BTreeMap<I, Vec<(NodeId, V)>> = BTreeMap::new();
                 for env in &inbox {
-                    if let ParMsg::Input(id, v) = &env.msg {
+                    if let ParMsg::Input(id, v) = env.msg() {
                         per_id
                             .entry(id.clone())
                             .or_default()
@@ -316,7 +316,7 @@ impl<I: Value, V: Value> ParallelConsensusCore<I, V> {
             3 => {
                 let mut per_id: BTreeMap<I, Vec<(NodeId, PreferClass<V>)>> = BTreeMap::new();
                 for env in &inbox {
-                    match &env.msg {
+                    match env.msg() {
                         ParMsg::Prefer(id, v) => per_id
                             .entry(id.clone())
                             .or_default()
@@ -378,7 +378,7 @@ impl<I: Value, V: Value> ParallelConsensusCore<I, V> {
                 // evaluated (and the join takes effect) in round 5.
                 if phase == 1 {
                     for env in &inbox {
-                        if let ParMsg::StrongPrefer(id, _) = &env.msg {
+                        if let ParMsg::StrongPrefer(id, _) = env.msg() {
                             if !self.known(id) {
                                 let mut inst = Instance::new(None);
                                 inst.joined_r5 = true;
@@ -388,7 +388,7 @@ impl<I: Value, V: Value> ParallelConsensusCore<I, V> {
                     }
                 }
                 for env in &inbox {
-                    match &env.msg {
+                    match env.msg() {
                         ParMsg::StrongPrefer(id, v) => {
                             if let Some(inst) = self.instances.get_mut(id) {
                                 inst.strong_senders.insert(env.from);
@@ -432,7 +432,7 @@ impl<I: Value, V: Value> ParallelConsensusCore<I, V> {
                 if let Some(p) = self.this_phase_coordinator {
                     for env in &inbox {
                         if env.from == p {
-                            if let ParMsg::Opinion(id, v) = &env.msg {
+                            if let ParMsg::Opinion(id, v) = env.msg() {
                                 opinions.entry(id.clone()).or_default().push(v.clone());
                             }
                         }

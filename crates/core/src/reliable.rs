@@ -158,7 +158,7 @@ impl<M: Value> Process for ReliableBroadcast<M> {
                     .inbox()
                     .iter()
                     .filter(|e| e.from == self.sender)
-                    .filter_map(|e| match &e.msg {
+                    .filter_map(|e| match e.msg() {
                         RbMsg::Payload(m) => Some(m.clone()),
                         _ => None,
                     })
@@ -174,7 +174,7 @@ impl<M: Value> Process for ReliableBroadcast<M> {
                 let n_v = self.tracker.n();
                 let mut counts: BTreeMap<M, usize> = BTreeMap::new();
                 for e in ctx.inbox() {
-                    if let RbMsg::Echo(m) = &e.msg {
+                    if let RbMsg::Echo(m) = e.msg() {
                         *counts.entry(m.clone()).or_insert(0) += 1;
                     }
                 }

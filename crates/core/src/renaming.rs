@@ -124,7 +124,7 @@ impl Process for Renaming {
                 let initiators: BTreeSet<NodeId> = ctx
                     .inbox()
                     .iter()
-                    .filter(|e| matches!(e.msg, RenameMsg::Init))
+                    .filter(|e| matches!(e.msg(), RenameMsg::Init))
                     .map(|e| e.from)
                     .collect();
                 for p in initiators {
@@ -137,7 +137,7 @@ impl Process for Renaming {
                 let mut echo_support: BTreeMap<NodeId, usize> = BTreeMap::new();
                 let mut term_support: BTreeMap<u64, usize> = BTreeMap::new();
                 for e in ctx.inbox() {
-                    match e.msg {
+                    match *e.msg() {
                         RenameMsg::Echo(p) => *echo_support.entry(p).or_insert(0) += 1,
                         RenameMsg::Terminate(k) => *term_support.entry(k).or_insert(0) += 1,
                         RenameMsg::Init => {}

@@ -271,7 +271,7 @@ impl<V: Value> Process for RotorCoordinator<V> {
                 let initiators: BTreeSet<NodeId> = ctx
                     .inbox()
                     .iter()
-                    .filter(|e| matches!(e.msg, RotorMsg::Init))
+                    .filter(|e| matches!(e.msg(), RotorMsg::Init))
                     .map(|e| e.from)
                     .collect();
                 for p in initiators {
@@ -286,7 +286,7 @@ impl<V: Value> Process for RotorCoordinator<V> {
                         .inbox()
                         .iter()
                         .filter(|e| e.from == prev)
-                        .filter_map(|e| match &e.msg {
+                        .filter_map(|e| match e.msg() {
                             RotorMsg::Opinion(x) => Some(x),
                             _ => None,
                         })
@@ -303,7 +303,7 @@ impl<V: Value> Process for RotorCoordinator<V> {
                 // the engine dedups exact duplicates per sender).
                 let mut support: BTreeMap<NodeId, usize> = BTreeMap::new();
                 for e in ctx.inbox() {
-                    if let RotorMsg::Echo(p) = e.msg {
+                    if let &RotorMsg::Echo(p) = e.msg() {
                         *support.entry(p).or_insert(0) += 1;
                     }
                 }

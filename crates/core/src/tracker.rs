@@ -150,7 +150,7 @@ mod tests {
         let inbox = vec![env(1, "in"), env(2, "out")];
         let kept: Vec<_> = frozen.filter_inbox(&inbox).collect();
         assert_eq!(kept.len(), 1);
-        assert_eq!(kept[0].msg, "in");
+        assert_eq!(*kept[0].msg(), "in");
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl<M: Value> TerminatingBroadcast<M> {
         let inner_inbox: Vec<Envelope<ConsensusMsg<Option<M>>>> = ctx
             .inbox()
             .iter()
-            .filter_map(|e| match &e.msg {
+            .filter_map(|e| match e.msg() {
                 TrbMsg::Con(c) => Some(Envelope::new(e.from, c.clone())),
                 _ => None,
             })
@@ -128,7 +128,7 @@ impl<M: Value> Process for TerminatingBroadcast<M> {
                 .inbox()
                 .iter()
                 .filter(|e| e.from == self.sender)
-                .filter_map(|e| match &e.msg {
+                .filter_map(|e| match e.msg() {
                     TrbMsg::Payload(m) => Some(m),
                     _ => None,
                 })

@@ -108,7 +108,7 @@ impl<V: Value> Process for VectorConsensus<V> {
             // second value sent to other nodes is resolved by agreement).
             let mut pairs: BTreeMap<NodeId, V> = BTreeMap::new();
             for env in ctx.inbox() {
-                if let VcMsg::Contribute(v) = &env.msg {
+                if let VcMsg::Contribute(v) = env.msg() {
                     pairs
                         .entry(env.from)
                         .and_modify(|cur| {
@@ -125,7 +125,7 @@ impl<V: Value> Process for VectorConsensus<V> {
         let inner_inbox: Vec<Envelope<ParMsg<NodeId, V>>> = ctx
             .inbox()
             .iter()
-            .filter_map(|e| match &e.msg {
+            .filter_map(|e| match e.msg() {
                 VcMsg::Par(m) => Some(Envelope::new(e.from, m.clone())),
                 _ => None,
             })

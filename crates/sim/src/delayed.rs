@@ -23,7 +23,7 @@ use uba_trace::{NoopTracer, TraceEvent, Tracer};
 
 use crate::engine::{Completion, EngineError};
 use crate::id::NodeId;
-use crate::message::{Dest, Envelope, Outbox};
+use crate::message::{Dest, Envelope, MsgRef, Outbox, Outgoing};
 use crate::process::{Context, Process};
 use crate::stats::Stats;
 
@@ -196,8 +196,96 @@ impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
         self.nodes.values().all(|p| p.output().is_some())
     }
 
+    /// Removes a node from the system, returning its process.
+    ///
+    /// Messages already in flight toward the removed node are silently
+    /// dropped on arrival, matching a departure in the churn model. Stepping
+    /// the removed node afterwards (via [`step_node`](Self::step_node)) is a
+    /// typed [`EngineError::MissingNode`], not a panic.
+    pub fn remove(&mut self, id: NodeId) -> Option<P> {
+        self.nodes.remove(&id)
+    }
+
+    /// Steps a single node at the current tick with an empty inbox.
+    ///
+    /// Scenario drivers use this to advance one side of a partition without
+    /// ticking the whole system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::MissingNode`] if `id` is not present (e.g.
+    /// after [`remove`](Self::remove)).
+    pub fn step_node(&mut self, id: NodeId) -> Result<(), EngineError> {
+        self.step_node_at(self.tick.max(1), id, Vec::new())
+    }
+
+    /// Runs one node's `on_round` and schedules its sends. The single place
+    /// that touches `self.nodes` mutably, so "node absent" surfaces as the
+    /// sync engine's typed [`EngineError::MissingNode`] taxonomy.
+    fn step_node_at(
+        &mut self,
+        tick: u64,
+        id: NodeId,
+        inbox: Vec<Envelope<P::Msg>>,
+    ) -> Result<(), EngineError> {
+        let mut outbox = Outbox::new();
+        {
+            let node = self.nodes.get_mut(&id).ok_or(EngineError::MissingNode {
+                round: tick,
+                node: id,
+            })?;
+            if node.output().is_some() {
+                return Ok(());
+            }
+            let mut ctx = Context::new(tick, &inbox, &mut outbox);
+            node.on_round(&mut ctx);
+            if node.terminated() {
+                self.decided_round.entry(id).or_insert(tick);
+            }
+        }
+        let present: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for out in outbox.drain() {
+            self.stats.record_send(false);
+            if self.tracer.enabled() {
+                let to = match out.dest {
+                    Dest::Broadcast => None,
+                    Dest::To(t) => Some(t.raw()),
+                };
+                self.tracer.record(TraceEvent::Send {
+                    round: tick,
+                    from: id.raw(),
+                    to,
+                    payload: format!("{:?}", out.msg),
+                    adversary: false,
+                });
+            }
+            // Wrap once per send: every scheduled delivery (all broadcast
+            // targets, whatever their delays) shares one payload allocation.
+            let Outgoing { dest, msg } = out;
+            let msg = MsgRef::new(msg);
+            let targets: Vec<NodeId> = match dest {
+                Dest::Broadcast => present.clone(),
+                Dest::To(t) => vec![t],
+            };
+            for to in targets {
+                let d = self.delay.delay(id, to, tick).max(1);
+                self.pending
+                    .entry(tick + d)
+                    .or_default()
+                    .push((to, Envelope::from_shared(id, msg.clone())));
+            }
+        }
+        Ok(())
+    }
+
     /// Executes one tick.
-    pub fn run_tick(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::MissingNode`] if a node disappears while the
+    /// tick is in flight (defensive; [`remove`](Self::remove) between ticks
+    /// is fine and simply excludes the node).
+    pub fn try_run_tick(&mut self) -> Result<(), EngineError> {
         let tick = self.tick + 1;
         self.tick = tick;
         self.stats.begin_round();
@@ -215,7 +303,7 @@ impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
                         round: tick,
                         from: env.from.raw(),
                         to: to.raw(),
-                        payload: format!("{:?}", env.msg),
+                        payload: format!("{:?}", env.msg()),
                         adversary: false,
                     });
                 }
@@ -224,46 +312,9 @@ impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
         }
 
         let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
-        let present = ids.clone();
         for id in ids {
-            let node = self.nodes.get_mut(&id).expect("node present");
-            if node.output().is_some() {
-                continue;
-            }
             let inbox = inboxes.remove(&id).unwrap_or_default();
-            let mut outbox = Outbox::new();
-            let mut ctx = Context::new(tick, &inbox, &mut outbox);
-            node.on_round(&mut ctx);
-            if node.terminated() {
-                self.decided_round.entry(id).or_insert(tick);
-            }
-            for out in outbox.drain() {
-                self.stats.record_send(false);
-                if self.tracer.enabled() {
-                    let to = match out.dest {
-                        Dest::Broadcast => None,
-                        Dest::To(t) => Some(t.raw()),
-                    };
-                    self.tracer.record(TraceEvent::Send {
-                        round: tick,
-                        from: id.raw(),
-                        to,
-                        payload: format!("{:?}", out.msg),
-                        adversary: false,
-                    });
-                }
-                let targets: Vec<NodeId> = match out.dest {
-                    Dest::Broadcast => present.clone(),
-                    Dest::To(t) => vec![t],
-                };
-                for to in targets {
-                    let d = self.delay.delay(id, to, tick).max(1);
-                    self.pending
-                        .entry(tick + d)
-                        .or_default()
-                        .push((to, Envelope::new(id, out.msg.clone())));
-                }
-            }
+            self.step_node_at(tick, id, inbox)?;
         }
         if self.tracer.enabled() {
             let deliveries = self.stats.deliveries_by_round.last().copied().unwrap_or(0);
@@ -272,6 +323,17 @@ impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
                 deliveries,
             });
         }
+        Ok(())
+    }
+
+    /// Executes one tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the (unreachable in normal use) errors surfaced by
+    /// [`try_run_tick`](Self::try_run_tick).
+    pub fn run_tick(&mut self) {
+        self.try_run_tick().expect("tick failed");
     }
 
     /// Executes `count` ticks.
@@ -303,7 +365,7 @@ impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
                         .collect(),
                 });
             }
-            self.run_tick();
+            self.try_run_tick()?;
         }
         Ok(Completion {
             outputs: self.outputs(),
@@ -375,6 +437,27 @@ mod tests {
     fn zero_delay_is_clamped() {
         let mut m = FixedDelay(0);
         assert_eq!(m.delay(NodeId::new(1), NodeId::new(2), 1), 1);
+    }
+
+    #[test]
+    fn stepping_a_removed_node_is_a_typed_error() {
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        let mut engine = DelayedEngine::new(
+            [CollectAll::new(a, 4), CollectAll::new(b, 4)],
+            FixedDelay(1),
+        );
+        engine.run_tick();
+        let removed = engine.remove(a);
+        assert!(removed.is_some());
+        match engine.step_node(a) {
+            Err(EngineError::MissingNode { node, .. }) => assert_eq!(node, a),
+            other => panic!("expected MissingNode, got {other:?}"),
+        }
+        // The surviving node keeps running; in-flight messages to the
+        // removed node are dropped, not delivered and not a panic.
+        engine.run_ticks(3);
+        assert!(engine.remove(a).is_none(), "already removed");
     }
 
     #[test]

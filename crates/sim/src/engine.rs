@@ -22,10 +22,14 @@ use crate::adversary::{Adversary, AdversaryOutbox, AdversaryView, NoAdversary};
 use crate::churn::{ChurnAction, ChurnSchedule};
 use crate::faults::{Fault, FaultPlan};
 use crate::id::NodeId;
-use crate::message::{Dest, Envelope, Outbox, Outgoing};
+use crate::message::{Dest, Envelope, MsgRef, Outbox, Outgoing};
 use crate::monitor::{MonitorView, RoundMonitor, ViolationReport};
 use crate::process::{Context, Process};
 use crate::stats::Stats;
+
+/// Per-recipient dedup sets for one round: `(sender, shared payload)` pairs
+/// already delivered to each node.
+type SeenThisRound<M> = BTreeMap<NodeId, HashSet<(NodeId, MsgRef<M>)>>;
 
 /// The observe hook: projects a process onto the trace vocabulary's
 /// [`NodeSnapshot`]. Installed via [`EngineBuilder::observe`]; the engine
@@ -444,6 +448,13 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
         &self.faulty
     }
 
+    /// The acquaintance relation as observed so far: for each node, the set
+    /// of nodes whose messages it has received (used to enforce the model's
+    /// point-to-point restriction, and inspectable for equivalence tests).
+    pub fn acquaintance(&self) -> &BTreeMap<NodeId, BTreeSet<NodeId>> {
+        &self.acquaintance
+    }
+
     /// Nodes currently crash-faulted by the fault plan.
     pub fn crashed_ids(&self) -> &BTreeSet<NodeId> {
         &self.crashed
@@ -734,13 +745,16 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             .chain(present_faulty.iter().copied())
             .collect();
         let mut next: BTreeMap<NodeId, Vec<Envelope<P::Msg>>> = BTreeMap::new();
-        let mut seen: BTreeMap<NodeId, HashSet<(NodeId, P::Msg)>> = BTreeMap::new();
+        // Dedup keys share the payload allocation and hash via the memoized
+        // `MsgRef` hash, so inserting a broadcast for its k-th recipient is a
+        // refcount bump + one u64 write — not a deep clone + full re-hash.
+        let mut seen: SeenThisRound<P::Msg> = BTreeMap::new();
         let mut deliver = |engine_stats: &mut Stats,
                            acquaintance: &mut BTreeMap<NodeId, BTreeSet<NodeId>>,
                            tracer: &mut Box<dyn Tracer>,
                            from: NodeId,
                            to: NodeId,
-                           msg: &P::Msg,
+                           msg: &MsgRef<P::Msg>,
                            from_adversary: bool| {
             if deafened.contains(&to) || dead_links.contains(&(from, to)) {
                 return; // omission fault: the message is lost in transit
@@ -771,33 +785,37 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             }
             next.entry(to)
                 .or_default()
-                .push(Envelope::new(from, msg.clone()));
+                .push(Envelope::from_shared(from, msg.clone()));
         };
 
-        for (traffic, from_adversary) in [(&correct_traffic, false), (&adversary_traffic, true)] {
+        for (traffic, from_adversary) in [(correct_traffic, false), (adversary_traffic, true)] {
             for (from, out) in traffic {
                 if let Some(trace) = self.trace.as_mut() {
                     trace.push(SentRecord {
                         round,
-                        from: *from,
+                        from,
                         dest: out.dest,
                         msg: out.msg.clone(),
                         from_adversary,
                     });
                 }
-                if silenced.contains(from) {
+                if silenced.contains(&from) {
                     continue; // send omission: everything from this node is lost
                 }
-                match out.dest {
+                // The payload is wrapped exactly once per send; broadcast
+                // fan-out below shares it across all recipients.
+                let Outgoing { dest, msg } = out;
+                let msg = MsgRef::new(msg);
+                match dest {
                     Dest::Broadcast => {
                         for &to in &recipients {
                             deliver(
                                 &mut self.stats,
                                 &mut self.acquaintance,
                                 &mut self.tracer,
-                                *from,
+                                from,
                                 to,
-                                &out.msg,
+                                &msg,
                                 from_adversary,
                             );
                         }
@@ -814,9 +832,9 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                                 &mut self.stats,
                                 &mut self.acquaintance,
                                 &mut self.tracer,
-                                *from,
+                                from,
                                 to,
-                                &out.msg,
+                                &msg,
                                 from_adversary,
                             );
                         }
@@ -1029,8 +1047,8 @@ mod tests {
         let done = engine.run_to_completion(10).expect("completes");
         let heard1 = &done.outputs[&NodeId::new(1)];
         let heard2 = &done.outputs[&NodeId::new(2)];
-        assert!(heard1.iter().any(|e| e.msg == 111) && !heard1.iter().any(|e| e.msg == 222));
-        assert!(heard2.iter().any(|e| e.msg == 222) && !heard2.iter().any(|e| e.msg == 111));
+        assert!(heard1.iter().any(|e| *e.msg() == 111) && !heard1.iter().any(|e| *e.msg() == 222));
+        assert!(heard2.iter().any(|e| *e.msg() == 222) && !heard2.iter().any(|e| *e.msg() == 111));
     }
 
     #[test]

@@ -45,6 +45,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The delivery hot path must share payloads explicitly (`MsgRef::clone` /
+// `Arc::clone`), never hide a refcount bump behind a generic-looking
+// `.clone()` that could silently become a deep clone after a refactor.
+#![deny(clippy::clone_on_ref_ptr)]
 
 mod adversary;
 mod churn;
@@ -65,7 +69,7 @@ pub use delayed::{DelayModel, DelayedEngine, FixedDelay, PartitionDelay, Uniform
 pub use engine::{Completion, EngineBuilder, EngineError, ObserveFn, SentRecord, SyncEngine};
 pub use faults::{Fault, FaultPlan, FaultUniverse};
 pub use id::{consecutive_ids, sparse_ids, IdAllocator, NodeId};
-pub use message::{Dest, Envelope, Outbox, Outgoing, Payload};
+pub use message::{Dest, Envelope, MsgRef, Outbox, Outgoing, Payload};
 pub use monitor::{MonitorSet, MonitorView, RoundMonitor, ViolationReport};
 pub use process::{Context, Process};
 pub use rng::{derive, seeded};

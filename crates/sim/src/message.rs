@@ -1,7 +1,17 @@
-//! Message envelopes and per-round outboxes.
+//! Message envelopes, shared payloads and per-round outboxes.
+//!
+//! # Delivery memory model
+//!
+//! A payload is cloned **at most once per send operation**, never per
+//! recipient: the engine wraps each outgoing payload in a [`MsgRef`] (an
+//! `Arc` plus a memoized hash) and every recipient's envelope and dedup
+//! entry share that one allocation. A broadcast to `k` nodes therefore
+//! costs `k` refcount bumps instead of `2k` deep clones, which is what
+//! keeps all-to-all rounds O(n) allocations instead of O(n²).
 
 use std::fmt::Debug;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::id::NodeId;
 
@@ -9,12 +19,97 @@ use crate::id::NodeId;
 ///
 /// `Eq + Hash` enables the engine's per-round duplicate suppression (the
 /// model states that duplicate messages from the same node within one round
-/// are discarded); `Clone` enables broadcast fan-out.
+/// are discarded); `Clone` enables adversary replay and trace recording —
+/// broadcast fan-out itself shares one [`MsgRef`] and never clones the
+/// payload per recipient.
 ///
 /// This trait is blanket-implemented — any suitable type is a payload.
 pub trait Payload: Clone + Eq + Hash + Debug + 'static {}
 
 impl<T: Clone + Eq + Hash + Debug + 'static> Payload for T {}
+
+/// A shared, hash-memoized payload: the unit the engine actually delivers.
+///
+/// Wraps the payload in an [`Arc`] and records its hash once at
+/// construction, so per-recipient duplicate suppression costs a refcount
+/// bump and a 64-bit hash write instead of a deep clone and a full re-hash.
+/// Equality still compares the payloads themselves (the memoized hash is
+/// only a fast path), so dedup semantics are exactly the model's
+/// per-round `(sender, payload)` rule.
+pub struct MsgRef<M> {
+    hash: u64,
+    msg: Arc<M>,
+}
+
+impl<M: Hash> MsgRef<M> {
+    /// Wraps `msg`, memoizing its hash.
+    pub fn new(msg: M) -> Self {
+        // DefaultHasher::new() uses fixed keys: the memoized hash is
+        // deterministic within a run, which is all the dedup set needs.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        msg.hash(&mut hasher);
+        MsgRef {
+            hash: hasher.finish(),
+            msg: Arc::new(msg),
+        }
+    }
+}
+
+impl<M> MsgRef<M> {
+    /// The shared payload.
+    pub fn get(&self) -> &M {
+        &self.msg
+    }
+
+    /// The hash memoized at construction.
+    pub fn precomputed_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Whether two refs share the same allocation (cheap equality fast
+    /// path; `false` does not imply the payloads differ).
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.msg, &b.msg)
+    }
+}
+
+impl<M> Clone for MsgRef<M> {
+    fn clone(&self) -> Self {
+        MsgRef {
+            hash: self.hash,
+            msg: Arc::clone(&self.msg),
+        }
+    }
+}
+
+impl<M> std::ops::Deref for MsgRef<M> {
+    type Target = M;
+    fn deref(&self) -> &M {
+        &self.msg
+    }
+}
+
+impl<M: PartialEq> PartialEq for MsgRef<M> {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.msg, &other.msg) || (self.hash == other.hash && *self.msg == *other.msg)
+    }
+}
+
+impl<M: Eq> Eq for MsgRef<M> {}
+
+impl<M> Hash for MsgRef<M> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Transparent: a `MsgRef` renders exactly like its payload, so traces and
+/// debug output are byte-identical to the pre-sharing engine.
+impl<M: Debug> Debug for MsgRef<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.msg.fmt(f)
+    }
+}
 
 /// A delivered message together with its authenticated sender.
 ///
@@ -23,18 +118,52 @@ impl<T: Clone + Eq + Hash + Debug + 'static> Payload for T {}
 /// `from` itself; a Byzantine node can only lie about messages it claims to
 /// have *received* (which is a payload-level claim, not an envelope-level
 /// one).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// The payload is held behind a shared [`MsgRef`]: cloning an envelope (and
+/// broadcasting one payload to `k` recipients) bumps a refcount instead of
+/// deep-cloning the message. Read it with [`msg`](Envelope::msg).
+#[derive(PartialEq, Eq, Hash, Debug)]
 pub struct Envelope<M> {
     /// Authenticated identifier of the sender.
     pub from: NodeId,
-    /// The protocol payload.
-    pub msg: M,
+    msg: MsgRef<M>,
+}
+
+impl<M: Hash> Envelope<M> {
+    /// Creates an envelope owning a fresh payload.
+    pub fn new(from: NodeId, msg: M) -> Self {
+        Envelope {
+            from,
+            msg: MsgRef::new(msg),
+        }
+    }
 }
 
 impl<M> Envelope<M> {
-    /// Creates an envelope.
-    pub fn new(from: NodeId, msg: M) -> Self {
+    /// Creates an envelope sharing an already-wrapped payload (the engine's
+    /// broadcast fan-out path).
+    pub fn from_shared(from: NodeId, msg: MsgRef<M>) -> Self {
         Envelope { from, msg }
+    }
+
+    /// The protocol payload.
+    pub fn msg(&self) -> &M {
+        self.msg.get()
+    }
+
+    /// The shared payload reference (for re-wrapping without a clone).
+    pub fn shared(&self) -> &MsgRef<M> {
+        &self.msg
+    }
+}
+
+/// Cloning shares the payload; no `M: Clone` bound and no allocation.
+impl<M> Clone for Envelope<M> {
+    fn clone(&self) -> Self {
+        Envelope {
+            from: self.from,
+            msg: self.msg.clone(),
+        }
     }
 }
 
@@ -48,6 +177,10 @@ pub enum Dest {
 }
 
 /// One outgoing message: destination plus payload.
+///
+/// Outgoing payloads stay owned (processes and adversaries build them
+/// freely); the engine wraps each one in a [`MsgRef`] exactly once when it
+/// enters delivery.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Outgoing<M> {
     /// Destination of the message.
@@ -135,6 +268,39 @@ mod tests {
     fn envelope_carries_sender() {
         let env = Envelope::new(NodeId::new(9), 42u32);
         assert_eq!(env.from, NodeId::new(9));
-        assert_eq!(env.msg, 42);
+        assert_eq!(*env.msg(), 42);
+    }
+
+    #[test]
+    fn envelope_clone_shares_the_payload() {
+        let env = Envelope::new(NodeId::new(1), vec![1u8, 2, 3]);
+        let copy = env.clone();
+        assert!(MsgRef::ptr_eq(env.shared(), copy.shared()));
+        assert_eq!(env, copy);
+    }
+
+    #[test]
+    fn msgref_equality_is_by_value_with_memoized_hash() {
+        let a = MsgRef::new(String::from("same"));
+        let b = MsgRef::new(String::from("same"));
+        let c = MsgRef::new(String::from("other"));
+        assert!(!MsgRef::ptr_eq(&a, &b), "distinct allocations");
+        assert_eq!(a, b, "equality compares payloads, not pointers");
+        assert_eq!(a.precomputed_hash(), b.precomputed_hash());
+        assert_ne!(a, c);
+        use std::collections::HashSet;
+        let set: HashSet<MsgRef<String>> = [a.clone(), b, c].into_iter().collect();
+        assert_eq!(set.len(), 2, "dedup by payload value");
+    }
+
+    #[test]
+    fn msgref_debug_is_transparent() {
+        let m = MsgRef::new(7u64);
+        assert_eq!(format!("{m:?}"), "7");
+        let env = Envelope::new(NodeId::new(2), 7u64);
+        assert_eq!(
+            format!("{env:?}"),
+            format!("Envelope {{ from: N2, msg: 7 }}")
+        );
     }
 }

@@ -1,0 +1,91 @@
+//! Allocation accounting for the delivery hot path.
+//!
+//! Before payload sharing, `SyncEngine::run_round` deep-cloned every
+//! broadcast payload **twice per recipient** — once into the per-recipient
+//! dedup set and once into the delivered envelope — i.e. `2·n` clones per
+//! broadcast, O(n²) per all-to-all round. The shared-payload path wraps each
+//! outgoing payload in one `MsgRef` and every recipient shares it, so the
+//! payload's `Clone` impl must now run **zero** times during delivery.
+//!
+//! This test pins that claim with a payload whose `Clone` counts itself:
+//! one file, one test, so no other test's clones can race the counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use uba_sim::{sparse_ids, Context, NodeId, Process, SyncEngine};
+
+static PAYLOAD_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// A payload that counts every deep clone of itself.
+#[derive(PartialEq, Eq, Hash, Debug)]
+struct Counted(u64);
+
+impl Clone for Counted {
+    fn clone(&self) -> Self {
+        PAYLOAD_CLONES.fetch_add(1, Ordering::Relaxed);
+        Counted(self.0)
+    }
+}
+
+/// Broadcasts a fresh payload every round until the horizon.
+#[derive(Debug)]
+struct Broadcaster {
+    id: NodeId,
+    horizon: u64,
+    done: bool,
+}
+
+impl Process for Broadcaster {
+    type Msg = Counted;
+    type Output = ();
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Counted>) {
+        ctx.broadcast(Counted(ctx.round()));
+        if ctx.round() >= self.horizon {
+            self.done = true;
+        }
+    }
+
+    fn output(&self) -> Option<()> {
+        self.done.then_some(())
+    }
+}
+
+#[test]
+fn broadcast_delivery_never_clones_the_payload() {
+    const N: usize = 16;
+    const ROUNDS: u64 = 8;
+    let ids = sparse_ids(N, 99);
+    let mut engine = SyncEngine::builder()
+        .correct_many(ids.iter().map(|&id| Broadcaster {
+            id,
+            horizon: ROUNDS,
+            done: false,
+        }))
+        .build();
+    engine.run_to_completion(ROUNDS + 1).expect("horizon");
+
+    let deliveries = engine.stats().correct_deliveries;
+    // Every node decides at round `ROUNDS`, leaving the recipient set before
+    // that round's broadcasts land — so full N² fan-out for ROUNDS − 1 rounds.
+    assert_eq!(
+        deliveries,
+        (N * N) as u64 * (ROUNDS - 1),
+        "all-to-all fan-out actually happened"
+    );
+    let clones = PAYLOAD_CLONES.load(Ordering::Relaxed);
+    // Pre-sharing this was 2 clones per delivery (dedup key + envelope):
+    // 2 · N² · (ROUNDS − 1) = 3584 here. Sharing must leave the payload
+    // untouched.
+    assert_eq!(
+        clones,
+        0,
+        "delivery cloned payloads {clones} times; the shared-payload path \
+         must clone zero (was {} before sharing)",
+        2 * deliveries
+    );
+}

@@ -76,8 +76,8 @@ proptest! {
                 senders.sort_unstable();
                 senders.dedup();
                 prop_assert_eq!(senders.len(), n, "distinct senders");
-                prop_assert!(inbox.iter().all(|e| e.msg.1 == r as u64));
-                prop_assert!(inbox.iter().all(|e| e.msg.0 == e.from.raw()), "unforgeable ids");
+                prop_assert!(inbox.iter().all(|e| e.msg().1 == r as u64));
+                prop_assert!(inbox.iter().all(|e| e.msg().0 == e.from.raw()), "unforgeable ids");
             }
         }
     }
