@@ -7,6 +7,7 @@
 pub mod f1_approx;
 pub mod f2_synchrony;
 pub mod t10_faults;
+pub mod t11_net;
 pub mod t1_reliable;
 pub mod t2_rotor;
 pub mod t3_consensus;

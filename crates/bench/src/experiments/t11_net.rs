@@ -1,0 +1,202 @@
+//! T11 — sim-vs-net equivalence: the TCP transport reproduces the engine.
+//!
+//! Claims validated:
+//! - for fault-free runs, a localhost TCP cluster (`uba-net`) decides
+//!   **identically** to a [`SyncEngine`] run of the same seeded processes —
+//!   same outputs, same decision rounds — because the round synchronizer
+//!   reproduces the engine's delivery semantics exactly (DESIGN.md §8);
+//! - the synchronous-round abstraction is cheap on a real (localhost)
+//!   network: barrier-enforced rounds complete in well under a millisecond,
+//!   so the model's round counts translate directly into wall-clock time.
+//!
+//! The equivalence table is deterministic; the latency table reports
+//! measured wall-clock numbers and naturally varies between machines (its
+//! *shape* — sub-millisecond rounds, growing mildly with `n` — is the
+//! reproduction target).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use uba_core::consensus::EarlyConsensus;
+use uba_core::reliable::ReliableBroadcast;
+use uba_net::{decisions, run_local_cluster, NetConfig, NetReport, Wire};
+use uba_sim::{sparse_ids, NodeId, Process, SyncEngine};
+use uba_trace::NoopTracer;
+
+use crate::Table;
+
+/// Transport config for experiment runs: generous timeouts (the claim is
+/// about decisions, not deadlines) and a round budget matching the twin.
+fn net_config() -> NetConfig {
+    NetConfig {
+        round_timeout: Duration::from_secs(10),
+        setup_timeout: Duration::from_secs(30),
+        max_rounds: 200,
+        ..NetConfig::default()
+    }
+}
+
+/// Outcome of one sim-vs-net cell.
+struct Cell {
+    sim_outputs: BTreeMap<NodeId, String>,
+    sim_rounds: u64,
+    net_outputs: BTreeMap<NodeId, String>,
+    net_rounds: u64,
+    round_micros: Vec<u64>,
+}
+
+impl Cell {
+    fn matches(&self) -> bool {
+        self.sim_outputs == self.net_outputs && self.sim_rounds == self.net_rounds
+    }
+}
+
+/// Runs `factory()`'s processes both ways and compares (outputs rendered
+/// via `Debug`, so one table covers heterogeneous output types).
+fn run_cell<P, F>(factory: F) -> Cell
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send,
+    F: Fn() -> Vec<P>,
+{
+    let mut engine = SyncEngine::builder().correct_many(factory()).build();
+    let sim = engine
+        .run_to_completion(200)
+        .expect("simulator twin must complete");
+    let reports = run_local_cluster(factory(), net_config(), |_| NoopTracer)
+        .expect("network run must complete");
+    let net = decisions(&reports);
+    Cell {
+        sim_outputs: sim
+            .outputs
+            .iter()
+            .map(|(&id, o)| (id, format!("{o:?}")))
+            .collect(),
+        sim_rounds: sim.decided_round.values().copied().max().unwrap_or(0),
+        net_outputs: net.iter().map(|(&id, o)| (id, format!("{o:?}"))).collect(),
+        net_rounds: net_decided_rounds(&reports),
+        round_micros: reports
+            .values()
+            .flat_map(|r| r.round_micros.iter().copied())
+            .collect(),
+    }
+}
+
+fn net_decided_rounds<O, T>(reports: &BTreeMap<NodeId, NetReport<O, T>>) -> u64 {
+    reports
+        .values()
+        .filter_map(|r| r.decided_round)
+        .max()
+        .unwrap_or(0)
+}
+
+fn consensus_cluster(seed: u64, n: usize) -> Vec<EarlyConsensus<u64>> {
+    let ids = sparse_ids(n, seed);
+    ids.iter()
+        .enumerate()
+        .map(|(i, &id)| EarlyConsensus::new(id, (seed >> (i % 64)) & 1))
+        .collect()
+}
+
+fn reliable_cluster(seed: u64, n: usize) -> Vec<ReliableBroadcast<u64>> {
+    let ids = sparse_ids(n, seed);
+    let sender = ids[0];
+    ids.iter()
+        .map(|&id| {
+            let own = (id == sender).then_some(seed);
+            ReliableBroadcast::new(id, sender, own).with_horizon(6)
+        })
+        .collect()
+}
+
+/// The deterministic equivalence cells: `(algorithm, n, seed)`.
+const CONSENSUS_CELLS: [(usize, u64); 3] = [(4, 42), (4, 7), (7, 1)];
+const RELIABLE_CELLS: [(usize, u64); 2] = [(4, 42), (5, 11)];
+
+/// Runs one equivalence cell by name (shared with the tests).
+fn run_named(algo: &str, n: usize, seed: u64) -> Cell {
+    match algo {
+        "consensus" => run_cell(|| consensus_cluster(seed, n)),
+        "reliable bcast" => run_cell(|| reliable_cluster(seed, n)),
+        other => panic!("unknown T11 algorithm {other:?}"),
+    }
+}
+
+/// Runs experiment T11.
+pub fn run() -> Vec<Table> {
+    let mut equivalence = Table::new(
+        "T11 — sim-vs-net equivalence: localhost TCP cluster vs SyncEngine, same seeded processes",
+        &[
+            "algorithm",
+            "n",
+            "seed",
+            "sim rounds",
+            "net rounds",
+            "decisions",
+        ],
+    );
+    let mut latency = Table::new(
+        "T11 — measured localhost round latency (wall-clock; shape, not numbers, is the target)",
+        &["algorithm", "n", "rounds", "mean us/round", "max us/round"],
+    );
+    let cells = CONSENSUS_CELLS
+        .iter()
+        .map(|&(n, seed)| ("consensus", n, seed))
+        .chain(
+            RELIABLE_CELLS
+                .iter()
+                .map(|&(n, seed)| ("reliable bcast", n, seed)),
+        );
+    for (algo, n, seed) in cells {
+        let cell = run_named(algo, n, seed);
+        equivalence.row(&[
+            algo.to_string(),
+            n.to_string(),
+            seed.to_string(),
+            cell.sim_rounds.to_string(),
+            cell.net_rounds.to_string(),
+            if cell.matches() { "match" } else { "MISMATCH" }.to_string(),
+        ]);
+        let mean = if cell.round_micros.is_empty() {
+            0
+        } else {
+            cell.round_micros.iter().sum::<u64>() / cell.round_micros.len() as u64
+        };
+        let max = cell.round_micros.iter().copied().max().unwrap_or(0);
+        latency.row(&[
+            algo.to_string(),
+            n.to_string(),
+            cell.net_rounds.to_string(),
+            mean.to_string(),
+            max.to_string(),
+        ]);
+    }
+    vec![equivalence, latency]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Locks the equivalence claim only — latency is machine-dependent and
+    /// deliberately unasserted.
+    #[test]
+    fn t11_every_cell_matches_the_engine() {
+        for &(n, seed) in &CONSENSUS_CELLS {
+            let cell = run_named("consensus", n, seed);
+            assert!(
+                cell.matches(),
+                "consensus n={n} seed={seed}: sim {:?} (round {}) vs net {:?} (round {})",
+                cell.sim_outputs,
+                cell.sim_rounds,
+                cell.net_outputs,
+                cell.net_rounds
+            );
+        }
+        for &(n, seed) in &RELIABLE_CELLS {
+            let cell = run_named("reliable bcast", n, seed);
+            assert!(cell.matches(), "reliable n={n} seed={seed} diverged");
+        }
+    }
+}

@@ -25,7 +25,7 @@ pub use table::Table;
 
 /// Every experiment id, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "t1", "t2", "t3", "f1", "t4", "t5", "f2", "t6", "t7", "t8", "t9", "t10",
+    "t1", "t2", "t3", "f1", "t4", "t5", "f2", "t6", "t7", "t8", "t9", "t10", "t11",
 ];
 
 /// Runs one experiment by id, returning its tables.
@@ -47,6 +47,7 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "t8" => experiments::t8_extensions::run(),
         "t9" => experiments::t9_ablation::run_experiment(),
         "t10" => experiments::t10_faults::run(),
+        "t11" => experiments::t11_net::run(),
         other => panic!("unknown experiment id {other:?}; valid: {ALL_EXPERIMENTS:?}"),
     }
 }

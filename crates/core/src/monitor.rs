@@ -1,6 +1,6 @@
 //! Online monitors evaluating the paper's properties on partial state.
 //!
-//! The [`spec`](crate::spec) checkers judge finished runs; the monitors
+//! The [`crate::spec`] checkers judge finished runs; the monitors
 //! here implement the *prefix-closed* strengthening of the same properties
 //! so a [`RoundMonitor`] installed on the engine can abort a run at the
 //! **first** round in which a property breaks:

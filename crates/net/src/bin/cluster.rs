@@ -1,0 +1,250 @@
+//! `cluster` — run an n-node localhost TCP cluster and check it against
+//! the simulator.
+//!
+//! Spawns `--nodes` members of the chosen algorithm over real sockets,
+//! runs the *same* seeded configuration on the in-process `SyncEngine`,
+//! and asserts the two executions decide identically. Exit code 0 means
+//! the decisions matched; 1 means they diverged (a transport bug); 2 is a
+//! usage error.
+//!
+//! ```text
+//! cluster [--nodes N] [--algo consensus|reliable|approx] [--seed S]
+//!         [--timeout-ms MS] [--max-rounds R] [--trace-out PREFIX]
+//! ```
+//!
+//! With `--trace-out PREFIX`, each member's trace is written to
+//! `PREFIX-N<id>.jsonl` — the same JSONL vocabulary the simulator's soak
+//! runner dumps, plus the `net_*` transport events.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use uba_core::approx::ApproxAgreement;
+use uba_core::consensus::EarlyConsensus;
+use uba_core::reliable::ReliableBroadcast;
+use uba_net::{decisions, run_local_cluster, NetConfig, RetryPolicy, Wire};
+use uba_sim::{sparse_ids, NodeId, Process, SyncEngine};
+use uba_trace::JsonlTracer;
+
+/// Parsed command line.
+struct Args {
+    nodes: u64,
+    algo: Algo,
+    seed: u64,
+    timeout_ms: u64,
+    max_rounds: u64,
+    trace_out: Option<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Algo {
+    Consensus,
+    Reliable,
+    Approx,
+}
+
+fn usage() -> String {
+    "usage: cluster [--nodes N] [--algo consensus|reliable|approx] [--seed S]\n\
+     \x20              [--timeout-ms MS] [--max-rounds R] [--trace-out PREFIX]"
+        .to_string()
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        nodes: 4,
+        algo: Algo::Consensus,
+        seed: 42,
+        timeout_ms: 2_000,
+        max_rounds: 200,
+        trace_out: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("missing value for {flag}\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("invalid --nodes: {e}"))?;
+                if args.nodes < 2 {
+                    return Err("--nodes must be at least 2".to_string());
+                }
+            }
+            "--algo" => {
+                args.algo = match value("--algo")?.as_str() {
+                    "consensus" => Algo::Consensus,
+                    "reliable" => Algo::Reliable,
+                    "approx" => Algo::Approx,
+                    other => {
+                        return Err(format!(
+                            "invalid --algo {other:?} (expected consensus, reliable or approx)"
+                        ))
+                    }
+                };
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed: {e}"))?;
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("invalid --timeout-ms: {e}"))?;
+            }
+            "--max-rounds" => {
+                args.max_rounds = value("--max-rounds")?
+                    .parse()
+                    .map_err(|e| format!("invalid --max-rounds: {e}"))?;
+            }
+            "--trace-out" => {
+                args.trace_out = Some(value("--trace-out")?);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs the same processes in the simulator and over TCP, compares the
+/// decisions, and prints the verdict. Returns whether they matched.
+fn run_twin<P, F>(args: &Args, factory: F) -> Result<bool, String>
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send + PartialEq + Debug,
+    F: Fn() -> Vec<P>,
+{
+    // The in-process twin: the reference execution.
+    let mut engine = SyncEngine::builder().correct_many(factory()).build();
+    let sim = engine
+        .run_to_completion(args.max_rounds)
+        .map_err(|e| format!("simulator twin failed: {e}"))?;
+
+    // The real thing.
+    let config = NetConfig {
+        round_timeout: Duration::from_millis(args.timeout_ms),
+        retry: RetryPolicy::default(),
+        max_rounds: args.max_rounds,
+        ..NetConfig::default()
+    };
+    let reports = run_local_cluster(factory(), config, |_| JsonlTracer::in_memory())
+        .map_err(|e| format!("cluster run failed: {e}"))?;
+
+    if let Some(prefix) = &args.trace_out {
+        for (id, report) in &reports {
+            let path = format!("{prefix}-{id}.jsonl");
+            std::fs::write(&path, report.tracer.to_jsonl())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
+
+    let net = decisions(&reports);
+    let matched = compare(&sim.outputs, &net);
+
+    let rounds = reports.values().map(|r| r.rounds).max().unwrap_or(0);
+    let timeouts: u64 = reports.values().map(|r| r.timeouts).sum();
+    let micros: Vec<u64> = reports
+        .values()
+        .flat_map(|r| r.round_micros.iter().copied())
+        .collect();
+    let mean = if micros.is_empty() {
+        0
+    } else {
+        micros.iter().sum::<u64>() / micros.len() as u64
+    };
+    let max = micros.iter().copied().max().unwrap_or(0);
+    println!(
+        "cluster: {} nodes, {} rounds, {} barrier timeouts, round latency mean {mean}us max {max}us",
+        args.nodes, rounds, timeouts
+    );
+    println!(
+        "decisions: {}",
+        if matched {
+            "MATCH (network == simulator)"
+        } else {
+            "MISMATCH (network != simulator)"
+        }
+    );
+    Ok(matched)
+}
+
+/// Prints any divergence between the two decision maps.
+fn compare<O: PartialEq + Debug>(sim: &BTreeMap<NodeId, O>, net: &BTreeMap<NodeId, O>) -> bool {
+    let mut matched = true;
+    for (id, expected) in sim {
+        match net.get(id) {
+            Some(actual) if actual == expected => {}
+            Some(actual) => {
+                eprintln!("{id}: simulator decided {expected:?}, network decided {actual:?}");
+                matched = false;
+            }
+            None => {
+                eprintln!("{id}: simulator decided {expected:?}, network did not decide");
+                matched = false;
+            }
+        }
+    }
+    for id in net.keys() {
+        if !sim.contains_key(id) {
+            eprintln!("{id}: network decided but simulator did not");
+            matched = false;
+        }
+    }
+    matched
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let ids = sparse_ids(args.nodes as usize, args.seed);
+    let result = match args.algo {
+        Algo::Consensus => run_twin(&args, || {
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| EarlyConsensus::new(id, (args.seed >> (i % 64)) & 1))
+                .collect()
+        }),
+        Algo::Reliable => {
+            let sender = ids[0];
+            let payload = format!("rb-{}", args.seed);
+            run_twin(&args, || {
+                ids.iter()
+                    .map(|&id| {
+                        let own = (id == sender).then(|| payload.clone());
+                        ReliableBroadcast::new(id, sender, own).with_horizon(6)
+                    })
+                    .collect()
+            })
+        }
+        Algo::Approx => run_twin(&args, || {
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    let input = ((args.seed % 97) as f64) + i as f64;
+                    ApproxAgreement::new(id, input).with_iterations(3)
+                })
+                .collect()
+        }),
+    };
+
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! [`run_local_cluster`]: spawn an n-member localhost cluster, one OS
+//! thread per member, and collect every member's [`NetReport`].
+//!
+//! The startup sequence is race-free by construction: every member's
+//! listener is **bound before any thread spawns**, so a dialer can never
+//! hit a peer whose port does not exist yet (it can still hit one whose
+//! accept loop is not running — that is what the dial retry/backoff
+//! absorbs). Ports are OS-assigned (`127.0.0.1:0`), so clusters never
+//! collide with each other or with anything else on the machine.
+
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::thread;
+
+use uba_sim::{NodeId, Process};
+use uba_trace::Tracer;
+
+use crate::node::{NetConfig, NetError, NetNode, NetReport};
+use crate::wire::Wire;
+
+/// Runs one process per cluster member over localhost TCP and returns each
+/// member's report, keyed by node id.
+///
+/// `tracer_for` builds each member's tracer (members run on separate
+/// threads, so they cannot share one); pass `|_| NoopTracer` to trace
+/// nothing. Processes carry their own ids — duplicate ids are a caller
+/// bug and panic.
+///
+/// # Errors
+///
+/// The first member failure in id order ([`NetError::RoundLimit`],
+/// [`NetError::InvariantViolated`], or a transport [`NetError::Io`]); all
+/// threads are joined either way.
+///
+/// # Panics
+///
+/// Panics if two processes share an id or a member thread panics.
+///
+/// # Examples
+///
+/// ```no_run
+/// use uba_core::consensus::EarlyConsensus;
+/// use uba_net::{run_local_cluster, NetConfig};
+/// use uba_sim::sparse_ids;
+/// use uba_trace::NoopTracer;
+///
+/// let ids = sparse_ids(4, 42);
+/// let members = ids.iter().map(|&id| EarlyConsensus::new(id, 1u64));
+/// let reports = run_local_cluster(members, NetConfig::default(), |_| NoopTracer)?;
+/// for report in reports.values() {
+///     assert_eq!(report.output, Some(1));
+/// }
+/// # Ok::<(), uba_net::NetError>(())
+/// ```
+pub fn run_local_cluster<P, T>(
+    processes: impl IntoIterator<Item = P>,
+    config: NetConfig,
+    mut tracer_for: impl FnMut(NodeId) -> T,
+) -> Result<BTreeMap<NodeId, NetReport<P::Output, T>>, NetError>
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send,
+    T: Tracer + Send + 'static,
+{
+    // Bind every listener first, then build the shared roster.
+    let mut members = Vec::new();
+    let mut roster = BTreeMap::new();
+    for process in processes {
+        let id = process.id();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        assert!(
+            roster.insert(id, addr).is_none(),
+            "duplicate cluster member id {id}"
+        );
+        members.push((id, process, listener));
+    }
+
+    let handles: Vec<_> = members
+        .into_iter()
+        .map(|(id, process, listener)| {
+            let node = NetNode::new(process, config.clone()).with_tracer(tracer_for(id));
+            let roster = roster.clone();
+            let handle = thread::spawn(move || node.run(listener, &roster));
+            (id, handle)
+        })
+        .collect();
+
+    let mut reports = BTreeMap::new();
+    let mut first_error = None;
+    for (id, handle) in handles {
+        match handle.join().expect("cluster member thread panicked") {
+            Ok(report) => {
+                reports.insert(id, report);
+            }
+            Err(err) => {
+                if first_error.is_none() {
+                    first_error = Some(err);
+                }
+            }
+        }
+    }
+    match first_error {
+        Some(err) => Err(err),
+        None => Ok(reports),
+    }
+}
+
+/// The decisions of a cluster run: each member's output, keyed by id, for
+/// members that decided.
+pub fn decisions<O: Clone, T>(reports: &BTreeMap<NodeId, NetReport<O, T>>) -> BTreeMap<NodeId, O> {
+    reports
+        .iter()
+        .filter_map(|(&id, report)| report.output.clone().map(|o| (id, o)))
+        .collect()
+}

@@ -1,0 +1,145 @@
+//! [`Wire`] implementations for the protocol payloads shipped by
+//! `uba-core`, so every bundled algorithm runs over the transport out of
+//! the box.
+//!
+//! Each enum gets a one-byte variant tag followed by the variant's fields;
+//! unknown tags are malformed input. User-defined payload types only need
+//! their own `Wire` impl — the transport is generic over `P::Msg: Wire`.
+
+use uba_core::consensus::ConsensusMsg;
+use uba_core::reliable::RbMsg;
+use uba_core::OrderedF64;
+
+use crate::wire::Wire;
+
+const CONSENSUS_ROTOR_INIT: u8 = 0;
+const CONSENSUS_ROTOR_ECHO: u8 = 1;
+const CONSENSUS_OPINION: u8 = 2;
+const CONSENSUS_INPUT: u8 = 3;
+const CONSENSUS_PREFER: u8 = 4;
+const CONSENSUS_STRONG_PREFER: u8 = 5;
+
+impl<V: Wire> Wire for ConsensusMsg<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ConsensusMsg::RotorInit => out.push(CONSENSUS_ROTOR_INIT),
+            ConsensusMsg::RotorEcho(node) => {
+                out.push(CONSENSUS_ROTOR_ECHO);
+                node.encode(out);
+            }
+            ConsensusMsg::Opinion(v) => {
+                out.push(CONSENSUS_OPINION);
+                v.encode(out);
+            }
+            ConsensusMsg::Input(v) => {
+                out.push(CONSENSUS_INPUT);
+                v.encode(out);
+            }
+            ConsensusMsg::Prefer(v) => {
+                out.push(CONSENSUS_PREFER);
+                v.encode(out);
+            }
+            ConsensusMsg::StrongPrefer(v) => {
+                out.push(CONSENSUS_STRONG_PREFER);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            CONSENSUS_ROTOR_INIT => ConsensusMsg::RotorInit,
+            CONSENSUS_ROTOR_ECHO => ConsensusMsg::RotorEcho(Wire::decode(input)?),
+            CONSENSUS_OPINION => ConsensusMsg::Opinion(V::decode(input)?),
+            CONSENSUS_INPUT => ConsensusMsg::Input(V::decode(input)?),
+            CONSENSUS_PREFER => ConsensusMsg::Prefer(V::decode(input)?),
+            CONSENSUS_STRONG_PREFER => ConsensusMsg::StrongPrefer(V::decode(input)?),
+            _ => return None,
+        })
+    }
+}
+
+const RB_PAYLOAD: u8 = 0;
+const RB_PRESENT: u8 = 1;
+const RB_ECHO: u8 = 2;
+
+impl<M: Wire> Wire for RbMsg<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RbMsg::Payload(m) => {
+                out.push(RB_PAYLOAD);
+                m.encode(out);
+            }
+            RbMsg::Present => out.push(RB_PRESENT),
+            RbMsg::Echo(m) => {
+                out.push(RB_ECHO);
+                m.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            RB_PAYLOAD => RbMsg::Payload(M::decode(input)?),
+            RB_PRESENT => RbMsg::Present,
+            RB_ECHO => RbMsg::Echo(M::decode(input)?),
+            _ => return None,
+        })
+    }
+}
+
+/// `OrderedF64` travels as the IEEE-754 bit pattern of its float. Decoding
+/// re-validates through [`OrderedF64::new`], so a NaN bit pattern on the
+/// wire is malformed input — the invariant cannot be smuggled past the
+/// constructor by a remote peer.
+impl Wire for OrderedF64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.get().encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        OrderedF64::new(f64::decode(input)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_sim::NodeId;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).as_ref(), Some(&value));
+    }
+
+    #[test]
+    fn consensus_messages_round_trip() {
+        round_trip(ConsensusMsg::<u64>::RotorInit);
+        round_trip(ConsensusMsg::<u64>::RotorEcho(NodeId::new(12)));
+        round_trip(ConsensusMsg::Opinion(3u64));
+        round_trip(ConsensusMsg::Input(0u64));
+        round_trip(ConsensusMsg::Prefer(9u64));
+        round_trip(ConsensusMsg::StrongPrefer(u64::MAX));
+    }
+
+    #[test]
+    fn reliable_broadcast_messages_round_trip() {
+        round_trip(RbMsg::Payload(String::from("m")));
+        round_trip(RbMsg::<String>::Present);
+        round_trip(RbMsg::Echo(String::from("m")));
+    }
+
+    #[test]
+    fn ordered_f64_round_trips_and_rejects_nan() {
+        round_trip(OrderedF64::new(0.5).unwrap());
+        round_trip(OrderedF64::new(-0.0).unwrap());
+        let nan_bits = f64::NAN.to_bits().to_bytes();
+        assert_eq!(OrderedF64::from_bytes(&nan_bits), None);
+    }
+
+    #[test]
+    fn unknown_variant_tags_are_rejected() {
+        assert_eq!(ConsensusMsg::<u64>::from_bytes(&[9]), None);
+        assert_eq!(RbMsg::<u64>::from_bytes(&[9]), None);
+    }
+}

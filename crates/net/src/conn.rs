@@ -1,0 +1,441 @@
+//! Connection management: dialing with retry/backoff, the `Hello`
+//! handshake, per-connection reader threads, and the shared writer table.
+//!
+//! Topology is a full mesh with a deterministic dialing convention: each
+//! node **dials** every peer with a *larger* id and **accepts** from every
+//! peer with a *smaller* id, so each unordered pair gets exactly one
+//! connection and no tie-breaking is needed.
+//!
+//! Each established connection gets a **generation number**. Reader threads
+//! stamp their close notifications with the generation they served, so a
+//! stale `Closed` event from a connection that was already replaced by a
+//! reconnect cannot tear down the fresh link.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use uba_sim::NodeId;
+
+use crate::wire::{read_frame, write_frame, Frame};
+
+/// Backoff schedule for dialing a peer that is not accepting yet.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Delay before the second attempt; doubles each failure.
+    pub initial_backoff: Duration,
+    /// Ceiling for the per-attempt delay.
+    pub max_backoff: Duration,
+    /// Total time budget across all attempts before giving up.
+    pub budget: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            budget: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Dials `addr` until it accepts or the policy's budget runs out, calling
+/// `on_retry(attempt)` before each backoff sleep.
+///
+/// # Errors
+///
+/// The last connection error once the budget is exhausted.
+pub fn connect_with_retry(
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    mut on_retry: impl FnMut(u32),
+) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + policy.budget;
+    let mut backoff = policy.initial_backoff;
+    let mut attempt: u32 = 0;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                // Frames are small and latency-critical: round progress waits
+                // on `Done` markers, so Nagle batching would put a ~40ms
+                // floor under every barrier.
+                stream.set_nodelay(true)?;
+                return Ok(stream);
+            }
+            Err(err) => {
+                attempt += 1;
+                if Instant::now() + backoff > deadline {
+                    return Err(err);
+                }
+                on_retry(attempt);
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.max_backoff);
+            }
+        }
+    }
+}
+
+/// Events a connection's reader thread reports to the node's main loop.
+#[derive(Debug)]
+pub enum LinkEvent {
+    /// A decoded frame from an established, handshaken connection.
+    Frame {
+        /// The peer the connection is pinned to (from its `Hello`).
+        from: NodeId,
+        /// The frame.
+        frame: Frame,
+    },
+    /// A fresh connection to `peer` completed its handshake.
+    Connected {
+        /// The peer.
+        peer: NodeId,
+        /// The link generation installed in the [`Links`] table.
+        generation: u64,
+    },
+    /// The connection serving `generation` ended (clean EOF or error).
+    /// Stale generations must be ignored — a reconnect may already have
+    /// replaced the link.
+    Closed {
+        /// The peer.
+        peer: NodeId,
+        /// The generation that closed.
+        generation: u64,
+    },
+}
+
+struct Link {
+    writer: BufWriter<TcpStream>,
+    generation: u64,
+}
+
+/// The shared table of outbound halves of the mesh, one writer per peer.
+///
+/// Send failures mark the link dead (the reader thread on the same socket
+/// reports `Closed` with the cause); the round loop then decides between
+/// waiting for a reconnect and declaring the peer gone.
+#[derive(Clone)]
+pub struct Links {
+    inner: Arc<Mutex<HashMap<NodeId, Link>>>,
+    next_generation: Arc<Mutex<u64>>,
+}
+
+impl Default for Links {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Links {
+    /// An empty table.
+    pub fn new() -> Self {
+        Links {
+            inner: Arc::new(Mutex::new(HashMap::new())),
+            next_generation: Arc::new(Mutex::new(0)),
+        }
+    }
+
+    /// Installs (or replaces) the writer for `peer`, returning the new
+    /// link's generation.
+    pub fn install(&self, peer: NodeId, stream: TcpStream) -> u64 {
+        let generation = {
+            let mut next = self.next_generation.lock().expect("links lock");
+            *next += 1;
+            *next
+        };
+        self.inner.lock().expect("links lock").insert(
+            peer,
+            Link {
+                writer: BufWriter::new(stream),
+                generation,
+            },
+        );
+        generation
+    }
+
+    /// Drops the writer for `peer` if (and only if) it still serves
+    /// `generation`.
+    pub fn remove(&self, peer: NodeId, generation: u64) {
+        let mut table = self.inner.lock().expect("links lock");
+        if table.get(&peer).is_some_and(|l| l.generation == generation) {
+            table.remove(&peer);
+        }
+    }
+
+    /// Writes one frame to `peer`. Returns `false` if no live link exists
+    /// or the write failed (the link is dropped; the reader thread reports
+    /// the close).
+    pub fn send(&self, peer: NodeId, frame: &Frame) -> bool {
+        let mut table = self.inner.lock().expect("links lock");
+        let Some(link) = table.get_mut(&peer) else {
+            return false;
+        };
+        if write_frame(&mut link.writer, frame).is_ok() {
+            true
+        } else {
+            table.remove(&peer);
+            false
+        }
+    }
+
+    /// The peers with a live link, in no particular order.
+    pub fn connected(&self) -> Vec<NodeId> {
+        self.inner
+            .lock()
+            .expect("links lock")
+            .keys()
+            .copied()
+            .collect()
+    }
+}
+
+/// Performs the symmetric handshake on a fresh connection: writes our
+/// `Hello`, reads the peer's, and returns the peer's announced id.
+///
+/// # Errors
+///
+/// I/O errors, a non-`Hello` first frame, or a clean close before the
+/// peer's `Hello` (all reported as [`io::ErrorKind::InvalidData`] /
+/// [`io::ErrorKind::UnexpectedEof`]).
+pub fn handshake(stream: &mut TcpStream, me: NodeId) -> io::Result<NodeId> {
+    write_frame(stream, &Frame::Hello { node: me })?;
+    match read_frame(stream)? {
+        Some(Frame::Hello { node }) => Ok(node),
+        Some(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected Hello as the first frame",
+        )),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "peer closed before Hello",
+        )),
+    }
+}
+
+/// Spawns the reader thread for an established connection: decodes frames
+/// into [`LinkEvent::Frame`]s until EOF or error, then reports
+/// [`LinkEvent::Closed`] and removes the link (generation-guarded).
+pub fn spawn_reader(
+    stream: TcpStream,
+    peer: NodeId,
+    generation: u64,
+    links: Links,
+    events: Sender<LinkEvent>,
+) {
+    thread::spawn(move || {
+        let mut reader = BufReader::new(stream);
+        while let Ok(Some(frame)) = read_frame(&mut reader) {
+            if events.send(LinkEvent::Frame { from: peer, frame }).is_err() {
+                break; // node loop is gone; stop pumping
+            }
+        }
+        links.remove(peer, generation);
+        let _ = events.send(LinkEvent::Closed { peer, generation });
+    });
+}
+
+/// Spawns the accept loop for node `me`: for every inbound connection,
+/// handshakes, installs the writer, reports [`LinkEvent::Connected`], and
+/// spawns a reader. Runs until the listener errors or the event channel
+/// closes (both mean the node is shutting down).
+///
+/// Accepting is also how reconnects work: a peer that lost its socket
+/// simply dials again, and the fresh link replaces the dead one in the
+/// table (the old reader's `Closed` event carries a stale generation and is
+/// ignored).
+pub fn spawn_acceptor(listener: TcpListener, me: NodeId, links: Links, events: Sender<LinkEvent>) {
+    thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            if stream.set_nodelay(true).is_err() {
+                continue;
+            }
+            let Ok(peer) = handshake(&mut stream, me) else {
+                continue; // not a protocol peer; ignore the connection
+            };
+            let Ok(reader_half) = stream.try_clone() else {
+                continue;
+            };
+            let generation = links.install(peer, stream);
+            if events
+                .send(LinkEvent::Connected { peer, generation })
+                .is_err()
+            {
+                return; // node loop is gone
+            }
+            spawn_reader(reader_half, peer, generation, links.clone(), events.clone());
+        }
+    });
+}
+
+/// Dials `peer` at `addr` (with retry), handshakes, verifies the announced
+/// id, installs the writer, reports [`LinkEvent::Connected`], and spawns
+/// the reader thread.
+///
+/// # Errors
+///
+/// Connect/handshake I/O errors, or [`io::ErrorKind::InvalidData`] if the
+/// endpoint announces an id other than `peer` (a mis-wired address book —
+/// the transport refuses to attribute its frames).
+pub fn dial_peer(
+    addr: SocketAddr,
+    me: NodeId,
+    peer: NodeId,
+    policy: RetryPolicy,
+    links: &Links,
+    events: &Sender<LinkEvent>,
+    on_retry: impl FnMut(u32),
+) -> io::Result<u64> {
+    let mut stream = connect_with_retry(addr, policy, on_retry)?;
+    let announced = handshake(&mut stream, me)?;
+    if announced != peer {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("dialed {peer} but endpoint announced {announced}"),
+        ));
+    }
+    let reader_half = stream.try_clone()?;
+    let generation = links.install(peer, stream);
+    let _ = events.send(LinkEvent::Connected { peer, generation });
+    spawn_reader(reader_half, peer, generation, links.clone(), events.clone());
+    Ok(generation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn retry_backs_off_then_succeeds() {
+        // Reserve a port, then keep it closed for the first attempts.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let opener = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(40));
+            TcpListener::bind(addr).unwrap().accept().unwrap();
+        });
+        let mut retries = 0;
+        let policy = RetryPolicy {
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(20),
+            budget: Duration::from_secs(5),
+        };
+        let stream = connect_with_retry(addr, policy, |_| retries += 1);
+        assert!(stream.is_ok());
+        assert!(retries >= 1, "the port was closed at first");
+        opener.join().unwrap();
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_reports_the_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener); // nobody will ever listen here
+        let policy = RetryPolicy {
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(10),
+            budget: Duration::from_millis(30),
+        };
+        assert!(connect_with_retry(addr, policy, |_| {}).is_err());
+    }
+
+    #[test]
+    fn dial_and_accept_handshake_and_exchange_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (alice, bob) = (NodeId::new(1), NodeId::new(2));
+
+        let (bob_tx, bob_rx) = mpsc::channel();
+        let bob_links = Links::new();
+        spawn_acceptor(listener, bob, bob_links.clone(), bob_tx);
+
+        let (alice_tx, alice_rx) = mpsc::channel();
+        let alice_links = Links::new();
+        dial_peer(
+            addr,
+            alice,
+            bob,
+            RetryPolicy::default(),
+            &alice_links,
+            &alice_tx,
+            |_| {},
+        )
+        .unwrap();
+
+        // Both sides report Connected with the right peer.
+        match alice_rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            LinkEvent::Connected { peer, .. } => assert_eq!(peer, bob),
+            other => panic!("expected Connected, got {other:?}"),
+        }
+        match bob_rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            LinkEvent::Connected { peer, .. } => assert_eq!(peer, alice),
+            other => panic!("expected Connected, got {other:?}"),
+        }
+
+        // Alice -> Bob through the writer table; Bob's reader attributes it.
+        assert!(alice_links.send(
+            bob,
+            &Frame::Done {
+                round: 1,
+                decided: false,
+            },
+        ));
+        match bob_rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            LinkEvent::Frame { from, frame } => {
+                assert_eq!(from, alice);
+                assert_eq!(
+                    frame,
+                    Frame::Done {
+                        round: 1,
+                        decided: false,
+                    }
+                );
+            }
+            other => panic!("expected Frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dialing_a_mislabeled_peer_is_refused() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, _rx) = mpsc::channel();
+        spawn_acceptor(listener, NodeId::new(9), Links::new(), tx);
+
+        let (tx2, _rx2) = mpsc::channel();
+        let err = dial_peer(
+            addr,
+            NodeId::new(1),
+            NodeId::new(2), // address book says 2, endpoint says 9
+            RetryPolicy::default(),
+            &Links::new(),
+            &tx2,
+            |_| {},
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn stale_generation_close_does_not_remove_a_fresh_link() {
+        let links = Links::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = NodeId::new(5);
+        let a = TcpStream::connect(addr).unwrap();
+        let b = TcpStream::connect(addr).unwrap();
+        let old_generation = links.install(peer, a);
+        let new_generation = links.install(peer, b); // reconnect replaced it
+        assert_ne!(old_generation, new_generation);
+        links.remove(peer, old_generation); // stale close: must be a no-op
+        assert_eq!(links.connected(), vec![peer]);
+        links.remove(peer, new_generation);
+        assert!(links.connected().is_empty());
+    }
+}

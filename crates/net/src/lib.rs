@@ -1,0 +1,83 @@
+//! # uba-net — a real TCP round-transport for the `uba` protocol stack
+//!
+//! Runs any [`uba_sim::Process`] — unchanged — over localhost TCP instead
+//! of the simulator: the same synchronous-round semantics (messages sent in
+//! round `r` delivered at the start of round `r + 1`, per-round
+//! `(sender, payload)` duplicate suppression, broadcast self-delivery,
+//! sender-id-ordered inboxes), enforced by a **round synchronizer** over
+//! length-prefixed frames instead of by a central engine loop.
+//!
+//! The crate is `std`-only by design (threads + `std::net`, no async
+//! runtime), matching the workspace's no-external-dependencies policy.
+//!
+//! ## Layers
+//!
+//! * [`wire`] — the [`Wire`] codec trait and the length-prefixed [`Frame`]
+//!   transport format (`Hello` handshake, `Data`, `Done` barrier marker);
+//! * [`codec`] — `Wire` impls for the `uba-core` protocol payloads, so the
+//!   bundled algorithms run over TCP out of the box;
+//! * [`conn`] — dialing with retry/backoff, the handshake that pins each
+//!   connection to a sender id, per-connection reader threads, and the
+//!   generation-guarded writer table that makes reconnects safe;
+//! * [`sync`] — the [`RoundSynchronizer`], a pure state machine enforcing
+//!   the send/deliver barrier (unit-testable without sockets);
+//! * [`node`] — [`NetNode`], one cluster member: process + transport +
+//!   round loop, with [`uba_trace`] observability throughout;
+//! * [`cluster`] — [`run_local_cluster`], an n-member localhost cluster in
+//!   one call (the `cluster` binary wraps it on the command line).
+//!
+//! ## Timeouts are omissions
+//!
+//! A real network cannot guarantee the synchronous model's delivery bound,
+//! so the transport *imposes* one: a peer that misses the round barrier
+//! deadline is treated as silent for that round, and its late frames are
+//! dropped. Both effects are **omission faults**, which the paper's
+//! Byzantine fault model already subsumes — a mistimed timeout can cost
+//! liveness (more rounds) but never safety, and the `uba-core` monitors
+//! and spec checkers apply to networked runs unchanged. DESIGN.md §8
+//! develops this mapping.
+//!
+//! ## Equivalence with the simulator
+//!
+//! For a fault-free cluster, a networked run is not merely "similar" to a
+//! [`SyncEngine`](uba_sim::SyncEngine) run of the same processes — it
+//! delivers byte-identical inboxes in the same order, so decisions match
+//! exactly. The `tests/equivalence.rs` suite and the T11 experiment
+//! (`cargo bench-bin -- run t11`, see EXPERIMENTS.md) hold this property
+//! under seed randomization, and the `cluster` binary re-checks it on
+//! every invocation against an in-process twin run.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use uba_core::consensus::EarlyConsensus;
+//! use uba_net::{decisions, run_local_cluster, NetConfig};
+//! use uba_sim::sparse_ids;
+//! use uba_trace::NoopTracer;
+//!
+//! // Four nodes agree over real sockets, no node knowing n or f.
+//! let ids = sparse_ids(4, 7);
+//! let members = ids.iter().enumerate().map(|(i, &id)| {
+//!     EarlyConsensus::new(id, (i % 2) as u64)
+//! });
+//! let reports = run_local_cluster(members, NetConfig::default(), |_| NoopTracer)?;
+//! let decided = decisions(&reports);
+//! assert_eq!(decided.len(), 4, "every member decided");
+//! # Ok::<(), uba_net::NetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod codec;
+pub mod conn;
+pub mod node;
+pub mod sync;
+pub mod wire;
+
+pub use cluster::{decisions, run_local_cluster};
+pub use conn::{connect_with_retry, LinkEvent, Links, RetryPolicy};
+pub use node::{NetConfig, NetError, NetNode, NetReport};
+pub use sync::{DataOutcome, RoundSynchronizer};
+pub use wire::{read_frame, write_frame, Frame, Wire, MAX_FRAME};

@@ -1,0 +1,525 @@
+//! [`NetNode`]: one cluster member — a [`Process`] plus the machinery that
+//! drives it over TCP in lock-step rounds.
+//!
+//! The run loop mirrors the simulator's `SyncEngine` exactly, one node at a
+//! time: deliver the previous round's inbox, step the process, flush its
+//! outbox to every peer, publish the `Done` barrier marker, wait at the
+//! barrier, advance. A peer that misses the barrier deadline is charged
+//! with an **omission** for the round (its traffic, if any, arrives too
+//! late and is dropped) — precisely a fault the paper's model already
+//! accounts for, which is why correctness does not depend on tuning the
+//! timeout and why `uba-core`'s monitors attach unchanged.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+use uba_sim::{
+    Context, Dest, Envelope, MonitorView, MsgRef, NodeId, Outbox, Process, RoundMonitor,
+    ViolationReport,
+};
+use uba_trace::{NetEventKind, NoopTracer, TraceEvent, Tracer};
+
+use crate::conn::{dial_peer, spawn_acceptor, LinkEvent, Links, RetryPolicy};
+use crate::sync::{DataOutcome, RoundSynchronizer};
+use crate::wire::{Frame, Wire};
+
+/// Tuning knobs of a networked node.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// How long to wait at the round barrier before charging the missing
+    /// peers with an omission for the round.
+    pub round_timeout: Duration,
+    /// Backoff schedule for dialing peers (initial mesh setup and
+    /// mid-run redials).
+    pub retry: RetryPolicy,
+    /// Additional budget for the initial full-mesh setup: peers of a
+    /// just-launched cluster come up in arbitrary order.
+    pub setup_timeout: Duration,
+    /// Abort with [`NetError::RoundLimit`] if no decision was reached after
+    /// this many rounds (safety net against livelock, like the engine's
+    /// `run_to_completion` bound).
+    pub max_rounds: u64,
+    /// After this many *consecutive* missed barriers a peer is declared
+    /// gone and dropped from the barrier, so one dead peer costs bounded
+    /// waiting instead of a timeout every round forever.
+    pub give_up_after: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            round_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            setup_timeout: Duration::from_secs(10),
+            max_rounds: 10_000,
+            give_up_after: 5,
+        }
+    }
+}
+
+/// Why a networked run ended without producing a report.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport-level failure (listener died, no peer ever reachable).
+    Io(io::Error),
+    /// The round limit elapsed without the cluster reaching a decision.
+    RoundLimit(u64),
+    /// An attached [`RoundMonitor`] flagged an invariant violation.
+    InvariantViolated(ViolationReport),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(err) => write!(f, "transport error: {err}"),
+            NetError::RoundLimit(limit) => {
+                write!(f, "no decision within the {limit}-round limit")
+            }
+            NetError::InvariantViolated(report) => write!(f, "{report}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(err: io::Error) -> Self {
+        NetError::Io(err)
+    }
+}
+
+/// What one node's networked run produced.
+#[derive(Debug)]
+pub struct NetReport<O, T> {
+    /// The process's output, if it decided.
+    pub output: Option<O>,
+    /// The round the process decided in, if it did.
+    pub decided_round: Option<u64>,
+    /// Rounds executed (including the shutdown round).
+    pub rounds: u64,
+    /// Barrier timeouts charged over the whole run.
+    pub timeouts: u64,
+    /// Wall-clock duration of each round, in microseconds — the raw data
+    /// behind the T11 latency table.
+    pub round_micros: Vec<u64>,
+    /// The tracer handed in via [`NetNode::with_tracer`], returned so the
+    /// caller can inspect or dump the collected events.
+    pub tracer: T,
+}
+
+/// One member of a networked cluster: a [`Process`] driven over TCP.
+///
+/// Generic over the process and the attached [`Tracer`] (default: none).
+/// The process's payload type must implement [`Wire`] — the impls for all
+/// `uba-core` payloads ship in [`crate::codec`].
+///
+/// See [`run_local_cluster`](crate::run_local_cluster) for the one-call
+/// way to run a whole localhost cluster; `NetNode` is the building block
+/// when each member runs in its own OS process.
+pub struct NetNode<P: Process, T: Tracer = NoopTracer> {
+    process: P,
+    config: NetConfig,
+    tracer: T,
+    monitor: Option<Box<dyn RoundMonitor<P> + Send>>,
+}
+
+impl<P: Process> NetNode<P, NoopTracer> {
+    /// Wraps `process` with the given transport configuration.
+    pub fn new(process: P, config: NetConfig) -> Self {
+        NetNode {
+            process,
+            config,
+            tracer: NoopTracer,
+            monitor: None,
+        }
+    }
+}
+
+impl<P: Process, T: Tracer> NetNode<P, T> {
+    /// Attaches a tracer; it receives both the engine-style events
+    /// (round boundaries, sends, deliveries, duplicate drops) and the
+    /// transport-level [`TraceEvent::Net`] events.
+    pub fn with_tracer<T2: Tracer>(self, tracer: T2) -> NetNode<P, T2> {
+        NetNode {
+            process: self.process,
+            config: self.config,
+            tracer,
+            monitor: self.monitor,
+        }
+    }
+
+    /// Attaches an online invariant monitor, checked after every round
+    /// against this node's local state (a single-process
+    /// [`MonitorView`]; global properties such as agreement need a view of
+    /// the whole cluster and are checked by the harness after the run).
+    pub fn with_monitor(mut self, monitor: impl RoundMonitor<P> + Send + 'static) -> Self {
+        self.monitor = Some(Box::new(monitor));
+        self
+    }
+}
+
+impl<P, T> NetNode<P, T>
+where
+    P: Process,
+    P::Msg: Wire,
+    T: Tracer,
+{
+    /// Runs the node to completion: sets up the mesh, executes rounds until
+    /// the whole cluster has decided (or until `max_rounds`), and reports.
+    ///
+    /// `listener` must already be bound to this node's address in `roster`;
+    /// binding before spawning is what makes cluster startup race-free.
+    /// `roster` maps every member (including this node) to its address.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::RoundLimit`] if the cluster never decides,
+    /// [`NetError::InvariantViolated`] from an attached monitor, or
+    /// [`NetError::Io`] if the transport fails outright.
+    pub fn run(
+        mut self,
+        listener: TcpListener,
+        roster: &BTreeMap<NodeId, SocketAddr>,
+    ) -> Result<NetReport<P::Output, T>, NetError> {
+        let me = self.process.id();
+        let peers: Vec<NodeId> = roster.keys().copied().filter(|&p| p != me).collect();
+        let links = Links::new();
+        let (events_tx, events) = mpsc::channel::<LinkEvent>();
+        spawn_acceptor(listener, me, links.clone(), events_tx.clone());
+
+        let mut sync = RoundSynchronizer::<P::Msg>::new(me, peers.iter().copied());
+
+        // Dial every peer with a larger id; smaller ids dial us.
+        for &peer in peers.iter().filter(|&&p| p > me) {
+            let addr = roster[&peer];
+            dial_peer(
+                addr,
+                me,
+                peer,
+                self.config.retry,
+                &links,
+                &events_tx,
+                |attempt| {
+                    trace(&mut self.tracer, || TraceEvent::Net {
+                        round: 0,
+                        kind: NetEventKind::Retry,
+                        node: me.raw(),
+                        peer: Some(peer.raw()),
+                        info: format!("dial attempt {attempt} failed"),
+                    });
+                },
+            )?;
+        }
+
+        // Wait for the full mesh. Fast peers may already be sending round-1
+        // traffic while we wait, so frames are processed, not discarded.
+        let mut connected: BTreeSet<NodeId> = BTreeSet::new();
+        let setup_deadline = Instant::now() + self.config.setup_timeout;
+        while !peers.iter().all(|p| connected.contains(p)) {
+            let remaining = setup_deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match events.recv_timeout(remaining) {
+                Ok(event) => {
+                    self.handle_link_event(event, &mut sync, &mut connected, me);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::Io(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "event channel closed during setup",
+                    )))
+                }
+            }
+        }
+        for &peer in peers.iter().filter(|p| !connected.contains(p)) {
+            // Never came up: run without it, as if it crashed before round 1.
+            sync.peer_gone(peer);
+            trace(&mut self.tracer, || TraceEvent::Net {
+                round: 0,
+                kind: NetEventKind::PeerGone,
+                node: me.raw(),
+                peer: Some(peer.raw()),
+                info: "unreachable during setup".to_string(),
+            });
+        }
+
+        let mut inbox: Vec<Envelope<P::Msg>> = Vec::new();
+        let mut decided_round: Option<u64> = None;
+        let mut timeouts: u64 = 0;
+        let mut round_micros: Vec<u64> = Vec::new();
+
+        loop {
+            let round = sync.current_round();
+            if round > self.config.max_rounds {
+                return Err(NetError::RoundLimit(self.config.max_rounds));
+            }
+            let started = Instant::now();
+            trace(&mut self.tracer, || TraceEvent::RoundBegin { round });
+
+            // Step the process (terminated processes leave the computation
+            // and send nothing, exactly as in the engine).
+            if !self.process.terminated() {
+                let mut outbox = Outbox::new();
+                let mut ctx = Context::new(round, &inbox, &mut outbox);
+                self.process.on_round(&mut ctx);
+                if decided_round.is_none() && self.process.terminated() {
+                    decided_round = Some(round);
+                }
+                for outgoing in outbox.drain() {
+                    self.dispatch(outgoing.dest, outgoing.msg, round, &mut sync, &links, me);
+                }
+            }
+
+            // Publish the barrier marker: all our round-`round` data is out.
+            let decided = self.process.terminated();
+            for &peer in sync.expected().collect::<Vec<_>>().iter() {
+                links.send(peer, &Frame::Done { round, decided });
+            }
+
+            // Wait at the barrier.
+            let deadline = started + self.config.round_timeout;
+            while !sync.barrier_complete() {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match events.recv_timeout(remaining) {
+                    Ok(event) => {
+                        self.handle_link_event(event, &mut sync, &mut connected, me);
+                    }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(NetError::Io(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            "event channel closed mid-round",
+                        )))
+                    }
+                }
+            }
+
+            // Charge whoever missed the deadline with an omission.
+            let missed = sync.timed_out();
+            if !missed.is_empty() {
+                timeouts += missed.len() as u64;
+                let waited = self.config.round_timeout.as_millis();
+                for &peer in &missed {
+                    trace(&mut self.tracer, || TraceEvent::Net {
+                        round,
+                        kind: NetEventKind::Timeout,
+                        node: me.raw(),
+                        peer: Some(peer.raw()),
+                        info: format!("silent at barrier after {waited}ms"),
+                    });
+                    if sync.silent_rounds(peer) >= self.config.give_up_after {
+                        sync.peer_gone(peer);
+                        trace(&mut self.tracer, || TraceEvent::Net {
+                            round,
+                            kind: NetEventKind::PeerGone,
+                            node: me.raw(),
+                            peer: Some(peer.raw()),
+                            info: format!(
+                                "missed {} consecutive barriers",
+                                self.config.give_up_after
+                            ),
+                        });
+                    }
+                }
+            }
+
+            let finished = sync.all_decided(decided);
+            let delivered = sync.advance();
+            trace(&mut self.tracer, || TraceEvent::RoundEnd {
+                round,
+                deliveries: delivered.len() as u64,
+            });
+            trace(&mut self.tracer, || TraceEvent::Net {
+                round,
+                kind: NetEventKind::RoundAdvance,
+                node: me.raw(),
+                peer: None,
+                info: String::new(),
+            });
+            round_micros.push(started.elapsed().as_micros() as u64);
+
+            if let Some(monitor) = &mut self.monitor {
+                let view = single_node_view(round, me, &self.process, decided_round);
+                if let Err(report) = monitor.check(&view) {
+                    trace(&mut self.tracer, || TraceEvent::MonitorVerdict {
+                        round,
+                        monitor: report.spec.clone(),
+                        ok: false,
+                        nodes: report.nodes.iter().map(|n| n.raw()).collect(),
+                        details: report.violations.clone(),
+                    });
+                    return Err(NetError::InvariantViolated(report));
+                }
+            }
+
+            if finished {
+                return Ok(NetReport {
+                    output: self.process.output(),
+                    decided_round,
+                    rounds: round,
+                    timeouts,
+                    round_micros,
+                    tracer: self.tracer,
+                });
+            }
+
+            inbox = delivered
+                .into_iter()
+                .map(|(from, msg)| Envelope::from_shared(from, msg))
+                .collect();
+        }
+    }
+
+    /// Sends one outgoing message: encodes the payload once, fans it out to
+    /// the addressed peers, and self-delivers where the model requires.
+    fn dispatch(
+        &mut self,
+        dest: Dest,
+        msg: P::Msg,
+        round: u64,
+        sync: &mut RoundSynchronizer<P::Msg>,
+        links: &Links,
+        me: NodeId,
+    ) {
+        let shared = MsgRef::new(msg);
+        trace(&mut self.tracer, || TraceEvent::Send {
+            round,
+            from: me.raw(),
+            to: match dest {
+                Dest::Broadcast => None,
+                Dest::To(to) => Some(to.raw()),
+            },
+            payload: format!("{:?}", shared.get()),
+            adversary: false,
+        });
+        let frame = Frame::Data {
+            round,
+            payload: shared.get().to_bytes(),
+        };
+        match dest {
+            Dest::Broadcast => {
+                // A broadcast reaches every present node including the
+                // sender (the engine's self-delivery rule).
+                for peer in sync.expected().collect::<Vec<_>>() {
+                    links.send(peer, &frame);
+                }
+                sync.self_deliver(shared);
+            }
+            Dest::To(to) if to == me => {
+                sync.self_deliver(shared);
+            }
+            Dest::To(to) => {
+                links.send(to, &frame);
+            }
+        }
+    }
+
+    /// Feeds one link event into the synchronizer, tracing what happened.
+    fn handle_link_event(
+        &mut self,
+        event: LinkEvent,
+        sync: &mut RoundSynchronizer<P::Msg>,
+        connected: &mut BTreeSet<NodeId>,
+        me: NodeId,
+    ) {
+        match event {
+            LinkEvent::Connected { peer, .. } => {
+                connected.insert(peer);
+                trace(&mut self.tracer, || TraceEvent::Net {
+                    round: sync.current_round(),
+                    kind: NetEventKind::Connect,
+                    node: me.raw(),
+                    peer: Some(peer.raw()),
+                    info: String::new(),
+                });
+            }
+            LinkEvent::Closed { .. } => {
+                // The writer table already dropped the link (generation
+                // guarded). The peer may redial; if it stays silent the
+                // barrier timeout and the give-up budget take over.
+            }
+            LinkEvent::Frame { from, frame } => match frame {
+                Frame::Hello { .. } => {} // handshake already consumed ours
+                Frame::Data { round, payload } => {
+                    let Some(msg) = P::Msg::from_bytes(&payload) else {
+                        return; // malformed payload from this peer: drop it
+                    };
+                    let shared = MsgRef::new(msg);
+                    let current = sync.current_round();
+                    match sync.accept_data(from, round, MsgRef::clone(&shared)) {
+                        DataOutcome::Delivered => {
+                            trace(&mut self.tracer, || TraceEvent::Deliver {
+                                round,
+                                from: from.raw(),
+                                to: me.raw(),
+                                payload: format!("{:?}", shared.get()),
+                                adversary: false,
+                            });
+                        }
+                        DataOutcome::Duplicate => {
+                            trace(&mut self.tracer, || TraceEvent::DuplicateDrop {
+                                round,
+                                from: from.raw(),
+                                to: me.raw(),
+                                payload: format!("{:?}", shared.get()),
+                            });
+                        }
+                        DataOutcome::Late => {
+                            trace(&mut self.tracer, || TraceEvent::Net {
+                                round: current,
+                                kind: NetEventKind::LateDrop,
+                                node: me.raw(),
+                                peer: Some(from.raw()),
+                                info: format!("frame for past round {round}"),
+                            });
+                        }
+                    }
+                }
+                Frame::Done { round, decided } => {
+                    sync.accept_done(from, round, decided);
+                }
+            },
+        }
+    }
+}
+
+/// Builds the single-process [`MonitorView`] a networked node can offer.
+fn single_node_view<'a, P: Process>(
+    round: u64,
+    me: NodeId,
+    process: &'a P,
+    decided_round: Option<u64>,
+) -> MonitorView<'a, P> {
+    static EMPTY: std::sync::OnceLock<BTreeSet<NodeId>> = std::sync::OnceLock::new();
+    let empty = EMPTY.get_or_init(BTreeSet::new);
+    let mut processes = BTreeMap::new();
+    processes.insert(me, process);
+    let mut decided_rounds = BTreeMap::new();
+    if let Some(r) = decided_round {
+        decided_rounds.insert(me, r);
+    }
+    MonitorView {
+        round,
+        processes,
+        decided_rounds,
+        faulty: empty,
+        crashed: empty,
+    }
+}
+
+/// Records an event only if the tracer is enabled, so a [`NoopTracer`]
+/// costs neither the allocation nor the `Debug` formatting.
+fn trace<T: Tracer>(tracer: &mut T, event: impl FnOnce() -> TraceEvent) {
+    if tracer.enabled() {
+        tracer.record(event());
+    }
+}

@@ -1,0 +1,372 @@
+//! The round synchronizer: the pure state machine that turns an unordered
+//! stream of per-peer frames into the simulator's lock-step round semantics.
+//!
+//! # Barrier protocol
+//!
+//! Every member finishes round `r` by sending all of its `Data { round: r }`
+//! frames followed by one `Done { round: r }` frame on each link. Because
+//! TCP preserves per-link order, receiving a peer's `Done { r }` proves all
+//! of its round-`r` data already arrived. The barrier for round `r` releases
+//! when every *expected* peer's `Done { r }` is in — or when the caller
+//! gives up waiting ([`timed_out`](RoundSynchronizer::timed_out)) and
+//! charges the missing peers with an omission for the round.
+//!
+//! The synchronizer enforces the same delivery rules as the simulator's
+//! `SyncEngine`:
+//!
+//! * messages sent in round `r` are delivered at the start of round `r + 1`;
+//! * duplicate `(sender, payload)` pairs within one round are discarded;
+//! * the inbox is ordered by sender id, then by the sender's send order —
+//!   byte-for-byte the engine's delivery order, which is what makes
+//!   sim-vs-net equivalence checkable at all.
+//!
+//! Peers may legitimately run *ahead* of this node (they released a barrier
+//! we timed out of): frames for future rounds are buffered, not dropped.
+//! Frames for rounds this node has already advanced past are late — the
+//! payload missed its delivery slot, which is exactly a receive omission in
+//! the fault model's terms — and are dropped with a
+//! [`LateDrop`](uba_trace::NetEventKind::LateDrop) outcome.
+//!
+//! The synchronizer owns no sockets and performs no I/O, so every barrier
+//! corner case (late peer, duplicate frame, peer loss mid-round) is testable
+//! without opening a connection.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use uba_sim::{MsgRef, NodeId, Payload};
+
+/// What became of one incoming `Data` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataOutcome {
+    /// Accepted: the payload will appear in the inbox of `round + 1`.
+    Delivered,
+    /// A `(sender, payload)` pair already seen this round — discarded, per
+    /// the model's per-round duplicate rule.
+    Duplicate,
+    /// The frame's round has already been advanced past; the payload missed
+    /// its slot (an omission) and is dropped.
+    Late,
+}
+
+/// Per-round collection state: everything received *for* one round.
+#[derive(Debug)]
+struct RoundBucket<M> {
+    /// Dedup set over `(sender, payload)`, the model's duplicate rule.
+    seen: HashSet<(NodeId, MsgRef<M>)>,
+    /// Accepted messages in arrival order (re-sorted by sender at advance).
+    msgs: Vec<(NodeId, MsgRef<M>)>,
+    /// Peers whose `Done` marker arrived, with their decided flag.
+    done: BTreeMap<NodeId, bool>,
+}
+
+impl<M> RoundBucket<M> {
+    fn new() -> Self {
+        RoundBucket {
+            seen: HashSet::new(),
+            msgs: Vec::new(),
+            done: BTreeMap::new(),
+        }
+    }
+}
+
+/// The send/deliver barrier for one node of a networked cluster.
+///
+/// Tracks, per round, which peers have completed (`Done` received), which
+/// payloads arrived (with duplicate suppression), and which peers the node
+/// still expects at the barrier. See the [module docs](self) for the
+/// protocol.
+///
+/// # Examples
+///
+/// ```
+/// use uba_net::{DataOutcome, RoundSynchronizer};
+/// use uba_sim::{MsgRef, NodeId};
+///
+/// let me = NodeId::new(1);
+/// let peer = NodeId::new(2);
+/// let mut sync = RoundSynchronizer::<u64>::new(me, [peer]);
+///
+/// // Peer sends its round-1 traffic, then its barrier marker.
+/// assert_eq!(sync.accept_data(peer, 1, MsgRef::new(7)), DataOutcome::Delivered);
+/// assert_eq!(sync.accept_data(peer, 1, MsgRef::new(7)), DataOutcome::Duplicate);
+/// sync.accept_done(peer, 1, false);
+///
+/// assert!(sync.barrier_complete());
+/// let inbox = sync.advance();
+/// assert_eq!(inbox.len(), 1);
+/// assert_eq!(sync.current_round(), 2);
+/// ```
+#[derive(Debug)]
+pub struct RoundSynchronizer<M> {
+    me: NodeId,
+    round: u64,
+    expected: BTreeSet<NodeId>,
+    /// Buckets for the current and any future rounds peers ran ahead into.
+    pending: BTreeMap<u64, RoundBucket<M>>,
+    /// Consecutive rounds each expected peer has been silent at the barrier.
+    silent: BTreeMap<NodeId, u64>,
+}
+
+impl<M: Payload> RoundSynchronizer<M> {
+    /// Creates a synchronizer for node `me` expecting `peers` at every
+    /// barrier, positioned at round 1 (the first round processes an empty
+    /// inbox, exactly like the engine).
+    pub fn new(me: NodeId, peers: impl IntoIterator<Item = NodeId>) -> Self {
+        let expected: BTreeSet<NodeId> = peers.into_iter().filter(|&p| p != me).collect();
+        let silent = expected.iter().map(|&p| (p, 0)).collect();
+        RoundSynchronizer {
+            me,
+            round: 1,
+            expected,
+            pending: BTreeMap::new(),
+            silent,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The round currently being collected (1-based).
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// The peers currently expected at the barrier, in ascending id order.
+    pub fn expected(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.expected.iter().copied()
+    }
+
+    /// Records a payload this node sent to itself (the engine's broadcast
+    /// self-delivery: a broadcast reaches every present node including the
+    /// sender). Subject to the same duplicate rule as remote traffic.
+    pub fn self_deliver(&mut self, msg: MsgRef<M>) -> DataOutcome {
+        let round = self.round;
+        self.insert(self.me, round, msg)
+    }
+
+    /// Records one incoming `Data { round }` frame from `from`.
+    ///
+    /// Frames for future rounds are buffered (the peer ran ahead); frames
+    /// for already-advanced rounds return [`DataOutcome::Late`].
+    pub fn accept_data(&mut self, from: NodeId, round: u64, msg: MsgRef<M>) -> DataOutcome {
+        if round < self.round {
+            return DataOutcome::Late;
+        }
+        self.insert(from, round, msg)
+    }
+
+    fn insert(&mut self, from: NodeId, round: u64, msg: MsgRef<M>) -> DataOutcome {
+        let bucket = self.pending.entry(round).or_insert_with(RoundBucket::new);
+        if bucket.seen.insert((from, MsgRef::clone(&msg))) {
+            bucket.msgs.push((from, msg));
+            DataOutcome::Delivered
+        } else {
+            DataOutcome::Duplicate
+        }
+    }
+
+    /// Records one incoming `Done { round, decided }` frame. Returns whether
+    /// the marker was current or ahead (late markers are ignored: the
+    /// barrier they belonged to already released).
+    pub fn accept_done(&mut self, from: NodeId, round: u64, decided: bool) -> bool {
+        if round < self.round {
+            return false;
+        }
+        self.pending
+            .entry(round)
+            .or_insert_with(RoundBucket::new)
+            .done
+            .insert(from, decided);
+        true
+    }
+
+    /// Whether every expected peer has delivered its `Done` marker for the
+    /// current round (the barrier may release).
+    pub fn barrier_complete(&self) -> bool {
+        match self.pending.get(&self.round) {
+            Some(bucket) => self.expected.iter().all(|p| bucket.done.contains_key(p)),
+            None => self.expected.is_empty(),
+        }
+    }
+
+    /// The expected peers whose `Done` marker for the current round has not
+    /// arrived, in ascending id order.
+    pub fn missing(&self) -> Vec<NodeId> {
+        let done = self.pending.get(&self.round).map(|b| &b.done);
+        self.expected
+            .iter()
+            .copied()
+            .filter(|p| done.is_none_or(|d| !d.contains_key(p)))
+            .collect()
+    }
+
+    /// Charges the current round's missing peers with an omission (the
+    /// caller's barrier timeout fired). Each missed barrier increments the
+    /// peer's consecutive-silence counter; a peer that shows up again resets
+    /// it at the next [`advance`](Self::advance). Returns the peers charged.
+    pub fn timed_out(&mut self) -> Vec<NodeId> {
+        let missing = self.missing();
+        for &peer in &missing {
+            *self.silent.entry(peer).or_insert(0) += 1;
+        }
+        missing
+    }
+
+    /// How many consecutive barriers `peer` has missed.
+    pub fn silent_rounds(&self, peer: NodeId) -> u64 {
+        self.silent.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Stops expecting `peer` at future barriers (its connection closed for
+    /// good, or it exceeded the configured silence budget). Pending data
+    /// already accepted from it still delivers.
+    pub fn peer_gone(&mut self, peer: NodeId) {
+        self.expected.remove(&peer);
+        self.silent.remove(&peer);
+    }
+
+    /// Whether this node may shut down: its own process has decided *and*
+    /// every expected peer reported `decided` at the current barrier.
+    ///
+    /// All members evaluate this over the same `Done` flags at the same
+    /// barrier, so (absent timeouts) they reach the verdict in unison — the
+    /// distributed analogue of the engine noticing that every process
+    /// terminated.
+    pub fn all_decided(&self, self_decided: bool) -> bool {
+        if !self_decided {
+            return false;
+        }
+        match self.pending.get(&self.round) {
+            Some(bucket) => self
+                .expected
+                .iter()
+                .all(|p| bucket.done.get(p).copied().unwrap_or(false)),
+            None => self.expected.is_empty(),
+        }
+    }
+
+    /// Releases the barrier: consumes the current round's bucket and returns
+    /// the inbox for the next round, ordered by sender id then send order
+    /// (the engine's delivery order). Peers that made this barrier have
+    /// their silence counter reset.
+    pub fn advance(&mut self) -> Vec<(NodeId, MsgRef<M>)> {
+        let bucket = self.pending.remove(&self.round);
+        if let Some(bucket) = &bucket {
+            for (&peer, count) in self.silent.iter_mut() {
+                if bucket.done.contains_key(&peer) {
+                    *count = 0;
+                }
+            }
+        }
+        self.round += 1;
+        let mut inbox = bucket.map(|b| b.msgs).unwrap_or_default();
+        // Stable sort: within one sender, arrival order (= TCP send order)
+        // is preserved, matching the engine's per-sender outbox order.
+        inbox.sort_by_key(|&(from, _)| from);
+        inbox
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(v: u64) -> MsgRef<u64> {
+        MsgRef::new(v)
+    }
+
+    #[test]
+    fn inbox_is_ordered_by_sender_then_send_order() {
+        let mut sync = RoundSynchronizer::new(NodeId::new(1), [NodeId::new(2), NodeId::new(3)]);
+        // Arrival order interleaves senders; N3 even arrives before N2.
+        sync.accept_data(NodeId::new(3), 1, msg(30));
+        sync.accept_data(NodeId::new(2), 1, msg(20));
+        sync.accept_data(NodeId::new(3), 1, msg(31));
+        sync.self_deliver(msg(10));
+        sync.accept_done(NodeId::new(2), 1, false);
+        sync.accept_done(NodeId::new(3), 1, false);
+        assert!(sync.barrier_complete());
+        let inbox: Vec<(u64, u64)> = sync
+            .advance()
+            .into_iter()
+            .map(|(from, m)| (from.raw(), *m.get()))
+            .collect();
+        assert_eq!(inbox, vec![(1, 10), (2, 20), (3, 30), (3, 31)]);
+    }
+
+    #[test]
+    fn duplicates_within_a_round_are_dropped_across_rounds_are_not() {
+        let peer = NodeId::new(2);
+        let mut sync = RoundSynchronizer::new(NodeId::new(1), [peer]);
+        assert_eq!(sync.accept_data(peer, 1, msg(7)), DataOutcome::Delivered);
+        assert_eq!(sync.accept_data(peer, 1, msg(7)), DataOutcome::Duplicate);
+        sync.accept_done(peer, 1, false);
+        assert_eq!(sync.advance().len(), 1);
+        // Same payload in the next round is a fresh message.
+        assert_eq!(sync.accept_data(peer, 2, msg(7)), DataOutcome::Delivered);
+    }
+
+    #[test]
+    fn late_frames_are_rejected_and_future_frames_buffered() {
+        let peer = NodeId::new(2);
+        let mut sync = RoundSynchronizer::new(NodeId::new(1), [peer]);
+        // Peer runs ahead: round-2 traffic arrives while we collect round 1.
+        assert_eq!(sync.accept_data(peer, 2, msg(9)), DataOutcome::Delivered);
+        sync.accept_done(peer, 2, false);
+        assert!(!sync.barrier_complete(), "round-1 Done still missing");
+        sync.accept_done(peer, 1, false);
+        assert!(sync.barrier_complete());
+        assert!(sync.advance().is_empty(), "no round-1 data was sent");
+        // The buffered round-2 frame is already in place.
+        assert!(sync.barrier_complete());
+        assert_eq!(sync.advance().len(), 1);
+        // Round 1 is long gone: its frames are late.
+        assert_eq!(sync.accept_data(peer, 1, msg(1)), DataOutcome::Late);
+        assert!(!sync.accept_done(peer, 1, false));
+    }
+
+    #[test]
+    fn timeout_charges_missing_peers_and_presence_resets_the_counter() {
+        let (a, b) = (NodeId::new(2), NodeId::new(3));
+        let mut sync = RoundSynchronizer::<u64>::new(NodeId::new(1), [a, b]);
+        sync.accept_done(a, 1, false);
+        assert_eq!(sync.missing(), vec![b]);
+        assert_eq!(sync.timed_out(), vec![b]);
+        assert_eq!(sync.silent_rounds(b), 1);
+        sync.advance();
+        // b shows up for round 2: its counter resets at the next advance.
+        sync.accept_done(a, 2, false);
+        sync.accept_done(b, 2, false);
+        assert!(sync.barrier_complete());
+        sync.advance();
+        assert_eq!(sync.silent_rounds(b), 0);
+    }
+
+    #[test]
+    fn peer_gone_shrinks_the_barrier() {
+        let (a, b) = (NodeId::new(2), NodeId::new(3));
+        let mut sync = RoundSynchronizer::<u64>::new(NodeId::new(1), [a, b]);
+        sync.accept_done(a, 1, true);
+        assert!(!sync.barrier_complete());
+        sync.peer_gone(b);
+        assert!(sync.barrier_complete());
+        assert!(sync.all_decided(true));
+        assert!(!sync.all_decided(false));
+    }
+
+    #[test]
+    fn all_decided_requires_every_flag() {
+        let (a, b) = (NodeId::new(2), NodeId::new(3));
+        let mut sync = RoundSynchronizer::<u64>::new(NodeId::new(1), [a, b]);
+        sync.accept_done(a, 1, true);
+        sync.accept_done(b, 1, false);
+        assert!(sync.barrier_complete());
+        assert!(!sync.all_decided(true), "b has not decided yet");
+        sync.advance();
+        sync.accept_done(a, 2, true);
+        sync.accept_done(b, 2, true);
+        assert!(sync.all_decided(true));
+    }
+}

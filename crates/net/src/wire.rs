@@ -1,0 +1,440 @@
+//! The wire format: a [`Wire`] codec for protocol payloads and a
+//! length-prefixed [`Frame`] codec for the transport itself.
+//!
+//! # Format
+//!
+//! Everything on the wire is little-endian and length-prefixed:
+//!
+//! ```text
+//! frame   := u32 body_len | body            (body_len caps at MAX_FRAME)
+//! body    := 0x00 u64 node                  Hello      (handshake)
+//!          | 0x01 u64 round | payload       Data       (one protocol message)
+//!          | 0x02 u64 round | u8 decided    Done       (round barrier marker)
+//! payload := whatever the payload type's [`Wire`] impl wrote
+//! ```
+//!
+//! The sender identifier travels **only** in the `Hello` handshake: every
+//! later frame is attributed to the id pinned at handshake time, never to a
+//! per-message claim. That is the transport-level realization of the
+//! model's axiom that the sender id of a direct message cannot be forged
+//! (on localhost the handshake is trusted; a production deployment would
+//! back it with transport authentication such as mTLS — see DESIGN.md §8).
+//!
+//! [`Wire`] is deliberately minimal — hand-rolled, canonical, and
+//! dependency-free, matching the workspace's vendored-deps policy (no
+//! serde). A canonical encoding matters beyond convenience: the round
+//! synchronizer deduplicates `(sender, payload)` pairs per round on the
+//! *decoded* value, so encode/decode must round-trip exactly.
+
+use std::io::{self, Read, Write};
+
+use uba_sim::NodeId;
+
+/// Hard cap on the body length of a single frame (16 MiB). A corrupt or
+/// malicious length prefix must not make the receiver allocate unbounded
+/// memory before reading a single payload byte.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Types that can be carried as a protocol payload on the wire.
+///
+/// Implementations must be **canonical**: `decode(encode(x)) == x`, and
+/// equal values encode to identical bytes. The round synchronizer relies on
+/// this to apply the model's per-round `(sender, payload)` duplicate rule
+/// to decoded values.
+///
+/// # Examples
+///
+/// ```
+/// use uba_net::Wire;
+///
+/// let mut buf = Vec::new();
+/// (7u64, String::from("hi")).encode(&mut buf);
+/// let back = <(u64, String)>::from_bytes(&buf).unwrap();
+/// assert_eq!(back, (7, "hi".to_string()));
+/// ```
+pub trait Wire: Sized {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `input`, advancing it past the
+    /// consumed bytes. `None` on malformed input.
+    fn decode(input: &mut &[u8]) -> Option<Self>;
+
+    /// The canonical encoding as a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a value that must consume `bytes` exactly (trailing garbage
+    /// is malformed input, not padding).
+    fn from_bytes(mut bytes: &[u8]) -> Option<Self> {
+        let value = Self::decode(&mut bytes)?;
+        bytes.is_empty().then_some(value)
+    }
+}
+
+/// Splits `n` bytes off the front of `input`.
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if input.len() < n {
+        return None;
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Some(head)
+}
+
+macro_rules! impl_wire_le_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                let bytes = take(input, std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(bytes.try_into().expect("sized")))
+            }
+        }
+    )*};
+}
+
+impl_wire_le_int!(u8, u16, u32, u64, i64);
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        // Only 0 and 1 are canonical: a bool must have exactly one encoding.
+        match u8::decode(input)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+/// `f64` travels as its IEEE-754 bit pattern, so every value (including
+/// negative zero) round-trips exactly.
+impl Wire for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(f64::from_bits(u64::decode(input)?))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(input)? as usize;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(input)? as usize;
+        // Guard the pre-allocation: `len` is attacker-controlled until the
+        // items actually decode.
+        let mut items = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            items.push(T::decode(input)?);
+        }
+        Some(items)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(value) => {
+                out.push(1);
+                value.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(input)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+impl Wire for NodeId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.raw().encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(NodeId::new(u64::decode(input)?))
+    }
+}
+
+/// One transport frame, as read off (or written onto) a TCP stream.
+///
+/// The protocol payload inside [`Frame::Data`] stays opaque bytes here;
+/// the round synchronizer decodes it with the process's payload type so
+/// the transport itself is payload-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Handshake: the sending endpoint announces its node id. First frame
+    /// on every connection, in both directions; pins the sender id for the
+    /// connection's lifetime.
+    Hello {
+        /// The announcing node.
+        node: NodeId,
+    },
+    /// One protocol message, sent during `round` and due for delivery at
+    /// the start of `round + 1`.
+    Data {
+        /// The round the message was sent in.
+        round: u64,
+        /// The [`Wire`]-encoded payload.
+        payload: Vec<u8>,
+    },
+    /// Round barrier marker: the sender finished sending for `round`.
+    /// Because TCP preserves order, receiving `Done { round }` guarantees
+    /// every `Data { round }` frame from that peer has already arrived.
+    Done {
+        /// The completed round.
+        round: u64,
+        /// Whether the sender's process has terminated with an output. Once
+        /// every member reports `true` at the same barrier, the cluster
+        /// shuts down in unison.
+        decided: bool,
+    },
+}
+
+const TAG_HELLO: u8 = 0x00;
+const TAG_DATA: u8 = 0x01;
+const TAG_DONE: u8 = 0x02;
+
+impl Frame {
+    /// Encodes the frame body (everything after the length prefix).
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Hello { node } => {
+                out.push(TAG_HELLO);
+                node.encode(out);
+            }
+            Frame::Data { round, payload } => {
+                out.push(TAG_DATA);
+                round.encode(out);
+                out.extend_from_slice(payload);
+            }
+            Frame::Done { round, decided } => {
+                out.push(TAG_DONE);
+                round.encode(out);
+                decided.encode(out);
+            }
+        }
+    }
+
+    /// Decodes a frame body.
+    fn decode_body(mut body: &[u8]) -> Option<Frame> {
+        let input = &mut body;
+        let frame = match u8::decode(input)? {
+            TAG_HELLO => Frame::Hello {
+                node: NodeId::decode(input)?,
+            },
+            TAG_DATA => Frame::Data {
+                round: u64::decode(input)?,
+                payload: input.to_vec(),
+            },
+            TAG_DONE => {
+                let frame = Frame::Done {
+                    round: u64::decode(input)?,
+                    decided: bool::decode(input)?,
+                };
+                if !input.is_empty() {
+                    return None;
+                }
+                frame
+            }
+            _ => return None,
+        };
+        Some(frame)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects bodies longer than [`MAX_FRAME`] with
+/// [`io::ErrorKind::InvalidData`].
+pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let mut body = Vec::with_capacity(32);
+    frame.encode_body(&mut body);
+    if body.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {} bytes exceeds MAX_FRAME", body.len()),
+        ));
+    }
+    writer.write_all(&(body.len() as u32).to_le_bytes())?;
+    writer.write_all(&body)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames); a connection cut mid-frame is an [`io::ErrorKind::UnexpectedEof`]
+/// error, and a malformed body or oversized length prefix is
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before any length byte means the peer hung up politely.
+    match reader.read(&mut len_bytes)? {
+        0 => return Ok(None),
+        n => reader.read_exact(&mut len_bytes[n..])?,
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length prefix {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body)?;
+    Frame::decode_body(&body)
+        .map(Some)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed frame body"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).as_ref(), Some(&value));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u16::MAX);
+        round_trip(0xdead_beefu32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(true);
+        round_trip(-0.0f64);
+        round_trip(f64::INFINITY);
+        round_trip(String::from("héllo\n"));
+        round_trip(String::new());
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Some(9u64));
+        round_trip(Option::<u64>::None);
+        round_trip((NodeId::new(17), String::from("x")));
+    }
+
+    #[test]
+    fn non_canonical_bool_and_option_tags_are_rejected() {
+        assert_eq!(bool::from_bytes(&[2]), None);
+        assert_eq!(Option::<u8>::from_bytes(&[7, 0]), None);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = 5u64.to_bytes();
+        bytes.push(0);
+        assert_eq!(u64::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = String::from("hello").to_bytes();
+        assert_eq!(String::from_bytes(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let frames = vec![
+            Frame::Hello {
+                node: NodeId::new(9),
+            },
+            Frame::Data {
+                round: 3,
+                payload: vec![1, 2, 3],
+            },
+            Frame::Data {
+                round: 4,
+                payload: Vec::new(),
+            },
+            Frame::Done {
+                round: 4,
+                decided: true,
+            },
+        ];
+        let mut stream = Vec::new();
+        for frame in &frames {
+            write_frame(&mut stream, frame).unwrap();
+        }
+        let mut reader = &stream[..];
+        for frame in &frames {
+            assert_eq!(read_frame(&mut reader).unwrap().as_ref(), Some(frame));
+        }
+        assert_eq!(read_frame(&mut reader).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_invalid_data() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let err = read_frame(&mut &stream[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn mid_frame_eof_is_unexpected_eof() {
+        let mut stream = Vec::new();
+        write_frame(
+            &mut stream,
+            &Frame::Done {
+                round: 1,
+                decided: false,
+            },
+        )
+        .unwrap();
+        let err = read_frame(&mut &stream[..stream.len() - 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn malformed_body_is_invalid_data() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&1u32.to_le_bytes());
+        stream.push(0xff); // unknown tag
+        let err = read_frame(&mut &stream[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

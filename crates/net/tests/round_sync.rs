@@ -1,0 +1,239 @@
+//! Transport-behavior tests driving a real [`NetNode`] against *scripted*
+//! raw-TCP peers: a peer that misses the barrier (timeout → omission), a
+//! peer that duplicates frames (dropped per the model's per-round rule),
+//! and a peer that drops its connection mid-run and redials (reconnect).
+
+use std::collections::BTreeMap;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use uba_net::{read_frame, write_frame, Frame, NetConfig, NetNode, RetryPolicy};
+use uba_sim::{Context, NodeId, Process};
+use uba_trace::{RingTracer, TraceEvent};
+
+/// A minimal networked process: broadcasts its round number for `rounds`
+/// rounds, then outputs the total number of messages it received.
+struct Counter {
+    id: NodeId,
+    rounds: u64,
+    received: u64,
+    out: Option<u64>,
+}
+
+impl Counter {
+    fn new(id: NodeId, rounds: u64) -> Self {
+        Counter {
+            id,
+            rounds,
+            received: 0,
+            out: None,
+        }
+    }
+}
+
+impl Process for Counter {
+    type Msg = u64;
+    type Output = u64;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u64>) {
+        self.received += ctx.inbox().len() as u64;
+        if ctx.round() <= self.rounds {
+            ctx.broadcast(ctx.round());
+        } else {
+            self.out = Some(self.received);
+        }
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.out
+    }
+}
+
+/// Dials `addr` as node `me` and completes the handshake.
+fn script_dial(addr: std::net::SocketAddr, me: NodeId) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("scripted peer dial");
+    stream.set_nodelay(true).unwrap();
+    write_frame(&mut stream, &Frame::Hello { node: me }).unwrap();
+    match read_frame(&mut stream).unwrap() {
+        Some(Frame::Hello { .. }) => stream,
+        other => panic!("expected Hello back, got {other:?}"),
+    }
+}
+
+/// Config with short timeouts so fault scenarios finish quickly.
+fn quick_config(give_up_after: u64) -> NetConfig {
+    NetConfig {
+        round_timeout: Duration::from_millis(200),
+        retry: RetryPolicy {
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            budget: Duration::from_secs(5),
+        },
+        setup_timeout: Duration::from_secs(5),
+        max_rounds: 50,
+        give_up_after,
+    }
+}
+
+/// What [`spawn_node`]'s background thread resolves to.
+type NodeResult = Result<uba_net::NetReport<u64, RingTracer>, uba_net::NetError>;
+
+/// Starts a [`NetNode`] in a thread; the scripted peer (id 0, so it is the
+/// dialer) interacts over the returned address.
+fn spawn_node(
+    rounds: u64,
+    config: NetConfig,
+    peer: NodeId,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<NodeResult>) {
+    let me = NodeId::new(1);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    // The scripted peer has the smaller id, so the node accepts; its roster
+    // address is never dialed and can be a placeholder.
+    let roster: BTreeMap<NodeId, std::net::SocketAddr> =
+        [(me, addr), (peer, "127.0.0.1:1".parse().unwrap())].into();
+    let handle = std::thread::spawn(move || {
+        NetNode::new(Counter::new(me, rounds), config)
+            .with_tracer(RingTracer::new(4096))
+            .run(listener, &roster)
+    });
+    (addr, handle)
+}
+
+fn kinds(tracer: &RingTracer) -> Vec<&'static str> {
+    tracer.events().map(TraceEvent::kind).collect()
+}
+
+#[test]
+fn silent_peer_becomes_an_omission_then_gone() {
+    let peer = NodeId::new(0);
+    let (addr, handle) = spawn_node(2, quick_config(2), peer);
+    // Handshake, then go silent forever: every barrier times out until the
+    // give-up budget declares the peer gone, after which the node finishes
+    // alone.
+    let _stream = script_dial(addr, peer);
+    let report = handle.join().unwrap().expect("node should finish alone");
+    assert_eq!(report.output, Some(2), "only its own two broadcasts");
+    assert!(report.timeouts >= 2, "peer charged once per missed barrier");
+    let kinds = kinds(&report.tracer);
+    assert!(kinds.contains(&"net_timeout"), "timeout traced: {kinds:?}");
+    assert!(
+        kinds.contains(&"net_peer_gone"),
+        "give-up traced: {kinds:?}"
+    );
+}
+
+#[test]
+fn duplicate_frames_on_the_wire_are_delivered_once() {
+    let peer = NodeId::new(0);
+    let (addr, handle) = spawn_node(1, quick_config(10), peer);
+    let mut stream = script_dial(addr, peer);
+
+    // Round 1: the same payload twice, then the barrier marker.
+    let payload = 77u64.to_le_bytes().to_vec();
+    for _ in 0..2 {
+        write_frame(
+            &mut stream,
+            &Frame::Data {
+                round: 1,
+                payload: payload.clone(),
+            },
+        )
+        .unwrap();
+    }
+    write_frame(
+        &mut stream,
+        &Frame::Done {
+            round: 1,
+            decided: false,
+        },
+    )
+    .unwrap();
+    // Round 2: nothing to send; the node decides here, and so do we.
+    write_frame(
+        &mut stream,
+        &Frame::Done {
+            round: 2,
+            decided: true,
+        },
+    )
+    .unwrap();
+
+    let report = handle.join().unwrap().expect("run completes");
+    // Own broadcast + ONE copy of the peer's duplicated payload.
+    assert_eq!(report.output, Some(2));
+    assert_eq!(report.timeouts, 0, "the scripted peer made every barrier");
+    let kinds = kinds(&report.tracer);
+    assert!(
+        kinds.contains(&"duplicate_drop"),
+        "duplicate traced: {kinds:?}"
+    );
+}
+
+#[test]
+fn reconnecting_peer_keeps_its_identity_across_links() {
+    let peer = NodeId::new(0);
+    let (addr, handle) = spawn_node(2, quick_config(10), peer);
+
+    // First connection: participate in round 1 only.
+    let mut first = script_dial(addr, peer);
+    write_frame(
+        &mut first,
+        &Frame::Data {
+            round: 1,
+            payload: 10u64.to_le_bytes().to_vec(),
+        },
+    )
+    .unwrap();
+    write_frame(
+        &mut first,
+        &Frame::Done {
+            round: 1,
+            decided: false,
+        },
+    )
+    .unwrap();
+    drop(first); // connection lost mid-run
+
+    // Redial: the acceptor installs a fresh link for the same id, and the
+    // frames keep being attributed to peer 0.
+    let mut second = script_dial(addr, peer);
+    write_frame(
+        &mut second,
+        &Frame::Data {
+            round: 2,
+            payload: 20u64.to_le_bytes().to_vec(),
+        },
+    )
+    .unwrap();
+    write_frame(
+        &mut second,
+        &Frame::Done {
+            round: 2,
+            decided: false,
+        },
+    )
+    .unwrap();
+    write_frame(
+        &mut second,
+        &Frame::Done {
+            round: 3,
+            decided: true,
+        },
+    )
+    .unwrap();
+
+    let report = handle.join().unwrap().expect("run completes");
+    // Two own broadcasts + one delivery per connection.
+    assert_eq!(report.output, Some(4));
+    let connects = report
+        .tracer
+        .events()
+        .filter(|e| e.kind() == "net_connect")
+        .count();
+    assert!(connects >= 2, "both links traced, saw {connects}");
+}

@@ -64,7 +64,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and primitive strategies.
+/// The [`Strategy`](strategy::Strategy) trait and primitive strategies.
 pub mod strategy {
     use rand::rngs::StdRng;
     use rand::Rng;

@@ -206,7 +206,10 @@ impl<P: Process, D: DelayModel> DelayedEngine<P, D> {
         self.nodes.remove(&id)
     }
 
-    /// Steps a single node at the current tick with an empty inbox.
+    /// Steps a single node with an empty inbox, at the current tick — or at
+    /// tick 1 if the engine has not executed any tick yet (ticks are
+    /// 1-based, so a pre-run `step_node` is recorded against the first
+    /// tick, not a phantom tick 0).
     ///
     /// Scenario drivers use this to advance one side of a partition without
     /// ticking the whole system.

@@ -171,8 +171,9 @@ impl FaultPlan {
         self.events().map(|(_, f)| f.victim()).collect()
     }
 
-    /// A copy of the plan with the `index`-th event (in [`events`] order)
-    /// removed — the schedule shrinker's single step.
+    /// A copy of the plan with the `index`-th event (in
+    /// [`events`](FaultPlan::events) order) removed — the schedule
+    /// shrinker's single step.
     pub fn without_event(&self, index: usize) -> FaultPlan {
         FaultPlan::from_events(
             self.events()

@@ -155,6 +155,58 @@ pub enum TraceEvent {
         /// The new snapshot.
         state: NodeSnapshot,
     },
+    /// A transport-level event from a real network transport (`uba-net`):
+    /// connection management and round-synchronizer progress. The simulator
+    /// engines never emit this variant; it exists so a networked run and a
+    /// simulated run share one trace vocabulary and one metrics pipeline.
+    Net {
+        /// Round (or connection-setup pseudo-round 0) the event belongs to.
+        round: u64,
+        /// What happened on the transport.
+        kind: NetEventKind,
+        /// The reporting node.
+        node: u64,
+        /// The peer involved, when the event concerns one.
+        peer: Option<u64>,
+        /// Free-form detail: an address, an attempt count, a frame round.
+        /// Empty when there is nothing to add.
+        info: String,
+    },
+}
+
+/// The transport-level event kinds a real network transport reports (the
+/// [`TraceEvent::Net`] variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEventKind {
+    /// A connection to a peer was established (dialed or accepted).
+    Connect,
+    /// A dial attempt failed and will be retried after a backoff.
+    Retry,
+    /// The round barrier timed out waiting for a peer; the peer is treated
+    /// as silent for the round (an omission, in the fault model's terms).
+    Timeout,
+    /// A frame for an already-advanced round arrived and was dropped (the
+    /// networked analogue of a message lost to a receive omission).
+    LateDrop,
+    /// The round barrier released and the node advanced to the next round.
+    RoundAdvance,
+    /// A peer was presumed gone (connection closed or too many consecutive
+    /// silent rounds) and removed from the barrier's expectations.
+    PeerGone,
+}
+
+impl NetEventKind {
+    /// Short machine-readable name (the suffix of the JSONL `ev` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetEventKind::Connect => "connect",
+            NetEventKind::Retry => "retry",
+            NetEventKind::Timeout => "timeout",
+            NetEventKind::LateDrop => "late_drop",
+            NetEventKind::RoundAdvance => "round_advance",
+            NetEventKind::PeerGone => "peer_gone",
+        }
+    }
 }
 
 impl TraceEvent {
@@ -173,6 +225,14 @@ impl TraceEvent {
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::MonitorVerdict { .. } => "monitor_verdict",
             TraceEvent::NodeState { .. } => "node_state",
+            TraceEvent::Net { kind, .. } => match kind {
+                NetEventKind::Connect => "net_connect",
+                NetEventKind::Retry => "net_retry",
+                NetEventKind::Timeout => "net_timeout",
+                NetEventKind::LateDrop => "net_late_drop",
+                NetEventKind::RoundAdvance => "net_round_advance",
+                NetEventKind::PeerGone => "net_peer_gone",
+            },
         }
     }
 
@@ -189,7 +249,8 @@ impl TraceEvent {
             | TraceEvent::ChurnLeave { round, .. }
             | TraceEvent::Fault { round, .. }
             | TraceEvent::MonitorVerdict { round, .. }
-            | TraceEvent::NodeState { round, .. } => round,
+            | TraceEvent::NodeState { round, .. }
+            | TraceEvent::Net { round, .. } => round,
         }
     }
 }
@@ -218,6 +279,34 @@ mod tests {
         };
         assert_eq!(ev.kind(), "monitor_verdict");
         assert_eq!(ev.round(), 9);
+    }
+
+    #[test]
+    fn net_kinds_have_distinct_event_names() {
+        use std::collections::BTreeSet;
+        let kinds = [
+            NetEventKind::Connect,
+            NetEventKind::Retry,
+            NetEventKind::Timeout,
+            NetEventKind::LateDrop,
+            NetEventKind::RoundAdvance,
+            NetEventKind::PeerGone,
+        ];
+        let names: BTreeSet<&str> = kinds
+            .iter()
+            .map(|&kind| {
+                TraceEvent::Net {
+                    round: 1,
+                    kind,
+                    node: 1,
+                    peer: None,
+                    info: String::new(),
+                }
+                .kind()
+            })
+            .collect();
+        assert_eq!(names.len(), kinds.len(), "one counter per net kind");
+        assert!(names.iter().all(|n| n.starts_with("net_")));
     }
 
     #[test]

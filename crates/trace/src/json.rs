@@ -179,6 +179,17 @@ pub fn to_json(event: &TraceEvent) -> String {
             push_field_u64(&mut out, "node", *node);
             push_snapshot(&mut out, state);
         }
+        TraceEvent::Net {
+            node, peer, info, ..
+        } => {
+            push_field_u64(&mut out, "node", *node);
+            if let Some(peer) = peer {
+                push_field_u64(&mut out, "peer", *peer);
+            }
+            if !info.is_empty() {
+                push_field_str(&mut out, "info", info);
+            }
+        }
     }
     out.push('}');
     out
@@ -216,6 +227,30 @@ mod tests {
             line,
             r#"{"ev":"monitor_verdict","round":5,"monitor":"consensus agreement","ok":false,"nodes":[3,9],"details":["N3 decided 1 but N9 decided 0"]}"#
         );
+    }
+
+    #[test]
+    fn net_event_renders_kind_in_ev_and_skips_empty_fields() {
+        use crate::event::NetEventKind;
+        let line = to_json(&TraceEvent::Net {
+            round: 3,
+            kind: NetEventKind::Timeout,
+            node: 7,
+            peer: Some(9),
+            info: "barrier 150ms".into(),
+        });
+        assert_eq!(
+            line,
+            r#"{"ev":"net_timeout","round":3,"node":7,"peer":9,"info":"barrier 150ms"}"#
+        );
+        let line = to_json(&TraceEvent::Net {
+            round: 0,
+            kind: NetEventKind::Connect,
+            node: 7,
+            peer: None,
+            info: String::new(),
+        });
+        assert_eq!(line, r#"{"ev":"net_connect","round":0,"node":7}"#);
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //!
 //! 1. **An event vocabulary** ([`TraceEvent`]): round boundaries, sends,
 //!    deliveries, duplicate drops, adversary activity, churn, injected
-//!    faults, monitor verdicts, and per-node algorithm state transitions
-//!    ([`NodeSnapshot`]). Node ids are raw `u64`s so the vocabulary stays
-//!    below the simulator in the dependency graph.
+//!    faults, monitor verdicts, per-node algorithm state transitions
+//!    ([`NodeSnapshot`]), and transport-level events from real network
+//!    transports ([`NetEventKind`]: connects, dial retries, barrier
+//!    timeouts, round advances). Node ids are raw `u64`s so the vocabulary
+//!    stays below the simulator in the dependency graph.
 //! 2. **Tracers** ([`Tracer`]): the no-op default ([`NoopTracer`], free on
 //!    the hot path), a bounded ring-buffer collector ([`RingTracer`],
 //!    keeping the last *N* events of a long run), a JSONL writer
@@ -56,7 +58,7 @@ mod json;
 mod metrics;
 mod tracer;
 
-pub use event::{NodeSnapshot, TraceEvent};
+pub use event::{NetEventKind, NodeSnapshot, TraceEvent};
 #[cfg(feature = "jsonl")]
 pub use json::to_json;
 pub use metrics::{Histogram, Metrics};

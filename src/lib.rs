@@ -49,3 +49,9 @@
 pub use uba_adversary as adversary;
 pub use uba_core as core;
 pub use uba_sim as sim;
+
+/// Compiles and runs every fenced Rust block in `README.md` as a doctest,
+/// so the quickstart snippet can never drift from the actual API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
