@@ -193,6 +193,27 @@ pub fn build_plan(algo: Algo, sweep: &Sweep, seed: u64) -> FaultPlan {
     FaultPlan::sample(seed, &universe)
 }
 
+/// The scripted crash→recover family: every benign victim crashes partway
+/// into the algorithm's fault window and recovers two rounds later, all
+/// composed with the algorithm's strongest Byzantine attack. A
+/// deterministic complement to [`build_plan`]'s sampling, which may or may
+/// not draw a crash/recover pair — this family guarantees the recovery
+/// path is exercised on every run.
+pub fn build_crash_recover_plan(algo: Algo, sweep: &Sweep, seed: u64) -> FaultPlan {
+    let topo = topology(algo, sweep, seed);
+    let onset = algo.fault_onset();
+    let horizon = algo.fault_horizon();
+    // Latest eligible crash round keeping `recover = crash + 2 ≤ horizon`.
+    let span = horizon.saturating_sub(onset + 2).max(1);
+    let mut plan = FaultPlan::new();
+    for (i, &victim) in topo.victims.iter().enumerate() {
+        let crash_round = onset + (seed + i as u64) % span;
+        plan.crash(crash_round, victim);
+        plan.recover(crash_round + 2, victim);
+    }
+    plan
+}
+
 /// Why one soak case failed.
 #[derive(Debug, Clone)]
 pub struct CaseFailure {
@@ -701,6 +722,42 @@ pub fn soak_jobs(algo: Algo, sweep: Sweep, seeds: u64, jobs: usize) -> SweepRepo
 pub const HEALTHY_SEEDS: u64 = 100;
 /// Seeds per algorithm in the broken sweep of [`run`].
 pub const BROKEN_SEEDS: u64 = 25;
+/// Seeds per algorithm in the crash→recover family of [`run`].
+pub const CRASH_RECOVER_SEEDS: u64 = 50;
+
+/// Soaks `algo` over the scripted crash→recover family on the healthy
+/// sweep: `seeds` deterministic plans from [`build_crash_recover_plan`],
+/// each run against the algorithm's attack with the monitors installed.
+pub fn crash_recover_family(algo: Algo, seeds: u64) -> SweepReport {
+    let sweep = Sweep::HEALTHY;
+    let mut failures = 0;
+    let mut first_failure = None;
+    for seed in 0..seeds {
+        let plan = build_crash_recover_plan(algo, &sweep, seed);
+        if let Some(failure) = run_case(algo, &sweep, seed, &plan) {
+            failures += 1;
+            if first_failure.is_none() {
+                let shrunk = shrink_plan(|p| run_case(algo, &sweep, seed, p), &plan);
+                let after = run_case(algo, &sweep, seed, &shrunk).unwrap_or(failure);
+                first_failure = Some(Box::new(FailureRepro {
+                    seed,
+                    round: after.round,
+                    monitor: after.monitor,
+                    nodes: after.nodes,
+                    detail: after.detail,
+                    plan: shrunk,
+                }));
+            }
+        }
+    }
+    SweepReport {
+        algo,
+        sweep,
+        cases: seeds,
+        failures,
+        first_failure,
+    }
+}
 
 /// Runs experiment T10.
 pub fn run() -> Vec<Table> {
@@ -744,7 +801,26 @@ pub fn run_with_postmortem(postmortem: Option<(&Path, usize)>) -> Vec<Table> {
             ]);
         }
     }
-    vec![table]
+    let mut family = Table::new(
+        "T10 — scripted crash→recover family: every victim crashes mid-window and recovers two rounds later, composed with the attack (healthy sweep)",
+        &["algorithm", "n", "f", "cases", "violations", "first repro (shrunk)"],
+    );
+    for algo in Algo::ALL {
+        let report = crash_recover_family(algo, CRASH_RECOVER_SEEDS);
+        family.row(&[
+            algo.name().to_string(),
+            report.sweep.n().to_string(),
+            report.sweep.f().to_string(),
+            report.cases.to_string(),
+            report.failures.to_string(),
+            report
+                .first_failure
+                .as_deref()
+                .map(FailureRepro::render)
+                .unwrap_or_default(),
+        ]);
+    }
+    vec![table, family]
 }
 
 #[cfg(test)]
@@ -759,6 +835,24 @@ mod tests {
                 report.failures,
                 0,
                 "{} failed in-budget: {}",
+                algo.name(),
+                report
+                    .first_failure
+                    .as_deref()
+                    .map(FailureRepro::render)
+                    .unwrap_or_default()
+            );
+        }
+    }
+
+    #[test]
+    fn t10_crash_recover_family_is_clean() {
+        for algo in Algo::ALL {
+            let report = crash_recover_family(algo, 20);
+            assert_eq!(
+                report.failures,
+                0,
+                "{} violated an invariant under scripted crash→recover: {}",
                 algo.name(),
                 report
                     .first_failure

@@ -25,7 +25,7 @@ pub use table::Table;
 
 /// Every experiment id, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "t1", "t2", "t3", "f1", "t4", "t5", "f2", "t6", "t7", "t8", "t9", "t10", "t11",
+    "t1", "t2", "t3", "f1", "t4", "t5", "f2", "t6", "t7", "t8", "t9", "t10", "t11", "t12",
 ];
 
 /// Runs one experiment by id, returning its tables.
@@ -48,6 +48,7 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "t9" => experiments::t9_ablation::run_experiment(),
         "t10" => experiments::t10_faults::run(),
         "t11" => experiments::t11_net::run(),
+        "t12" => experiments::t12_rejoin::run(),
         other => panic!("unknown experiment id {other:?}; valid: {ALL_EXPERIMENTS:?}"),
     }
 }

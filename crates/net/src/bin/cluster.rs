@@ -10,21 +10,38 @@
 //! ```text
 //! cluster [--nodes N] [--algo consensus|reliable|approx] [--seed S]
 //!         [--timeout-ms MS] [--max-rounds R] [--trace-out PREFIX]
+//!         [--kill ROUND] [--restart-at ROUND] [--victim IDX]
+//!         [--journal-dir DIR] [--tear-journal]
 //! ```
 //!
 //! With `--trace-out PREFIX`, each member's trace is written to
 //! `PREFIX-N<id>.jsonl` — the same JSONL vocabulary the simulator's soak
 //! runner dumps, plus the `net_*` transport events.
+//!
+//! With `--kill ROUND`, the crash-recovery drill (experiment T12): every
+//! member keeps a durable round journal under `--journal-dir`, the victim
+//! (by default the first member; `--victim` picks another index) is killed
+//! at the start of that round, rebuilt from its journal, and rejoins over
+//! the backfill protocol. `--restart-at R2` (default: the kill round)
+//! holds the victim down for `(R2 - ROUND) * timeout` before it recovers;
+//! an immediate restart is the byte-identical case. `--tear-journal`
+//! truncates the journal mid-line first, exercising torn-tail recovery.
+//! The decisions are still compared against the *uninterrupted* simulator
+//! run: MATCH means the crash was invisible to the protocol's outcome.
 
 use std::collections::BTreeMap;
 use std::fmt::Debug;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use uba_core::approx::ApproxAgreement;
 use uba_core::consensus::EarlyConsensus;
 use uba_core::reliable::ReliableBroadcast;
-use uba_net::{decisions, run_local_cluster, NetConfig, RetryPolicy, Wire};
+use uba_net::{
+    decisions, run_local_cluster, run_local_cluster_with_restart, KillSpec, NetConfig, RetryPolicy,
+    Wire,
+};
 use uba_sim::{sparse_ids, NodeId, Process, SyncEngine};
 use uba_trace::JsonlTracer;
 
@@ -36,6 +53,11 @@ struct Args {
     timeout_ms: u64,
     max_rounds: u64,
     trace_out: Option<String>,
+    kill: Option<u64>,
+    restart_at: Option<u64>,
+    victim: usize,
+    journal_dir: Option<PathBuf>,
+    tear_journal: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -47,7 +69,9 @@ enum Algo {
 
 fn usage() -> String {
     "usage: cluster [--nodes N] [--algo consensus|reliable|approx] [--seed S]\n\
-     \x20              [--timeout-ms MS] [--max-rounds R] [--trace-out PREFIX]"
+     \x20              [--timeout-ms MS] [--max-rounds R] [--trace-out PREFIX]\n\
+     \x20              [--kill ROUND] [--restart-at ROUND] [--victim IDX]\n\
+     \x20              [--journal-dir DIR] [--tear-journal]"
         .to_string()
 }
 
@@ -59,6 +83,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         timeout_ms: 2_000,
         max_rounds: 200,
         trace_out: None,
+        kill: None,
+        restart_at: None,
+        victim: 0,
+        journal_dir: None,
+        tear_journal: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |flag: &str| {
@@ -104,9 +133,47 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--trace-out" => {
                 args.trace_out = Some(value("--trace-out")?);
             }
+            "--kill" => {
+                let round: u64 = value("--kill")?
+                    .parse()
+                    .map_err(|e| format!("invalid --kill: {e}"))?;
+                if round < 2 {
+                    return Err("--kill must be at least 2 (round 1 has no journal yet)".into());
+                }
+                args.kill = Some(round);
+            }
+            "--restart-at" => {
+                args.restart_at = Some(
+                    value("--restart-at")?
+                        .parse()
+                        .map_err(|e| format!("invalid --restart-at: {e}"))?,
+                );
+            }
+            "--victim" => {
+                args.victim = value("--victim")?
+                    .parse()
+                    .map_err(|e| format!("invalid --victim: {e}"))?;
+            }
+            "--journal-dir" => {
+                args.journal_dir = Some(PathBuf::from(value("--journal-dir")?));
+            }
+            "--tear-journal" => {
+                args.tear_journal = true;
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
+    }
+    if args.kill.is_none() && (args.restart_at.is_some() || args.tear_journal) {
+        return Err("--restart-at/--tear-journal require --kill".into());
+    }
+    if let (Some(kill), Some(restart)) = (args.kill, args.restart_at) {
+        if restart < kill {
+            return Err("--restart-at must not precede --kill".into());
+        }
+    }
+    if args.victim as u64 >= args.nodes {
+        return Err("--victim index out of range".into());
     }
     Ok(args)
 }
@@ -133,8 +200,50 @@ where
         max_rounds: args.max_rounds,
         ..NetConfig::default()
     };
-    let reports = run_local_cluster(factory(), config, |_| JsonlTracer::in_memory())
-        .map_err(|e| format!("cluster run failed: {e}"))?;
+    let reports = match args.kill {
+        None => run_local_cluster(factory(), config, |_| JsonlTracer::in_memory())
+            .map_err(|e| format!("cluster run failed: {e}"))?,
+        Some(kill_at) => {
+            let ids: Vec<NodeId> = factory().iter().map(|p| p.id()).collect();
+            let victim = ids[args.victim];
+            let journal_dir = args.journal_dir.clone().unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("uba-cluster-{}", std::process::id()))
+            });
+            // `--restart-at R2` approximates "back around round R2" by
+            // holding the victim down one barrier timeout per round.
+            let down_rounds = args.restart_at.map_or(0, |r| r - kill_at);
+            let spec = KillSpec {
+                victim,
+                kill_at,
+                restart_delay: Duration::from_millis(args.timeout_ms * down_rounds),
+                journal_dir,
+                tear_journal: args.tear_journal,
+            };
+            println!(
+                "kill: node {victim} at round {kill_at}, down {}ms{}, journals in {}",
+                args.timeout_ms * down_rounds,
+                if args.tear_journal {
+                    ", journal tail torn"
+                } else {
+                    ""
+                },
+                spec.journal_dir.display()
+            );
+            run_local_cluster_with_restart(
+                &ids,
+                |id| {
+                    factory()
+                        .into_iter()
+                        .find(|p| p.id() == id)
+                        .expect("factory covers every id")
+                },
+                config,
+                |_| JsonlTracer::in_memory(),
+                &spec,
+            )
+            .map_err(|e| format!("cluster run failed: {e}"))?
+        }
+    };
 
     if let Some(prefix) = &args.trace_out {
         for (id, report) in &reports {

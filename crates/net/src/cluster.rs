@@ -7,13 +7,24 @@
 //! accept loop is not running — that is what the dial retry/backoff
 //! absorbs). Ports are OS-assigned (`127.0.0.1:0`), so clusters never
 //! collide with each other or with anything else on the machine.
+//!
+//! [`run_local_cluster_with_restart`] is the crash-recovery drill: every
+//! member keeps a durable round journal, one designated victim is killed at
+//! the start of a chosen round, and after a configurable downtime it is
+//! rebuilt from its journal and rejoins via the backfill protocol
+//! (DESIGN.md §9). The T12 experiment and the CI kill-and-rejoin smoke run
+//! are built on it.
 
 use std::collections::BTreeMap;
+use std::fs::OpenOptions;
+use std::io;
 use std::net::TcpListener;
+use std::path::{Path, PathBuf};
 use std::thread;
+use std::time::Duration;
 
 use uba_sim::{NodeId, Process};
-use uba_trace::Tracer;
+use uba_trace::{RoundJournal, Tracer};
 
 use crate::node::{NetConfig, NetError, NetNode, NetReport};
 use crate::wire::Wire;
@@ -83,6 +94,174 @@ where
             let node = NetNode::new(process, config.clone()).with_tracer(tracer_for(id));
             let roster = roster.clone();
             let handle = thread::spawn(move || node.run(listener, &roster));
+            (id, handle)
+        })
+        .collect();
+
+    let mut reports = BTreeMap::new();
+    let mut first_error = None;
+    for (id, handle) in handles {
+        match handle.join().expect("cluster member thread panicked") {
+            Ok(report) => {
+                reports.insert(id, report);
+            }
+            Err(err) => {
+                if first_error.is_none() {
+                    first_error = Some(err);
+                }
+            }
+        }
+    }
+    match first_error {
+        Some(err) => Err(err),
+        None => Ok(reports),
+    }
+}
+
+/// Fault-injection script for [`run_local_cluster_with_restart`]: which
+/// member dies, when, and how it comes back.
+#[derive(Debug, Clone)]
+pub struct KillSpec {
+    /// The member to kill (must be one of the cluster's ids).
+    pub victim: NodeId,
+    /// The round at whose *start* the victim dies: its sockets close before
+    /// it executes the round, so peers see EOF and round `kill_at` traffic
+    /// never leaves the victim.
+    pub kill_at: u64,
+    /// How long the victim stays down before recovering its journal. Within
+    /// one `round_timeout` the rejoin is transparent (peers are still
+    /// waiting at the barrier and charge no omission); longer downtimes
+    /// degrade to omissions, which the model tolerates but which break the
+    /// byte-identical-to-the-simulator property.
+    pub restart_delay: Duration,
+    /// Directory for the per-member journals (`node-<id>.jsonl`); created
+    /// if absent.
+    pub journal_dir: PathBuf,
+    /// Truncate the victim's journal mid-line before recovery, simulating a
+    /// crash that tore the final append. Recovery then resumes one round
+    /// earlier and the rejoin must still converge (requires `kill_at` late
+    /// enough that at least one entry exists).
+    pub tear_journal: bool,
+}
+
+/// The journal file for one member under `dir` — shared by the runner, the
+/// `cluster` binary, and CI artifact collection.
+pub fn journal_path(dir: &Path, id: NodeId) -> PathBuf {
+    dir.join(format!("node-{}.jsonl", id.raw()))
+}
+
+/// Truncates `path` mid-way into its final line, simulating an append torn
+/// by a crash (the fsync never completed).
+fn tear_tail(path: &Path) -> io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    let end = bytes.len().saturating_sub(1); // behead the trailing newline
+    let line_start = bytes[..end]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    let keep = line_start + (end - line_start) / 2;
+    OpenOptions::new()
+        .write(true)
+        .open(path)?
+        .set_len(keep as u64)
+}
+
+/// Runs a cluster like [`run_local_cluster`], but with durable journals and
+/// one scripted crash: the `spec.victim` dies at the start of round
+/// `spec.kill_at`, sleeps out its downtime, recovers its journal (optionally
+/// torn), replays it into a freshly built process, and rejoins the cluster
+/// over the `SyncRequest`/`Backfill` protocol.
+///
+/// `build` must return the member in its **initial** state every time it is
+/// called with the same id — it is called once per member plus once more
+/// for the victim's second incarnation; determinism of the processes makes
+/// the replayed incarnation converge to the crashed one's state.
+///
+/// The victim's report (and tracer) in the returned map is from the
+/// **resumed** incarnation. If the cluster finishes before `kill_at`, no
+/// crash happens and the run is an ordinary journaled run.
+///
+/// # Errors
+///
+/// As [`run_local_cluster`], plus journal I/O failures.
+///
+/// # Panics
+///
+/// Panics if `spec.victim` is not among the built members' ids, on
+/// duplicate ids, or if a member thread panics.
+pub fn run_local_cluster_with_restart<P, T, F>(
+    ids: &[NodeId],
+    mut build: F,
+    config: NetConfig,
+    mut tracer_for: impl FnMut(NodeId) -> T,
+    spec: &KillSpec,
+) -> Result<BTreeMap<NodeId, NetReport<P::Output, T>>, NetError>
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send,
+    T: Tracer + Send + 'static,
+    F: FnMut(NodeId) -> P,
+{
+    assert!(
+        ids.contains(&spec.victim),
+        "kill victim {} is not a cluster member",
+        spec.victim
+    );
+    std::fs::create_dir_all(&spec.journal_dir)?;
+
+    // Bind every listener first (same race-free startup as the plain
+    // runner), then build processes, journals and the shared roster.
+    let mut members = Vec::new();
+    let mut roster = BTreeMap::new();
+    for &id in ids {
+        let process = build(id);
+        assert_eq!(process.id(), id, "build({id}) returned a different id");
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        assert!(
+            roster.insert(id, addr).is_none(),
+            "duplicate cluster member id {id}"
+        );
+        let journal = RoundJournal::create(journal_path(&spec.journal_dir, id), id.raw())?;
+        members.push((id, process, listener, journal));
+    }
+    // The victim's second incarnation, built up front so the victim thread
+    // owns everything it needs.
+    let reborn = build(spec.victim);
+
+    let mut reborn = Some((reborn, tracer_for(spec.victim)));
+    let handles: Vec<_> = members
+        .into_iter()
+        .map(|(id, process, listener, journal)| {
+            let mut node = NetNode::new(process, config.clone())
+                .with_tracer(tracer_for(id))
+                .with_journal(journal);
+            let roster = roster.clone();
+            let handle = if id == spec.victim {
+                node = node.kill_at_round(spec.kill_at);
+                let (fresh, tracer) = reborn.take().expect("one victim");
+                let config = config.clone();
+                let spec = spec.clone();
+                thread::spawn(move || match node.run(listener, &roster) {
+                    Err(NetError::Killed(_)) => {
+                        thread::sleep(spec.restart_delay);
+                        let path = journal_path(&spec.journal_dir, id);
+                        if spec.tear_journal {
+                            tear_tail(&path)?;
+                        }
+                        let (journal, recovery) = RoundJournal::resume(&path)?;
+                        NetNode::new(fresh, config)
+                            .with_tracer(tracer)
+                            .with_journal(journal)
+                            .resume(&recovery, &roster)
+                    }
+                    // Decided before the kill round: nothing to recover.
+                    other => other,
+                })
+            } else {
+                thread::spawn(move || node.run(listener, &roster))
+            };
             (id, handle)
         })
         .collect();

@@ -76,7 +76,9 @@ pub mod node;
 pub mod sync;
 pub mod wire;
 
-pub use cluster::{decisions, run_local_cluster};
+pub use cluster::{
+    decisions, journal_path, run_local_cluster, run_local_cluster_with_restart, KillSpec,
+};
 pub use conn::{connect_with_retry, LinkEvent, Links, RetryPolicy};
 pub use node::{NetConfig, NetError, NetNode, NetReport};
 pub use sync::{DataOutcome, RoundSynchronizer};

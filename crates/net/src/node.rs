@@ -21,7 +21,9 @@ use uba_sim::{
     Context, Dest, Envelope, MonitorView, MsgRef, NodeId, Outbox, Process, RoundMonitor,
     ViolationReport,
 };
-use uba_trace::{NetEventKind, NoopTracer, TraceEvent, Tracer};
+use uba_trace::{
+    JournalEntry, JournalRecovery, NetEventKind, NoopTracer, RoundJournal, TraceEvent, Tracer,
+};
 
 use crate::conn::{dial_peer, spawn_acceptor, LinkEvent, Links, RetryPolicy};
 use crate::sync::{DataOutcome, RoundSynchronizer};
@@ -70,6 +72,11 @@ pub enum NetError {
     RoundLimit(u64),
     /// An attached [`RoundMonitor`] flagged an invariant violation.
     InvariantViolated(ViolationReport),
+    /// The node was killed by fault injection ([`NetNode::kill_at_round`])
+    /// at the start of the given round: sockets are shut down, peers see
+    /// EOF, and the process can later be rebuilt from its journal via
+    /// [`NetNode::resume`].
+    Killed(u64),
 }
 
 impl fmt::Display for NetError {
@@ -80,6 +87,9 @@ impl fmt::Display for NetError {
                 write!(f, "no decision within the {limit}-round limit")
             }
             NetError::InvariantViolated(report) => write!(f, "{report}"),
+            NetError::Killed(round) => {
+                write!(f, "killed by fault injection at the start of round {round}")
+            }
         }
     }
 }
@@ -111,6 +121,33 @@ pub struct NetReport<O, T> {
     pub tracer: T,
 }
 
+/// How many completed rounds of own traffic a node retains for answering
+/// [`Frame::SyncRequest`] backfills. A rejoiner that was down longer than
+/// this (at one barrier timeout per round) simply misses the pruned rounds —
+/// an omission, which the model tolerates.
+const HISTORY_ROUNDS: usize = 64;
+
+/// Who a retained outgoing payload was addressed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SentTo {
+    /// Broadcast: every present node.
+    All,
+    /// Point-to-point to one peer.
+    One(NodeId),
+}
+
+/// One round of this node's *own* outgoing traffic, kept for backfill.
+/// Only own traffic: a backfill must be as unforgeable as live traffic, so
+/// a node never relays third-party payloads (the reader attributes every
+/// frame — live or backfilled — to the connection's handshaken sender).
+#[derive(Debug, Default)]
+struct RoundHistory {
+    /// Encoded payloads in send order, with their destination.
+    sends: Vec<(SentTo, Vec<u8>)>,
+    /// The `decided` flag of the `Done` marker, once published.
+    done: Option<bool>,
+}
+
 /// One member of a networked cluster: a [`Process`] driven over TCP.
 ///
 /// Generic over the process and the attached [`Tracer`] (default: none).
@@ -125,6 +162,9 @@ pub struct NetNode<P: Process, T: Tracer = NoopTracer> {
     config: NetConfig,
     tracer: T,
     monitor: Option<Box<dyn RoundMonitor<P> + Send>>,
+    journal: Option<RoundJournal>,
+    kill_at: Option<u64>,
+    history: BTreeMap<u64, RoundHistory>,
 }
 
 impl<P: Process> NetNode<P, NoopTracer> {
@@ -135,6 +175,9 @@ impl<P: Process> NetNode<P, NoopTracer> {
             config,
             tracer: NoopTracer,
             monitor: None,
+            journal: None,
+            kill_at: None,
+            history: BTreeMap::new(),
         }
     }
 }
@@ -149,6 +192,9 @@ impl<P: Process, T: Tracer> NetNode<P, T> {
             config: self.config,
             tracer,
             monitor: self.monitor,
+            journal: self.journal,
+            kill_at: self.kill_at,
+            history: self.history,
         }
     }
 
@@ -158,6 +204,24 @@ impl<P: Process, T: Tracer> NetNode<P, T> {
     /// the whole cluster and are checked by the harness after the run).
     pub fn with_monitor(mut self, monitor: impl RoundMonitor<P> + Send + 'static) -> Self {
         self.monitor = Some(Box::new(monitor));
+        self
+    }
+
+    /// Attaches a durable round journal: every committed round appends its
+    /// barrier-released inbox (fsync'd) before the node proceeds, so a
+    /// crashed node can be rebuilt deterministically via [`resume`].
+    ///
+    /// [`resume`]: Self::resume
+    pub fn with_journal(mut self, journal: RoundJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Arms fault injection: at the start of the given round the node shuts
+    /// down every socket and returns [`NetError::Killed`] — indistinguishable,
+    /// from the peers' side, from the OS process dying.
+    pub fn kill_at_round(mut self, round: u64) -> Self {
+        self.kill_at = Some(round);
         self
     }
 }
@@ -193,26 +257,20 @@ where
 
         let mut sync = RoundSynchronizer::<P::Msg>::new(me, peers.iter().copied());
 
-        // Dial every peer with a larger id; smaller ids dial us.
+        // Dial every peer with a larger id; smaller ids dial us. Each pair
+        // gets its own jitter stream so simultaneous (re)starts spread out.
         for &peer in peers.iter().filter(|&&p| p > me) {
             let addr = roster[&peer];
-            dial_peer(
-                addr,
-                me,
-                peer,
-                self.config.retry,
-                &links,
-                &events_tx,
-                |attempt| {
-                    trace(&mut self.tracer, || TraceEvent::Net {
-                        round: 0,
-                        kind: NetEventKind::Retry,
-                        node: me.raw(),
-                        peer: Some(peer.raw()),
-                        info: format!("dial attempt {attempt} failed"),
-                    });
-                },
-            )?;
+            let retry = pair_retry(self.config.retry, me, peer);
+            dial_peer(addr, me, peer, retry, &links, &events_tx, |attempt| {
+                trace(&mut self.tracer, || TraceEvent::Net {
+                    round: 0,
+                    kind: NetEventKind::Retry,
+                    node: me.raw(),
+                    peer: Some(peer.raw()),
+                    info: format!("dial attempt {attempt} failed"),
+                });
+            })?;
         }
 
         // Wait for the full mesh. Fast peers may already be sending round-1
@@ -226,7 +284,7 @@ where
             }
             match events.recv_timeout(remaining) {
                 Ok(event) => {
-                    self.handle_link_event(event, &mut sync, &mut connected, me);
+                    self.handle_link_event(event, &mut sync, &mut connected, me, &links);
                 }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => {
@@ -249,13 +307,153 @@ where
             });
         }
 
+        self.run_rounds(sync, links, events, connected, Vec::new(), None)
+    }
+
+    /// Rebuilds a crashed node from its recovered journal and re-enters the
+    /// cluster: replays the journaled inboxes through the fresh process (no
+    /// sends — the originals already happened before the crash), dials
+    /// every peer, announces itself with [`Frame::SyncRequest`], collects
+    /// the missed rounds from the peers' backfills, and falls back into the
+    /// lock-step barrier at the first round after the journal.
+    ///
+    /// The process handed to [`NetNode::new`] must be in its *initial*
+    /// state, built with the same arguments as the crashed incarnation —
+    /// determinism of `on_round` does the rest. Attach a fresh journal
+    /// (from [`RoundJournal::resume`]) to keep the run crash-safe.
+    ///
+    /// Unlike [`run`](Self::run), a resuming node does not listen: nobody
+    /// dials a rejoiner — re-entry is announced by dialing the peers.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] with [`io::ErrorKind::InvalidData`] if the journal
+    /// belongs to a different node, plus everything [`run`](Self::run) can
+    /// return.
+    pub fn resume(
+        mut self,
+        recovery: &JournalRecovery,
+        roster: &BTreeMap<NodeId, SocketAddr>,
+    ) -> Result<NetReport<P::Output, T>, NetError> {
+        let me = self.process.id();
+        if recovery.node != me.raw() {
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("journal belongs to node {}, not {me}", recovery.node),
+            )));
+        }
+
+        // Deterministic replay: feed each journaled round its recorded
+        // inbox and discard the outboxes.
         let mut inbox: Vec<Envelope<P::Msg>> = Vec::new();
         let mut decided_round: Option<u64> = None;
+        for entry in &recovery.entries {
+            if !self.process.terminated() {
+                let mut outbox = Outbox::new();
+                let mut ctx = Context::new(entry.round, &inbox, &mut outbox);
+                self.process.on_round(&mut ctx);
+                if decided_round.is_none() && self.process.terminated() {
+                    decided_round = Some(entry.round);
+                }
+            }
+            inbox = entry
+                .inbox
+                .iter()
+                .filter_map(|(from, bytes)| {
+                    P::Msg::from_bytes(bytes).map(|msg| Envelope::new(NodeId::new(*from), msg))
+                })
+                .collect();
+        }
+        let next_round = recovery.last_round().map_or(1, |r| r + 1);
+
+        let peers: Vec<NodeId> = roster.keys().copied().filter(|&p| p != me).collect();
+        let links = Links::new();
+        let (events_tx, events) = mpsc::channel::<LinkEvent>();
+        let mut sync =
+            RoundSynchronizer::<P::Msg>::resume_at(me, peers.iter().copied(), next_round);
+        let connected: BTreeSet<NodeId> = BTreeSet::new();
+        for &peer in &peers {
+            let retry = pair_retry(self.config.retry, me, peer);
+            let dialed = dial_peer(
+                roster[&peer],
+                me,
+                peer,
+                retry,
+                &links,
+                &events_tx,
+                |attempt| {
+                    trace(&mut self.tracer, || TraceEvent::Net {
+                        round: next_round,
+                        kind: NetEventKind::Retry,
+                        node: me.raw(),
+                        peer: Some(peer.raw()),
+                        info: format!("rejoin dial attempt {attempt} failed"),
+                    });
+                },
+            );
+            if dialed.is_err() {
+                // Unreachable while we were down (it may have crashed too):
+                // rejoin without it; its silence budget governs from here.
+                sync.peer_gone(peer);
+                trace(&mut self.tracer, || TraceEvent::Net {
+                    round: next_round,
+                    kind: NetEventKind::PeerGone,
+                    node: me.raw(),
+                    peer: Some(peer.raw()),
+                    info: "unreachable during rejoin".to_string(),
+                });
+            }
+        }
+
+        // Announce the rejoin: ask every reachable peer for the rounds we
+        // slept through (their own sends only — see `RoundHistory`).
+        let request = Frame::SyncRequest { since: next_round };
+        for peer in sync.expected().collect::<Vec<_>>() {
+            links.send(peer, &request);
+        }
+        trace(&mut self.tracer, || TraceEvent::Net {
+            round: next_round,
+            kind: NetEventKind::Resume,
+            node: me.raw(),
+            peer: None,
+            info: format!(
+                "replayed {} journaled rounds{}, rejoining at round {next_round}",
+                recovery.entries.len(),
+                if recovery.torn {
+                    " (torn tail truncated)"
+                } else {
+                    ""
+                },
+            ),
+        });
+
+        self.run_rounds(sync, links, events, connected, inbox, decided_round)
+    }
+
+    /// The shared lock-step loop behind [`run`](Self::run) and
+    /// [`resume`](Self::resume): step, flush, barrier, advance — until the
+    /// whole cluster decided or a limit trips.
+    fn run_rounds(
+        mut self,
+        mut sync: RoundSynchronizer<P::Msg>,
+        links: Links,
+        events: mpsc::Receiver<LinkEvent>,
+        mut connected: BTreeSet<NodeId>,
+        mut inbox: Vec<Envelope<P::Msg>>,
+        mut decided_round: Option<u64>,
+    ) -> Result<NetReport<P::Output, T>, NetError> {
+        let me = self.process.id();
         let mut timeouts: u64 = 0;
         let mut round_micros: Vec<u64> = Vec::new();
 
         loop {
             let round = sync.current_round();
+            if self.kill_at == Some(round) {
+                // Injected crash: die like an OS process would — sockets
+                // closed (peers read EOF), nothing flushed, no goodbye.
+                links.shutdown_all();
+                return Err(NetError::Killed(round));
+            }
             if round > self.config.max_rounds {
                 return Err(NetError::RoundLimit(self.config.max_rounds));
             }
@@ -281,6 +479,7 @@ where
             for &peer in sync.expected().collect::<Vec<_>>().iter() {
                 links.send(peer, &Frame::Done { round, decided });
             }
+            self.history.entry(round).or_default().done = Some(decided);
 
             // Wait at the barrier.
             let deadline = started + self.config.round_timeout;
@@ -291,7 +490,7 @@ where
                 }
                 match events.recv_timeout(remaining) {
                     Ok(event) => {
-                        self.handle_link_event(event, &mut sync, &mut connected, me);
+                        self.handle_link_event(event, &mut sync, &mut connected, me, &links);
                     }
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => {
@@ -334,6 +533,28 @@ where
 
             let finished = sync.all_decided(decided);
             let delivered = sync.advance();
+
+            // Commit the round durably before acting on it: the journal
+            // entry holds the inbox the *next* round will consume, so a
+            // crash at any later point replays to exactly this state.
+            if let Some(journal) = self.journal.as_mut() {
+                let entry = JournalEntry {
+                    round,
+                    decided,
+                    inbox: delivered
+                        .iter()
+                        .map(|(from, msg)| (from.raw(), msg.get().to_bytes()))
+                        .collect(),
+                };
+                journal.append(&entry)?;
+            }
+            // Backfill history is bounded; rounds older than the window are
+            // unrecoverable for rejoiners (an omission, which the model
+            // already tolerates).
+            while self.history.len() > HISTORY_ROUNDS {
+                self.history.pop_first();
+            }
+
             trace(&mut self.tracer, || TraceEvent::RoundEnd {
                 round,
                 deliveries: delivered.len() as u64,
@@ -401,35 +622,56 @@ where
             payload: format!("{:?}", shared.get()),
             adversary: false,
         });
-        let frame = Frame::Data {
-            round,
-            payload: shared.get().to_bytes(),
-        };
+        let bytes = shared.get().to_bytes();
         match dest {
             Dest::Broadcast => {
                 // A broadcast reaches every present node including the
                 // sender (the engine's self-delivery rule).
+                self.history
+                    .entry(round)
+                    .or_default()
+                    .sends
+                    .push((SentTo::All, bytes.clone()));
+                let frame = Frame::Data {
+                    round,
+                    payload: bytes,
+                };
                 for peer in sync.expected().collect::<Vec<_>>() {
                     links.send(peer, &frame);
                 }
                 sync.self_deliver(shared);
             }
             Dest::To(to) if to == me => {
+                // Purely local: nothing for a rejoiner to backfill.
                 sync.self_deliver(shared);
             }
             Dest::To(to) => {
-                links.send(to, &frame);
+                self.history
+                    .entry(round)
+                    .or_default()
+                    .sends
+                    .push((SentTo::One(to), bytes.clone()));
+                links.send(
+                    to,
+                    &Frame::Data {
+                        round,
+                        payload: bytes,
+                    },
+                );
             }
         }
     }
 
     /// Feeds one link event into the synchronizer, tracing what happened.
+    /// `links` is needed to answer rejoin handshakes ([`Frame::SyncRequest`])
+    /// with tips and backfills.
     fn handle_link_event(
         &mut self,
         event: LinkEvent,
         sync: &mut RoundSynchronizer<P::Msg>,
         connected: &mut BTreeSet<NodeId>,
         me: NodeId,
+        links: &Links,
     ) {
         match event {
             LinkEvent::Connected { peer, .. } => {
@@ -487,6 +729,117 @@ where
                 Frame::Done { round, decided } => {
                     sync.accept_done(from, round, decided);
                 }
+                Frame::SyncRequest { since } => {
+                    let current = sync.current_round();
+                    trace(&mut self.tracer, || TraceEvent::Net {
+                        round: current,
+                        kind: NetEventKind::SyncRequest,
+                        node: me.raw(),
+                        peer: Some(from.raw()),
+                        info: format!("backfill requested since round {since}"),
+                    });
+                    // The requester crashed and came back: expect it at
+                    // barriers again (even if the silence budget had given
+                    // it up), with a clean slate.
+                    sync.peer_rejoined(from);
+                    trace(&mut self.tracer, || TraceEvent::Net {
+                        round: current,
+                        kind: NetEventKind::Rejoin,
+                        node: me.raw(),
+                        peer: Some(from.raw()),
+                        info: "expected at barriers again".to_string(),
+                    });
+                    let oldest = self.history.keys().next().copied().unwrap_or(current);
+                    links.send(
+                        from,
+                        &Frame::SyncTips {
+                            current_round: current,
+                            oldest_retained: oldest,
+                            decided: self.process.terminated(),
+                        },
+                    );
+                    // Replay our own retained traffic addressed to the
+                    // requester, round by round in send order — never
+                    // third-party payloads, so backfilled frames stay as
+                    // unforgeable as live ones.
+                    for (&r, hist) in self.history.range(since..) {
+                        let payloads: Vec<Vec<u8>> = hist
+                            .sends
+                            .iter()
+                            .filter(|(dest, _)| *dest == SentTo::All || *dest == SentTo::One(from))
+                            .map(|(_, bytes)| bytes.clone())
+                            .collect();
+                        let (done, decided) = match hist.done {
+                            Some(flag) => (true, flag),
+                            None => (false, false),
+                        };
+                        links.send(
+                            from,
+                            &Frame::Backfill {
+                                round: r,
+                                done,
+                                decided,
+                                payloads,
+                            },
+                        );
+                        trace(&mut self.tracer, || TraceEvent::Net {
+                            round: current,
+                            kind: NetEventKind::Backfill,
+                            node: me.raw(),
+                            peer: Some(from.raw()),
+                            info: format!("sent round {r}"),
+                        });
+                    }
+                }
+                Frame::SyncTips {
+                    current_round,
+                    oldest_retained,
+                    decided,
+                } => {
+                    // Informational: the peer's view of where the cluster
+                    // is. Rounds below `oldest_retained` cannot be
+                    // backfilled; they surface as omissions at our barrier.
+                    trace(&mut self.tracer, || {
+                        TraceEvent::Net {
+                        round: sync.current_round(),
+                        kind: NetEventKind::SyncTips,
+                        node: me.raw(),
+                        peer: Some(from.raw()),
+                        info: format!(
+                            "peer at round {current_round}, retains from {oldest_retained}, decided {decided}"
+                        ),
+                    }
+                    });
+                }
+                Frame::Backfill {
+                    round,
+                    done,
+                    decided,
+                    payloads,
+                } => {
+                    let current = sync.current_round();
+                    let total = payloads.len();
+                    let mut fresh = 0usize;
+                    for payload in &payloads {
+                        let Some(msg) = P::Msg::from_bytes(payload) else {
+                            continue; // malformed backfill payload: drop it
+                        };
+                        if sync.accept_data(from, round, MsgRef::new(msg)) == DataOutcome::Delivered
+                        {
+                            fresh += 1;
+                        }
+                    }
+                    if done {
+                        sync.accept_done(from, round, decided);
+                    }
+                    trace(&mut self.tracer, || TraceEvent::Net {
+                        round: current,
+                        kind: NetEventKind::Backfill,
+                        node: me.raw(),
+                        peer: Some(from.raw()),
+                        info: format!("received round {round}: {fresh} of {total} delivered"),
+                    });
+                }
             },
         }
     }
@@ -514,6 +867,13 @@ fn single_node_view<'a, P: Process>(
         faulty: empty,
         crashed: empty,
     }
+}
+
+/// Derives the per-(dialer, peer) retry policy: same base schedule, but a
+/// jitter stream seeded from the pair, so a mass restart spreads its
+/// redials instead of hammering every listener in lockstep.
+fn pair_retry(base: RetryPolicy, me: NodeId, peer: NodeId) -> RetryPolicy {
+    base.with_jitter_seed(base.jitter_seed ^ me.raw().rotate_left(32) ^ peer.raw())
 }
 
 /// Records an event only if the tracer is enabled, so a [`NoopTracer`]

@@ -123,6 +123,33 @@ impl<M: Payload> RoundSynchronizer<M> {
         }
     }
 
+    /// Creates a synchronizer positioned at `first_round` instead of round
+    /// 1: the crash-recovery entry point. A node that replayed its journal
+    /// up to round `first_round - 1` resumes collecting at `first_round`;
+    /// the rounds it missed while down arrive via `Backfill` frames, which
+    /// feed [`accept_data`](Self::accept_data) /
+    /// [`accept_done`](Self::accept_done) exactly like live traffic.
+    pub fn resume_at(
+        me: NodeId,
+        peers: impl IntoIterator<Item = NodeId>,
+        first_round: u64,
+    ) -> Self {
+        let mut sync = Self::new(me, peers);
+        sync.round = first_round.max(1);
+        sync
+    }
+
+    /// Starts expecting `peer` at barriers again (it completed a rejoin
+    /// handshake after previously being declared gone), with a fresh
+    /// silence counter. A no-op if the peer was never dropped.
+    pub fn peer_rejoined(&mut self, peer: NodeId) {
+        if peer == self.me {
+            return;
+        }
+        self.expected.insert(peer);
+        self.silent.insert(peer, 0);
+    }
+
     /// This node's id.
     pub fn id(&self) -> NodeId {
         self.me
@@ -354,6 +381,37 @@ mod tests {
         assert!(sync.barrier_complete());
         assert!(sync.all_decided(true));
         assert!(!sync.all_decided(false));
+    }
+
+    #[test]
+    fn resume_at_collects_from_the_given_round() {
+        let peer = NodeId::new(2);
+        let mut sync = RoundSynchronizer::resume_at(NodeId::new(1), [peer], 5);
+        assert_eq!(sync.current_round(), 5);
+        // Everything before the resume point is already journaled: frames
+        // for those rounds (e.g. re-sent by a peer) are late, not buffered.
+        assert_eq!(sync.accept_data(peer, 4, msg(4)), DataOutcome::Late);
+        assert_eq!(sync.accept_data(peer, 5, msg(5)), DataOutcome::Delivered);
+        sync.accept_done(peer, 5, false);
+        assert!(sync.barrier_complete());
+        assert_eq!(sync.advance().len(), 1);
+        assert_eq!(sync.current_round(), 6);
+    }
+
+    #[test]
+    fn rejoined_peer_is_expected_again_with_fresh_silence() {
+        let peer = NodeId::new(2);
+        let mut sync = RoundSynchronizer::<u64>::new(NodeId::new(1), [peer]);
+        sync.timed_out();
+        sync.peer_gone(peer);
+        assert!(sync.barrier_complete(), "gone peers do not block barriers");
+        sync.peer_rejoined(peer);
+        assert!(!sync.barrier_complete(), "rejoined peer blocks again");
+        assert_eq!(sync.silent_rounds(peer), 0);
+        assert_eq!(sync.missing(), vec![peer]);
+        // Rejoining itself must stay impossible.
+        sync.peer_rejoined(NodeId::new(1));
+        assert_eq!(sync.expected().collect::<Vec<_>>(), vec![peer]);
     }
 
     #[test]

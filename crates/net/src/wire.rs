@@ -7,9 +7,14 @@
 //!
 //! ```text
 //! frame   := u32 body_len | body            (body_len caps at MAX_FRAME)
-//! body    := 0x00 u64 node                  Hello      (handshake)
-//!          | 0x01 u64 round | payload       Data       (one protocol message)
-//!          | 0x02 u64 round | u8 decided    Done       (round barrier marker)
+//! body    := 0x00 u64 node                  Hello       (handshake)
+//!          | 0x01 u64 round | payload       Data        (one protocol message)
+//!          | 0x02 u64 round | u8 decided    Done        (round barrier marker)
+//!          | 0x03 u64 since                 SyncRequest (rejoin: backfill ask)
+//!          | 0x04 u64 current | u64 oldest
+//!            | u8 decided                   SyncTips    (rejoin: responder state)
+//!          | 0x05 u64 round | u8 done
+//!            | u8 decided | vec payloads    Backfill    (rejoin: replayed round)
 //! payload := whatever the payload type's [`Wire`] impl wrote
 //! ```
 //!
@@ -228,11 +233,51 @@ pub enum Frame {
         /// shuts down in unison.
         decided: bool,
     },
+    /// A recovering node asks a peer to resend what it missed: every frame
+    /// the *peer itself* sent (broadcasts and point-to-point messages
+    /// addressed to the requester) in rounds `>= since`. Receiving this also
+    /// re-admits the requester to the responder's barrier expectations if it
+    /// had been declared gone. Sender attribution is unforgeable, so a
+    /// responder only ever replays its **own** traffic — never third-party
+    /// messages it happens to have received.
+    SyncRequest {
+        /// First round the requester is missing.
+        since: u64,
+    },
+    /// A responder's answer header to a [`Frame::SyncRequest`]: where it
+    /// stands, so the requester can tell how much of the gap the following
+    /// [`Frame::Backfill`] frames will cover.
+    SyncTips {
+        /// The responder's current (not yet barrier-released) round.
+        current_round: u64,
+        /// The oldest round still in the responder's send history; rounds
+        /// before it have been pruned and cannot be backfilled.
+        oldest_retained: u64,
+        /// Whether the responder's process has terminated with an output.
+        decided: bool,
+    },
+    /// One round's worth of the responder's own past sends, replayed to a
+    /// recovering peer. Ordinary per-round `(sender, payload)` dedup makes
+    /// re-delivery of anything the requester already has harmless.
+    Backfill {
+        /// The round the replayed messages were originally sent in.
+        round: u64,
+        /// Whether the responder had published `Done` for this round (it
+        /// has, for any round its barrier already released).
+        done: bool,
+        /// The `decided` flag the responder's `Done { round }` carried.
+        decided: bool,
+        /// The replayed [`Wire`]-encoded payloads, in original send order.
+        payloads: Vec<Vec<u8>>,
+    },
 }
 
 const TAG_HELLO: u8 = 0x00;
 const TAG_DATA: u8 = 0x01;
 const TAG_DONE: u8 = 0x02;
+const TAG_SYNC_REQUEST: u8 = 0x03;
+const TAG_SYNC_TIPS: u8 = 0x04;
+const TAG_BACKFILL: u8 = 0x05;
 
 impl Frame {
     /// Encodes the frame body (everything after the length prefix).
@@ -252,33 +297,71 @@ impl Frame {
                 round.encode(out);
                 decided.encode(out);
             }
+            Frame::SyncRequest { since } => {
+                out.push(TAG_SYNC_REQUEST);
+                since.encode(out);
+            }
+            Frame::SyncTips {
+                current_round,
+                oldest_retained,
+                decided,
+            } => {
+                out.push(TAG_SYNC_TIPS);
+                current_round.encode(out);
+                oldest_retained.encode(out);
+                decided.encode(out);
+            }
+            Frame::Backfill {
+                round,
+                done,
+                decided,
+                payloads,
+            } => {
+                out.push(TAG_BACKFILL);
+                round.encode(out);
+                done.encode(out);
+                decided.encode(out);
+                payloads.encode(out);
+            }
         }
     }
 
-    /// Decodes a frame body.
+    /// Decodes a frame body. Every variant except [`Frame::Data`] (whose
+    /// payload is the rest of the body by construction) must consume the
+    /// body exactly: trailing bytes are malformed input, not padding.
     fn decode_body(mut body: &[u8]) -> Option<Frame> {
         let input = &mut body;
         let frame = match u8::decode(input)? {
             TAG_HELLO => Frame::Hello {
                 node: NodeId::decode(input)?,
             },
-            TAG_DATA => Frame::Data {
-                round: u64::decode(input)?,
-                payload: input.to_vec(),
-            },
-            TAG_DONE => {
-                let frame = Frame::Done {
+            TAG_DATA => {
+                return Some(Frame::Data {
                     round: u64::decode(input)?,
-                    decided: bool::decode(input)?,
-                };
-                if !input.is_empty() {
-                    return None;
-                }
-                frame
+                    payload: input.to_vec(),
+                });
             }
+            TAG_DONE => Frame::Done {
+                round: u64::decode(input)?,
+                decided: bool::decode(input)?,
+            },
+            TAG_SYNC_REQUEST => Frame::SyncRequest {
+                since: u64::decode(input)?,
+            },
+            TAG_SYNC_TIPS => Frame::SyncTips {
+                current_round: u64::decode(input)?,
+                oldest_retained: u64::decode(input)?,
+                decided: bool::decode(input)?,
+            },
+            TAG_BACKFILL => Frame::Backfill {
+                round: u64::decode(input)?,
+                done: bool::decode(input)?,
+                decided: bool::decode(input)?,
+                payloads: Vec::decode(input)?,
+            },
             _ => return None,
         };
-        Some(frame)
+        input.is_empty().then_some(frame)
     }
 }
 
@@ -394,6 +477,18 @@ mod tests {
                 round: 4,
                 decided: true,
             },
+            Frame::SyncRequest { since: 5 },
+            Frame::SyncTips {
+                current_round: 9,
+                oldest_retained: 2,
+                decided: false,
+            },
+            Frame::Backfill {
+                round: 5,
+                done: true,
+                decided: false,
+                payloads: vec![vec![1, 2], Vec::new(), vec![3]],
+            },
         ];
         let mut stream = Vec::new();
         for frame in &frames {
@@ -427,6 +522,37 @@ mod tests {
         .unwrap();
         let err = read_frame(&mut &stream[..stream.len() - 1]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn fixed_size_bodies_reject_trailing_bytes() {
+        for frame in [
+            Frame::Hello {
+                node: NodeId::new(9),
+            },
+            Frame::Done {
+                round: 4,
+                decided: true,
+            },
+            Frame::SyncRequest { since: 5 },
+            Frame::SyncTips {
+                current_round: 9,
+                oldest_retained: 2,
+                decided: false,
+            },
+            Frame::Backfill {
+                round: 5,
+                done: true,
+                decided: true,
+                payloads: vec![vec![7]],
+            },
+        ] {
+            let mut body = Vec::new();
+            frame.encode_body(&mut body);
+            assert_eq!(Frame::decode_body(&body), Some(frame));
+            body.push(0);
+            assert_eq!(Frame::decode_body(&body), None, "trailing byte accepted");
+        }
     }
 
     #[test]

@@ -72,6 +72,7 @@ fn quick_config(give_up_after: u64) -> NetConfig {
             initial_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(50),
             budget: Duration::from_secs(5),
+            jitter_seed: 0,
         },
         setup_timeout: Duration::from_secs(5),
         max_rounds: 50,
@@ -172,6 +173,76 @@ fn duplicate_frames_on_the_wire_are_delivered_once() {
         kinds.contains(&"duplicate_drop"),
         "duplicate traced: {kinds:?}"
     );
+}
+
+#[test]
+fn mid_frame_disconnect_is_an_omission_then_reconnect_resumes() {
+    let peer = NodeId::new(0);
+    let (addr, handle) = spawn_node(2, quick_config(10), peer);
+
+    // The first connection dies halfway through a Data frame: encode the
+    // full frame, send only a prefix of it, then drop the socket. The
+    // truncated frame must never be delivered — the reader sees a torn
+    // stream and closes the link, and the missed barrier is charged as an
+    // ordinary omission, never a panic.
+    let mut first = script_dial(addr, peer);
+    let mut encoded = Vec::new();
+    write_frame(
+        &mut encoded,
+        &Frame::Data {
+            round: 1,
+            payload: 10u64.to_le_bytes().to_vec(),
+        },
+    )
+    .unwrap();
+    use std::io::Write;
+    first.write_all(&encoded[..encoded.len() / 2]).unwrap();
+    first.flush().unwrap();
+    drop(first);
+
+    // Let the round-1 barrier expire, then redial: the acceptor installs a
+    // fresh higher-generation link and the peer participates normally in
+    // round 2 (the node is waiting at that barrier until ~2 timeouts in).
+    std::thread::sleep(Duration::from_millis(250));
+    let mut second = script_dial(addr, peer);
+    write_frame(
+        &mut second,
+        &Frame::Data {
+            round: 2,
+            payload: 20u64.to_le_bytes().to_vec(),
+        },
+    )
+    .unwrap();
+    write_frame(
+        &mut second,
+        &Frame::Done {
+            round: 2,
+            decided: false,
+        },
+    )
+    .unwrap();
+    write_frame(
+        &mut second,
+        &Frame::Done {
+            round: 3,
+            decided: true,
+        },
+    )
+    .unwrap();
+
+    let report = handle.join().unwrap().expect("run completes without panic");
+    // Two own broadcasts + the reconnected peer's round-2 payload; the torn
+    // round-1 payload is gone for good.
+    assert_eq!(report.output, Some(3));
+    assert!(report.timeouts >= 1, "torn round charged as an omission");
+    let kinds = kinds(&report.tracer);
+    assert!(kinds.contains(&"net_timeout"), "omission traced: {kinds:?}");
+    let connects = report
+        .tracer
+        .events()
+        .filter(|e| e.kind() == "net_connect")
+        .count();
+    assert!(connects >= 2, "reconnect traced, saw {connects}");
 }
 
 #[test]

@@ -37,6 +37,11 @@ type SeenThisRound<M> = BTreeMap<NodeId, HashSet<(NodeId, MsgRef<M>)>>;
 /// [`TraceEvent::NodeState`] only on change.
 pub type ObserveFn<P> = Box<dyn Fn(&P) -> NodeSnapshot>;
 
+/// Per-node recorded inbox history — `(round, inbox)` pairs in execution
+/// order — kept by the engine only when the churn schedule contains a
+/// [`ChurnAction::Restart`] (see `SyncEngine::replay_log`).
+type ReplayLog<M> = BTreeMap<NodeId, Vec<(u64, Vec<Envelope<M>>)>>;
+
 /// Renders a [`Dest`] as the trace vocabulary's optional recipient.
 fn dest_to_trace(dest: Dest) -> Option<u64> {
     match dest {
@@ -326,6 +331,10 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
     ///
     /// Panics if two nodes (correct or faulty) share an identifier.
     pub fn build(self) -> SyncEngine<P, A> {
+        // Inbox histories are only worth recording when a restart will
+        // replay them; the decision is fixed here because the schedule
+        // cannot change after build.
+        let replay_log = self.churn.has_restart().then(BTreeMap::new);
         let mut engine = SyncEngine {
             correct: BTreeMap::new(),
             departed: BTreeMap::new(),
@@ -344,6 +353,7 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
             tracer: self.tracer,
             observe: self.observe,
             last_snapshots: BTreeMap::new(),
+            replay_log,
         };
         for p in self.correct {
             engine.insert_correct(p);
@@ -386,6 +396,13 @@ pub struct SyncEngine<P: Process, A> {
     observe: Option<ObserveFn<P>>,
     /// Last emitted snapshot per node, for change-only `NodeState` events.
     last_snapshots: BTreeMap<NodeId, NodeSnapshot>,
+    /// Per-node inbox history, recorded only when the churn schedule
+    /// contains a [`ChurnAction::Restart`] — the simulator's stand-in for
+    /// the net layer's durable round journal (DESIGN.md §9). Entries are
+    /// `(round, inbox)` pairs in execution order; envelopes share their
+    /// payload allocations, so recording is refcount bumps, not deep
+    /// clones.
+    replay_log: Option<ReplayLog<P::Msg>>,
 }
 
 impl<P: Process> SyncEngine<P, NoAdversary> {
@@ -550,9 +567,64 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
                     self.crashed.remove(&id);
                     self.inboxes.remove(&id);
                     self.last_snapshots.remove(&id);
+                    if let Some(log) = self.replay_log.as_mut() {
+                        log.remove(&id);
+                    }
+                }
+                ChurnAction::Restart(p) => {
+                    if traced {
+                        self.tracer.record(TraceEvent::Fault {
+                            round,
+                            kind: "restart",
+                            node: p.id().raw(),
+                            peer: None,
+                        });
+                    }
+                    self.restart_node(p);
                 }
             }
         }
+    }
+
+    /// Rebuilds a present correct node from `fresh` (its initial state) by
+    /// silently replaying it through the node's recorded inbox history:
+    /// replay outboxes are discarded — the crashed incarnation already sent
+    /// that traffic — and the decided round is recomputed. Determinism of
+    /// the process makes the replayed incarnation converge to the crashed
+    /// one's exact state, so the run continues as if the restart never
+    /// happened; this mirrors the net transport's journal-replay rejoin.
+    fn restart_node(&mut self, fresh: P) {
+        let id = fresh.id();
+        assert!(
+            self.correct.contains_key(&id),
+            "restart of absent or faulty node {id}"
+        );
+        let history = self
+            .replay_log
+            .as_ref()
+            .and_then(|log| log.get(&id))
+            .cloned()
+            .unwrap_or_default();
+        let mut process = fresh;
+        let mut decided_round = None;
+        for (past_round, inbox) in &history {
+            if process.terminated() {
+                break;
+            }
+            let mut outbox = Outbox::new();
+            let mut ctx = Context::new(*past_round, inbox, &mut outbox);
+            process.on_round(&mut ctx);
+            if decided_round.is_none() && process.terminated() {
+                decided_round = Some(*past_round);
+            }
+        }
+        self.correct.insert(
+            id,
+            CorrectNode {
+                process,
+                decided_round,
+            },
+        );
     }
 
     /// Applies the fault plan's events for `round` and returns the round's
@@ -640,6 +712,9 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             .collect();
         for id in active {
             let inbox = delivered.remove(&id).unwrap_or_default();
+            if let Some(log) = self.replay_log.as_mut() {
+                log.entry(id).or_default().push((round, inbox.clone()));
+            }
             let mut outbox = Outbox::new();
             {
                 let node = self
@@ -1476,6 +1551,85 @@ mod tests {
         let done = engine.run_to_completion(10).expect("completes");
         assert!(done.outputs.contains_key(&NodeId::new(1)));
         assert!(!done.outputs.contains_key(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn restart_replays_history_and_continues_byte_identically() {
+        // Twin runs of the same processes: one uninterrupted, one whose
+        // node 2 crash-restarts before round 3 and is rebuilt by replaying
+        // its recorded inboxes. The restart must be invisible: identical
+        // outputs and identical decision rounds.
+        let members = || ids(&[1, 2, 3]).into_iter().map(|id| CollectAll::new(id, 4));
+        let mut plain = SyncEngine::builder().correct_many(members()).build();
+        let reference = plain.run_to_completion(10).expect("completes");
+
+        let mut churn: ChurnSchedule<CollectAll> = ChurnSchedule::new();
+        churn.restart(3, CollectAll::new(NodeId::new(2), 4));
+        let mut engine = SyncEngine::builder()
+            .correct_many(members())
+            .churn(churn)
+            .build();
+        let done = engine.run_to_completion(10).expect("completes");
+        assert_eq!(done.outputs, reference.outputs);
+        assert_eq!(done.decided_round, reference.decided_round);
+    }
+
+    #[test]
+    fn restart_of_a_decided_node_recovers_its_decision() {
+        // Node 1 decides at round 2, then crash-restarts before round 4.
+        // The replay re-derives both its output and its original decision
+        // round — nothing is re-sent and nobody else notices.
+        let mut churn: ChurnSchedule<CollectAll> = ChurnSchedule::new();
+        churn.restart(4, CollectAll::new(NodeId::new(1), 2));
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 2))
+            .correct(CollectAll::new(NodeId::new(2), 5))
+            .churn(churn)
+            .build();
+        let done = engine.run_to_completion(10).expect("completes");
+        assert_eq!(done.decided_round[&NodeId::new(1)], 2);
+        assert_eq!(done.outputs[&NodeId::new(1)].len(), 2);
+    }
+
+    #[test]
+    fn restart_emits_a_fault_trace_event() {
+        use uba_trace::{RingTracer, SharedTracer, TraceEvent};
+        let handle = SharedTracer::new(RingTracer::new(256));
+        let mut churn: ChurnSchedule<CollectAll> = ChurnSchedule::new();
+        churn.restart(2, CollectAll::new(NodeId::new(1), 3));
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 3))
+            .correct(CollectAll::new(NodeId::new(2), 3))
+            .churn(churn)
+            .tracer(handle.clone())
+            .build();
+        engine.run_rounds(3);
+        let restarts: Vec<(u64, u64)> = handle.with(|ring| {
+            ring.events()
+                .filter_map(|e| match e {
+                    TraceEvent::Fault {
+                        round,
+                        kind: "restart",
+                        node,
+                        ..
+                    } => Some((*round, *node)),
+                    _ => None,
+                })
+                .collect()
+        });
+        assert_eq!(restarts, vec![(2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart of absent or faulty node")]
+    fn restart_of_an_absent_node_panics() {
+        let mut churn: ChurnSchedule<CollectAll> = ChurnSchedule::new();
+        churn.restart(1, CollectAll::new(NodeId::new(99), 2));
+        let mut engine = SyncEngine::builder()
+            .correct(CollectAll::new(NodeId::new(1), 2))
+            .churn(churn)
+            .build();
+        engine.run_round();
     }
 
     #[test]

@@ -124,7 +124,9 @@ pub enum TraceEvent {
         /// Round the fault applies to.
         round: u64,
         /// Fault kind: `crash`, `recover`, `silence-send`, `drop-inbound`,
-        /// or `drop-link`.
+        /// `drop-link`, or `restart` (a crash-restart replayed from the
+        /// recorded inbox history — the churn schedule's simulator twin of
+        /// the net layer's journal rejoin).
         kind: &'static str,
         /// The node the fault is charged to.
         node: u64,
@@ -193,6 +195,24 @@ pub enum NetEventKind {
     /// A peer was presumed gone (connection closed or too many consecutive
     /// silent rounds) and removed from the barrier's expectations.
     PeerGone,
+    /// A node came back from a crash: it recovered its round journal and
+    /// resumed the round loop at the recorded round (the `info` field says
+    /// whether the journal tail was torn).
+    Resume,
+    /// A `SyncRequest` frame was sent (a recovering node asking its peers to
+    /// backfill the rounds it missed) or received (a peer about to answer).
+    SyncRequest,
+    /// A `SyncTips` frame was received: the responding peer's view of the
+    /// cluster position (its current round, the oldest round it can still
+    /// backfill, and whether it already decided).
+    SyncTips,
+    /// A `Backfill` frame was sent or applied: one round's worth of the
+    /// responder's own past traffic replayed to a recovering peer.
+    Backfill,
+    /// A previously silent or declared-gone peer was re-admitted to the
+    /// barrier's expectations after it announced itself with a
+    /// `SyncRequest`.
+    Rejoin,
 }
 
 impl NetEventKind {
@@ -205,6 +225,11 @@ impl NetEventKind {
             NetEventKind::LateDrop => "late_drop",
             NetEventKind::RoundAdvance => "round_advance",
             NetEventKind::PeerGone => "peer_gone",
+            NetEventKind::Resume => "resume",
+            NetEventKind::SyncRequest => "sync_request",
+            NetEventKind::SyncTips => "sync_tips",
+            NetEventKind::Backfill => "backfill",
+            NetEventKind::Rejoin => "rejoin",
         }
     }
 }
@@ -232,6 +257,11 @@ impl TraceEvent {
                 NetEventKind::LateDrop => "net_late_drop",
                 NetEventKind::RoundAdvance => "net_round_advance",
                 NetEventKind::PeerGone => "net_peer_gone",
+                NetEventKind::Resume => "net_resume",
+                NetEventKind::SyncRequest => "net_sync_request",
+                NetEventKind::SyncTips => "net_sync_tips",
+                NetEventKind::Backfill => "net_backfill",
+                NetEventKind::Rejoin => "net_rejoin",
             },
         }
     }
@@ -291,6 +321,11 @@ mod tests {
             NetEventKind::LateDrop,
             NetEventKind::RoundAdvance,
             NetEventKind::PeerGone,
+            NetEventKind::Resume,
+            NetEventKind::SyncRequest,
+            NetEventKind::SyncTips,
+            NetEventKind::Backfill,
+            NetEventKind::Rejoin,
         ];
         let names: BTreeSet<&str> = kinds
             .iter()

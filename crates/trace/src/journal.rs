@@ -1,0 +1,552 @@
+//! A durable per-node round journal for crash-recovery.
+//!
+//! A networked node (`uba-net`) appends one [`JournalEntry`] per committed
+//! round: the round number, whether the node had decided by the end of it,
+//! and the inbox the barrier released for the *next* round (sender id plus
+//! raw payload bytes, in delivery order). Each append is flushed and
+//! fsync'd before the node proceeds, so after a crash the journal holds a
+//! prefix of the run that is complete up to — at worst — a torn final line.
+//!
+//! Recovery ([`RoundJournal::recover`]) parses the file back, tolerating
+//! exactly one torn line at the end (a write cut short by the crash): the
+//! torn tail is dropped and reported via [`JournalRecovery::torn`], and
+//! [`RoundJournal::resume`] truncates it so appends continue from the last
+//! complete entry. Garbage anywhere *before* the final line is corruption,
+//! not a crash artifact, and fails with [`std::io::ErrorKind::InvalidData`].
+//!
+//! The format is JSONL with a fixed key order, one self-contained line per
+//! entry, so a journal is greppable and diffable like every other trace
+//! artifact. Payload bytes are hex-encoded; the journal layer knows nothing
+//! about message types (ids are raw `u64`s, payloads are opaque bytes),
+//! keeping this crate below the simulator in the dependency order.
+//!
+//! ```text
+//! {"v":1,"node":7}
+//! {"round":1,"decided":false,"inbox":[[3,"0a00"],[7,"0b01"]]}
+//! {"round":2,"decided":true,"inbox":[[3,"0c02"]]}
+//! ```
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use uba_trace::{JournalEntry, RoundJournal};
+//!
+//! let mut journal = RoundJournal::create("node-7.journal", 7)?;
+//! journal.append(&JournalEntry {
+//!     round: 1,
+//!     decided: false,
+//!     inbox: vec![(3, vec![0x0a]), (7, vec![0x0b])],
+//! })?;
+//!
+//! let recovery = RoundJournal::recover("node-7.journal")?;
+//! assert_eq!(recovery.node, 7);
+//! assert_eq!(recovery.entries.len(), 1);
+//! assert!(!recovery.torn);
+//! # std::io::Result::Ok(())
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal format version written in the header line.
+const JOURNAL_VERSION: u64 = 1;
+
+/// One committed round: what the node needs to re-execute the run
+/// deterministically past this point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// The 1-based round this entry commits.
+    pub round: u64,
+    /// Whether the node had decided (terminated) by the end of the round.
+    pub decided: bool,
+    /// The inbox released by this round's barrier — the messages that will
+    /// be consumed at the start of round `round + 1` — as
+    /// `(sender id, payload bytes)` in delivery order.
+    pub inbox: Vec<(u64, Vec<u8>)>,
+}
+
+/// The result of reading a journal back after a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecovery {
+    /// The node id recorded in the journal header.
+    pub node: u64,
+    /// Complete entries, in round order.
+    pub entries: Vec<JournalEntry>,
+    /// Whether a torn (incomplete or unterminated) final line was dropped.
+    pub torn: bool,
+}
+
+impl JournalRecovery {
+    /// The last committed round, or `None` for an empty journal.
+    pub fn last_round(&self) -> Option<u64> {
+        self.entries.last().map(|e| e.round)
+    }
+
+    /// The first round at which the node was recorded decided, if any.
+    pub fn decided_round(&self) -> Option<u64> {
+        self.entries.iter().find(|e| e.decided).map(|e| e.round)
+    }
+}
+
+/// An append-only, fsync-on-commit round journal (see the module docs).
+#[derive(Debug)]
+pub struct RoundJournal {
+    file: File,
+    path: PathBuf,
+    node: u64,
+    last_round: Option<u64>,
+}
+
+impl RoundJournal {
+    /// Creates (or truncates) the journal at `path` for `node`, writing and
+    /// syncing the header line.
+    pub fn create(path: impl AsRef<Path>, node: u64) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        writeln!(file, "{{\"v\":{JOURNAL_VERSION},\"node\":{node}}}")?;
+        file.sync_data()?;
+        Ok(RoundJournal {
+            file,
+            path,
+            node,
+            last_round: None,
+        })
+    }
+
+    /// The node id this journal belongs to.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// The path the journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The last round committed through this handle (or recovered by
+    /// [`resume`](RoundJournal::resume)).
+    pub fn last_round(&self) -> Option<u64> {
+        self.last_round
+    }
+
+    /// Appends one entry, flushes, and fsyncs before returning — the commit
+    /// point of a round. Rounds must advance by exactly one per append.
+    pub fn append(&mut self, entry: &JournalEntry) -> io::Result<()> {
+        if let Some(last) = self.last_round {
+            if entry.round != last + 1 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "journal round must advance by one: last {last}, got {}",
+                        entry.round
+                    ),
+                ));
+            }
+        }
+        let mut line = String::with_capacity(64 + entry.inbox.len() * 24);
+        line.push_str(&format!(
+            "{{\"round\":{},\"decided\":{},\"inbox\":[",
+            entry.round, entry.decided
+        ));
+        for (i, (from, payload)) in entry.inbox.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('[');
+            line.push_str(&from.to_string());
+            line.push_str(",\"");
+            push_hex(&mut line, payload);
+            line.push_str("\"]");
+        }
+        line.push_str("]}");
+        writeln!(self.file, "{line}")?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.last_round = Some(entry.round);
+        Ok(())
+    }
+
+    /// Reads a journal back, tolerating a torn final line (see module docs).
+    pub fn recover(path: impl AsRef<Path>) -> io::Result<JournalRecovery> {
+        let mut bytes = Vec::new();
+        File::open(path.as_ref())?.read_to_end(&mut bytes)?;
+        parse_journal(&bytes)
+    }
+
+    /// Recovers the journal, truncates any torn tail, and reopens it for
+    /// appending — the restart path: replay the entries, then keep
+    /// journaling into the same file.
+    pub fn resume(path: impl AsRef<Path>) -> io::Result<(Self, JournalRecovery)> {
+        let path = path.as_ref().to_path_buf();
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        let recovery = parse_journal(&bytes)?;
+        let keep = complete_prefix_len(&bytes, 1 + recovery.entries.len());
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(keep as u64)?;
+        file.sync_data()?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(io::SeekFrom::End(0))?;
+        let journal = RoundJournal {
+            file,
+            path,
+            node: recovery.node,
+            last_round: recovery.last_round(),
+        };
+        Ok((journal, recovery))
+    }
+}
+
+/// Byte length of the first `lines` newline-terminated lines of `bytes`.
+fn complete_prefix_len(bytes: &[u8], lines: usize) -> usize {
+    let mut seen = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            seen += 1;
+            if seen == lines {
+                return i + 1;
+            }
+        }
+    }
+    bytes.len()
+}
+
+fn push_hex(out: &mut String, bytes: &[u8]) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0x0f) as usize] as char);
+    }
+}
+
+fn corrupt(detail: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt journal: {detail}"),
+    )
+}
+
+/// Parses the whole journal; only the final line may fail to parse (torn).
+fn parse_journal(bytes: &[u8]) -> io::Result<JournalRecovery> {
+    let text = String::from_utf8_lossy(bytes);
+    let terminated = text.ends_with('\n');
+    let mut lines: Vec<&str> = text.split('\n').collect();
+    if terminated {
+        lines.pop(); // the empty segment after the final newline
+    }
+    if lines.is_empty() {
+        return Err(corrupt("empty file"));
+    }
+    let node = parse_header(lines[0]).ok_or_else(|| corrupt("unreadable header"))?;
+    let body = &lines[1..];
+    let mut entries: Vec<JournalEntry> = Vec::new();
+    let mut torn = false;
+    for (i, line) in body.iter().enumerate() {
+        let last = i + 1 == body.len();
+        // A complete append always ends in a newline; an unterminated final
+        // line is a write the crash cut short, whether or not it happens to
+        // parse, so it is dropped as torn.
+        let parsed = if last && !terminated {
+            None
+        } else {
+            parse_entry(line)
+        };
+        match parsed {
+            Some(entry) => {
+                if let Some(prev) = entries.last() {
+                    if entry.round != prev.round + 1 {
+                        return Err(corrupt(&format!(
+                            "round {} follows round {}",
+                            entry.round, prev.round
+                        )));
+                    }
+                }
+                entries.push(entry);
+            }
+            None if last => {
+                torn = true;
+            }
+            None => return Err(corrupt(&format!("unreadable line {}", i + 2))),
+        }
+    }
+    Ok(JournalRecovery {
+        node,
+        entries,
+        torn,
+    })
+}
+
+/// A strict cursor over one journal line.
+struct Cursor<'a>(&'a str);
+
+impl<'a> Cursor<'a> {
+    fn lit(&mut self, token: &str) -> Option<()> {
+        self.0 = self.0.strip_prefix(token)?;
+        Some(())
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let digits = self.0.len()
+            - self
+                .0
+                .trim_start_matches(|c: char| c.is_ascii_digit())
+                .len();
+        if digits == 0 || digits > 20 {
+            return None;
+        }
+        let (num, rest) = self.0.split_at(digits);
+        self.0 = rest;
+        num.parse().ok()
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        if self.lit("true").is_some() {
+            Some(true)
+        } else if self.lit("false").is_some() {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn hex(&mut self) -> Option<Vec<u8>> {
+        let len = self.0.len()
+            - self
+                .0
+                .trim_start_matches(|c: char| c.is_ascii_hexdigit() && !c.is_ascii_uppercase())
+                .len();
+        if !len.is_multiple_of(2) {
+            return None;
+        }
+        let (hex, rest) = self.0.split_at(len);
+        self.0 = rest;
+        let digit = |c: u8| match c {
+            b'0'..=b'9' => c - b'0',
+            b'a'..=b'f' => c - b'a' + 10,
+            _ => unreachable!(),
+        };
+        Some(
+            hex.as_bytes()
+                .chunks(2)
+                .map(|pair| (digit(pair[0]) << 4) | digit(pair[1]))
+                .collect(),
+        )
+    }
+
+    fn done(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+fn parse_header(line: &str) -> Option<u64> {
+    let mut c = Cursor(line);
+    c.lit("{\"v\":")?;
+    let version = c.u64()?;
+    if version != JOURNAL_VERSION {
+        return None;
+    }
+    c.lit(",\"node\":")?;
+    let node = c.u64()?;
+    c.lit("}")?;
+    c.done().then_some(node)
+}
+
+fn parse_entry(line: &str) -> Option<JournalEntry> {
+    let mut c = Cursor(line);
+    c.lit("{\"round\":")?;
+    let round = c.u64()?;
+    c.lit(",\"decided\":")?;
+    let decided = c.bool()?;
+    c.lit(",\"inbox\":[")?;
+    let mut inbox = Vec::new();
+    if c.lit("]").is_none() {
+        loop {
+            c.lit("[")?;
+            let from = c.u64()?;
+            c.lit(",\"")?;
+            let payload = c.hex()?;
+            c.lit("\"]")?;
+            inbox.push((from, payload));
+            if c.lit(",").is_none() {
+                break;
+            }
+        }
+        c.lit("]")?;
+    }
+    c.lit("}")?;
+    if !c.done() {
+        return None;
+    }
+    Some(JournalEntry {
+        round,
+        decided,
+        inbox,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("uba-journal-{}-{name}.jsonl", std::process::id()));
+        dir
+    }
+
+    fn entry(round: u64, decided: bool) -> JournalEntry {
+        JournalEntry {
+            round,
+            decided,
+            inbox: vec![(3, vec![0x0a, round as u8]), (9, Vec::new())],
+        }
+    }
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let path = temp_path("roundtrip");
+        let mut journal = RoundJournal::create(&path, 7).unwrap();
+        journal.append(&entry(1, false)).unwrap();
+        journal.append(&entry(2, true)).unwrap();
+        let recovery = RoundJournal::recover(&path).unwrap();
+        assert_eq!(recovery.node, 7);
+        assert_eq!(recovery.entries, vec![entry(1, false), entry(2, true)]);
+        assert!(!recovery.torn);
+        assert_eq!(recovery.last_round(), Some(2));
+        assert_eq!(recovery.decided_round(), Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_enforces_consecutive_rounds() {
+        let path = temp_path("monotonic");
+        let mut journal = RoundJournal::create(&path, 1).unwrap();
+        journal.append(&entry(1, false)).unwrap();
+        let err = journal.append(&entry(3, false)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = temp_path("torn");
+        let mut journal = RoundJournal::create(&path, 7).unwrap();
+        journal.append(&entry(1, false)).unwrap();
+        journal.append(&entry(2, false)).unwrap();
+        // Cut the last line mid-way, as a crash during the write would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        let recovery = RoundJournal::recover(&path).unwrap();
+        assert!(recovery.torn);
+        assert_eq!(recovery.entries, vec![entry(1, false)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unterminated_but_parseable_final_line_is_still_torn() {
+        let path = temp_path("unterminated");
+        let mut journal = RoundJournal::create(&path, 7).unwrap();
+        journal.append(&entry(1, false)).unwrap();
+        journal.append(&entry(2, false)).unwrap();
+        // Drop only the trailing newline: the line parses, but a complete
+        // append always ends in a newline, so it cannot be trusted.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let recovery = RoundJournal::recover(&path).unwrap();
+        assert!(recovery.torn);
+        assert_eq!(recovery.entries, vec![entry(1, false)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_tail_is_torn_but_garbage_mid_file_is_corruption() {
+        let path = temp_path("garbage");
+        let mut journal = RoundJournal::create(&path, 7).unwrap();
+        journal.append(&entry(1, false)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"round\":2,\xff garbage\n");
+        std::fs::write(&path, &bytes).unwrap();
+        let recovery = RoundJournal::recover(&path).unwrap();
+        assert!(recovery.torn);
+        assert_eq!(recovery.entries.len(), 1);
+
+        // The same garbage followed by a valid line is corruption.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"round\":2,\"decided\":false,\"inbox\":[]}\n");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = RoundJournal::recover(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_consecutive_rounds_are_corruption() {
+        let path = temp_path("skip");
+        let mut journal = RoundJournal::create(&path, 7).unwrap();
+        journal.append(&entry(1, false)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"round\":3,\"decided\":false,\"inbox\":[]}\n");
+        bytes.extend_from_slice(b"{\"round\":4,\"decided\":false,\"inbox\":[]}\n");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = RoundJournal::recover(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_truncates_the_torn_tail_and_continues() {
+        let path = temp_path("resume");
+        let mut journal = RoundJournal::create(&path, 7).unwrap();
+        journal.append(&entry(1, false)).unwrap();
+        journal.append(&entry(2, false)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let (mut journal, recovery) = RoundJournal::resume(&path).unwrap();
+        assert!(recovery.torn);
+        assert_eq!(recovery.last_round(), Some(1));
+        assert_eq!(journal.last_round(), Some(1));
+        // Appending continues right after the surviving prefix.
+        journal.append(&entry(2, true)).unwrap();
+        let recovery = RoundJournal::recover(&path).unwrap();
+        assert!(!recovery.torn);
+        assert_eq!(recovery.entries, vec![entry(1, false), entry(2, true)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hex_round_trips_all_byte_values() {
+        let path = temp_path("hex");
+        let mut journal = RoundJournal::create(&path, 7).unwrap();
+        let payload: Vec<u8> = (0..=255).collect();
+        journal
+            .append(&JournalEntry {
+                round: 1,
+                decided: false,
+                inbox: vec![(1, payload.clone())],
+            })
+            .unwrap();
+        let recovery = RoundJournal::recover(&path).unwrap();
+        assert_eq!(recovery.entries[0].inbox[0].1, payload);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn uppercase_hex_is_rejected() {
+        assert!(parse_entry("{\"round\":1,\"decided\":false,\"inbox\":[[1,\"AB\"]]}").is_none());
+        assert!(parse_entry("{\"round\":1,\"decided\":false,\"inbox\":[[1,\"abc\"]]}").is_none());
+    }
+
+    #[test]
+    fn header_rejects_unknown_versions() {
+        assert_eq!(parse_header("{\"v\":1,\"node\":9}"), Some(9));
+        assert_eq!(parse_header("{\"v\":2,\"node\":9}"), None);
+        assert_eq!(parse_header("{\"v\":1,\"node\":9} "), None);
+    }
+}

@@ -19,6 +19,10 @@
 //! 3. **A metrics registry** ([`Metrics`]): counters per event kind and
 //!    fixed-bucket [`Histogram`]s (deliveries per round, `n_v` growth,
 //!    rounds to decide) folded directly from the event stream.
+//! 4. **A durable round journal** ([`RoundJournal`]): an append-only,
+//!    fsync-on-commit JSONL record of a networked node's per-round state,
+//!    with crash-safe torn-tail recovery — the persistence half of the
+//!    `uba-net` crash-recovery rejoin protocol.
 //!
 //! Everything is deterministic for a fixed seed: events carry no wall-clock
 //! timestamps, maps are ordered, and the JSONL encoding uses a fixed key
@@ -53,12 +57,14 @@
 #![warn(missing_docs)]
 
 mod event;
+mod journal;
 #[cfg(feature = "jsonl")]
 mod json;
 mod metrics;
 mod tracer;
 
 pub use event::{NetEventKind, NodeSnapshot, TraceEvent};
+pub use journal::{JournalEntry, JournalRecovery, RoundJournal};
 #[cfg(feature = "jsonl")]
 pub use json::to_json;
 pub use metrics::{Histogram, Metrics};
