@@ -1,0 +1,83 @@
+//! `bench-report` — regenerate or check the committed perf trajectory.
+//!
+//! ```text
+//! bench-report              # run the workloads, print both tables
+//! bench-report --write      # also rewrite BENCH_sim.json / BENCH_net.json
+//! bench-report --check      # compare fresh runs against the committed files
+//! ```
+//!
+//! `--check` exits 1 when an exact (seed-determined) field changed or a
+//! measured (wall-clock) field regressed past the tolerance documented in
+//! EXPERIMENTS.md; 2 on a corrupt or missing committed file. The run is the
+//! documented reproducible invocation behind the committed numbers:
+//! `cargo run --release -p uba-bench --bin bench-report -- --write`.
+
+use std::process::ExitCode;
+
+use uba_bench::report::{bench_path, run_net_report, run_sim_report, BenchReport};
+
+fn main() -> ExitCode {
+    let mut write = false;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--write" => write = true,
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!("usage: bench-report [--write | --check]");
+                return ExitCode::from(2);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}\nusage: bench-report [--write | --check]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if write && check {
+        eprintln!("--write and --check are mutually exclusive");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for report in [run_sim_report(), run_net_report()] {
+        println!("{}", report.table());
+        let path = bench_path(report.kind);
+        if write {
+            if let Err(err) = std::fs::write(&path, report.to_json()) {
+                eprintln!("writing {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+            println!("wrote {}", path.display());
+        } else if check {
+            match run_check(&report) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("check: {} OK against {}", report.kind, path.display());
+                }
+                Ok(violations) => {
+                    failed = true;
+                    eprintln!("check: {} FAILED against {}:", report.kind, path.display());
+                    for v in violations {
+                        eprintln!("  - {v}");
+                    }
+                }
+                Err(err) => {
+                    eprintln!("check: cannot compare {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        println!();
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_check(report: &BenchReport) -> Result<Vec<String>, String> {
+    let path = bench_path(report.kind);
+    let committed = std::fs::read_to_string(&path)
+        .map_err(|e| format!("reading committed file: {e} (run with --write first)"))?;
+    report.check_against(&committed)
+}

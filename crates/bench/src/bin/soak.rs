@@ -67,6 +67,10 @@ fn main() -> ExitCode {
                 match write_postmortem(&trace_out, algo, &sweep, first, trace_last_n) {
                     Ok((traced, path)) => {
                         println!("  postmortem trace: {}", path.display());
+                        println!(
+                            "  postmortem metrics: {}",
+                            path.with_extension("metrics.json").display()
+                        );
                         for line in traced.metrics.summary().lines() {
                             println!("  metrics: {line}");
                         }

@@ -585,7 +585,11 @@ pub fn postmortem_path(dir: &Path, algo: Algo, sweep: &Sweep, seed: u64) -> Path
 }
 
 /// Re-runs a shrunk reproduction with tracing and writes the full JSONL
-/// next to the report. Returns the traced case and the path written.
+/// next to the report, plus the derived metrics registry as a sibling
+/// `.metrics.json` document ([`Metrics::to_json`]: schema-versioned,
+/// sorted keys) so a postmortem carries its aggregate shape — counters and
+/// histograms — alongside the raw event window. Returns the traced case
+/// and the JSONL path written.
 pub fn write_postmortem(
     dir: &Path,
     algo: Algo,
@@ -597,6 +601,10 @@ pub fn write_postmortem(
     std::fs::create_dir_all(dir)?;
     let path = postmortem_path(dir, algo, sweep, repro.seed);
     std::fs::write(&path, traced.to_jsonl())?;
+    std::fs::write(
+        path.with_extension("metrics.json"),
+        traced.metrics.to_json(),
+    )?;
     Ok((traced, path))
 }
 

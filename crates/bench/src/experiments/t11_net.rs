@@ -27,7 +27,7 @@ use crate::Table;
 
 /// Transport config for experiment runs: generous timeouts (the claim is
 /// about decisions, not deadlines) and a round budget matching the twin.
-fn net_config() -> NetConfig {
+pub(crate) fn net_config() -> NetConfig {
     NetConfig {
         round_timeout: Duration::from_secs(10),
         setup_timeout: Duration::from_secs(30),
@@ -91,7 +91,7 @@ fn net_decided_rounds<O, T>(reports: &BTreeMap<NodeId, NetReport<O, T>>) -> u64 
         .unwrap_or(0)
 }
 
-fn consensus_cluster(seed: u64, n: usize) -> Vec<EarlyConsensus<u64>> {
+pub(crate) fn consensus_cluster(seed: u64, n: usize) -> Vec<EarlyConsensus<u64>> {
     let ids = sparse_ids(n, seed);
     ids.iter()
         .enumerate()
@@ -99,7 +99,7 @@ fn consensus_cluster(seed: u64, n: usize) -> Vec<EarlyConsensus<u64>> {
         .collect()
 }
 
-fn reliable_cluster(seed: u64, n: usize) -> Vec<ReliableBroadcast<u64>> {
+pub(crate) fn reliable_cluster(seed: u64, n: usize) -> Vec<ReliableBroadcast<u64>> {
     let ids = sparse_ids(n, seed);
     let sender = ids[0];
     ids.iter()
@@ -111,8 +111,8 @@ fn reliable_cluster(seed: u64, n: usize) -> Vec<ReliableBroadcast<u64>> {
 }
 
 /// The deterministic equivalence cells: `(algorithm, n, seed)`.
-const CONSENSUS_CELLS: [(usize, u64); 3] = [(4, 42), (4, 7), (7, 1)];
-const RELIABLE_CELLS: [(usize, u64); 2] = [(4, 42), (5, 11)];
+pub(crate) const CONSENSUS_CELLS: [(usize, u64); 3] = [(4, 42), (4, 7), (7, 1)];
+pub(crate) const RELIABLE_CELLS: [(usize, u64); 2] = [(4, 42), (5, 11)];
 
 /// Runs one equivalence cell by name (shared with the tests).
 fn run_named(algo: &str, n: usize, seed: u64) -> Cell {

@@ -9,6 +9,10 @@
 //!   `--bin experiments t3` prints a single one.
 //! - `cargo bench -p uba-bench` measures wall-clock time of the same
 //!   workloads with criterion.
+//! - `cargo run -p uba-bench --bin bench-report -- --check` re-runs the
+//!   T11-class workloads with runtime metrics attached and compares them
+//!   against the committed `BENCH_sim.json` / `BENCH_net.json` trajectory
+//!   (see [`report`]); `--write` regenerates the committed files.
 //!
 //! All experiments are deterministic per seed and run in seconds on a
 //! laptop.
@@ -18,6 +22,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod report;
 pub mod runner;
 pub mod table;
 

@@ -12,7 +12,16 @@
 //!         [--timeout-ms MS] [--max-rounds R] [--trace-out PREFIX]
 //!         [--kill ROUND] [--restart-at ROUND] [--victim IDX]
 //!         [--journal-dir DIR] [--tear-journal]
+//!         [--metrics-addr HOST:PORT] [--history-rounds N]
+//! cluster scrape --addr HOST:PORT --nodes N [--interval-ms MS] [--count K]
 //! ```
+//!
+//! With `--metrics-addr HOST:PORT`, every member serves its wall-clock
+//! runtime metrics (phase timing histograms, per-peer byte/frame counters,
+//! reconnect/backfill/omission counters) in the Prometheus text format:
+//! the member with the i-th smallest id listens on `PORT + i`. The
+//! `scrape` helper polls those endpoints from another terminal and renders
+//! a live per-node table (`--count 0` polls until interrupted).
 //!
 //! With `--trace-out PREFIX`, each member's trace is written to
 //! `PREFIX-N<id>.jsonl` — the same JSONL vocabulary the simulator's soak
@@ -39,11 +48,12 @@ use uba_core::approx::ApproxAgreement;
 use uba_core::consensus::EarlyConsensus;
 use uba_core::reliable::ReliableBroadcast;
 use uba_net::{
-    decisions, run_local_cluster, run_local_cluster_with_restart, KillSpec, NetConfig, RetryPolicy,
-    Wire,
+    decisions, family_sum, run_local_cluster_with_metrics,
+    run_local_cluster_with_restart_and_metrics, scrape_metrics, series_value, serve_metrics,
+    KillSpec, MetricsServer, NetConfig, RetryPolicy, Wire,
 };
 use uba_sim::{sparse_ids, NodeId, Process, SyncEngine};
-use uba_trace::JsonlTracer;
+use uba_trace::{JsonlTracer, SharedRuntimeMetrics};
 
 /// Parsed command line.
 struct Args {
@@ -58,6 +68,8 @@ struct Args {
     victim: usize,
     journal_dir: Option<PathBuf>,
     tear_journal: bool,
+    metrics_addr: Option<String>,
+    history_rounds: Option<usize>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -71,7 +83,9 @@ fn usage() -> String {
     "usage: cluster [--nodes N] [--algo consensus|reliable|approx] [--seed S]\n\
      \x20              [--timeout-ms MS] [--max-rounds R] [--trace-out PREFIX]\n\
      \x20              [--kill ROUND] [--restart-at ROUND] [--victim IDX]\n\
-     \x20              [--journal-dir DIR] [--tear-journal]"
+     \x20              [--journal-dir DIR] [--tear-journal]\n\
+     \x20              [--metrics-addr HOST:PORT] [--history-rounds N]\n\
+     \x20      cluster scrape --addr HOST:PORT --nodes N [--interval-ms MS] [--count K]"
         .to_string()
 }
 
@@ -88,6 +102,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         victim: 0,
         journal_dir: None,
         tear_journal: false,
+        metrics_addr: None,
+        history_rounds: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |flag: &str| {
@@ -160,6 +176,18 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--tear-journal" => {
                 args.tear_journal = true;
             }
+            "--metrics-addr" => {
+                args.metrics_addr = Some(value("--metrics-addr")?);
+            }
+            "--history-rounds" => {
+                let depth: usize = value("--history-rounds")?
+                    .parse()
+                    .map_err(|e| format!("invalid --history-rounds: {e}"))?;
+                if depth == 0 {
+                    return Err("--history-rounds must be at least 1".into());
+                }
+                args.history_rounds = Some(depth);
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -178,6 +206,142 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Parsed `cluster scrape` command line.
+struct ScrapeArgs {
+    addr: String,
+    nodes: u16,
+    interval_ms: u64,
+    count: u64,
+}
+
+fn parse_scrape_args(mut argv: impl Iterator<Item = String>) -> Result<ScrapeArgs, String> {
+    let mut args = ScrapeArgs {
+        addr: String::new(),
+        nodes: 0,
+        interval_ms: 1_000,
+        count: 1,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("missing value for {flag}\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("invalid --nodes: {e}"))?;
+            }
+            "--interval-ms" => {
+                args.interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("invalid --interval-ms: {e}"))?;
+            }
+            "--count" => {
+                args.count = value("--count")?
+                    .parse()
+                    .map_err(|e| format!("invalid --count: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if args.addr.is_empty() || args.nodes == 0 {
+        return Err(format!("scrape requires --addr and --nodes\n{}", usage()));
+    }
+    Ok(args)
+}
+
+/// One row of the scrape table, folded from a node's exposition body.
+struct ScrapeRow {
+    endpoint: String,
+    rounds: u64,
+    mean_us: u64,
+    frames_tx: u64,
+    bytes_tx: u64,
+    frames_rx: u64,
+    reconnects: u64,
+    omissions: u64,
+    backfill: u64,
+}
+
+impl ScrapeRow {
+    fn from_body(endpoint: String, body: &str) -> Self {
+        let sum = series_value(body, "net_round_micros_sum").unwrap_or(0);
+        let count = series_value(body, "net_round_micros_count").unwrap_or(0);
+        ScrapeRow {
+            endpoint,
+            rounds: series_value(body, "net_rounds_total").unwrap_or(0),
+            mean_us: sum.checked_div(count).unwrap_or(0),
+            frames_tx: family_sum(body, "net_frames_sent_total"),
+            bytes_tx: family_sum(body, "net_bytes_sent_total"),
+            frames_rx: family_sum(body, "net_frames_received_total"),
+            reconnects: family_sum(body, "net_reconnects_total"),
+            omissions: family_sum(body, "net_omission_timeouts_total"),
+            backfill: family_sum(body, "net_backfill_frames_served_total"),
+        }
+    }
+}
+
+/// Polls every node's exposition endpoint and renders a per-node table,
+/// `count` times (0 = forever), `interval_ms` apart. Unreachable endpoints
+/// render as `down` rather than aborting the sweep: during startup and
+/// after decision some nodes are legitimately absent.
+fn run_scrape(args: &ScrapeArgs) -> Result<(), String> {
+    let (host, port) = args
+        .addr
+        .rsplit_once(':')
+        .ok_or_else(|| format!("invalid --addr {:?} (expected HOST:PORT)", args.addr))?;
+    let port: u16 = port.parse().map_err(|e| format!("invalid port: {e}"))?;
+
+    let mut pass = 0u64;
+    loop {
+        pass += 1;
+        println!(
+            "{:<22} {:>7} {:>9} {:>9} {:>10} {:>9} {:>6} {:>5} {:>9}",
+            "endpoint",
+            "rounds",
+            "mean_us",
+            "frames_tx",
+            "bytes_tx",
+            "frames_rx",
+            "reconn",
+            "omiss",
+            "backfill"
+        );
+        for i in 0..args.nodes {
+            let endpoint = format!("{host}:{}", port + i);
+            let resolved = endpoint
+                .parse()
+                .map_err(|e| format!("invalid endpoint {endpoint}: {e}"))?;
+            match scrape_metrics(resolved) {
+                Ok(body) => {
+                    let row = ScrapeRow::from_body(endpoint, &body);
+                    println!(
+                        "{:<22} {:>7} {:>9} {:>9} {:>10} {:>9} {:>6} {:>5} {:>9}",
+                        row.endpoint,
+                        row.rounds,
+                        row.mean_us,
+                        row.frames_tx,
+                        row.bytes_tx,
+                        row.frames_rx,
+                        row.reconnects,
+                        row.omissions,
+                        row.backfill
+                    );
+                }
+                Err(err) => println!("{:<22} down ({err})", endpoint),
+            }
+        }
+        if args.count != 0 && pass >= args.count {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(args.interval_ms));
+        println!();
+    }
+}
+
 /// Runs the same processes in the simulator and over TCP, compares the
 /// decisions, and prints the verdict. Returns whether they matched.
 fn run_twin<P, F>(args: &Args, factory: F) -> Result<bool, String>
@@ -194,15 +358,49 @@ where
         .map_err(|e| format!("simulator twin failed: {e}"))?;
 
     // The real thing.
-    let config = NetConfig {
+    let mut config = NetConfig {
         round_timeout: Duration::from_millis(args.timeout_ms),
         retry: RetryPolicy::default(),
         max_rounds: args.max_rounds,
         ..NetConfig::default()
     };
+    if let Some(depth) = args.history_rounds {
+        config.history_rounds = depth;
+    }
+
+    // One runtime-metrics registry and exposition endpoint per member: the
+    // member with the i-th smallest id answers scrapes on base port + i.
+    let mut registries: BTreeMap<NodeId, SharedRuntimeMetrics> = BTreeMap::new();
+    let mut servers: Vec<MetricsServer> = Vec::new();
+    if let Some(base) = &args.metrics_addr {
+        let (host, port) = base
+            .rsplit_once(':')
+            .ok_or_else(|| format!("invalid --metrics-addr {base:?} (expected HOST:PORT)"))?;
+        let port: u16 = port
+            .parse()
+            .map_err(|e| format!("invalid --metrics-addr port: {e}"))?;
+        let mut ids: Vec<NodeId> = factory().iter().map(|p| p.id()).collect();
+        ids.sort_unstable();
+        for (i, id) in ids.into_iter().enumerate() {
+            let registry = SharedRuntimeMetrics::new();
+            let addr = format!("{host}:{}", port + i as u16);
+            let server = serve_metrics(addr.as_str(), registry.clone())
+                .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+            println!("metrics: node {id} on http://{}/metrics", server.addr());
+            registries.insert(id, registry);
+            servers.push(server);
+        }
+    }
+    let mut metrics_for = |id: NodeId| registries.get(&id).cloned();
+
     let reports = match args.kill {
-        None => run_local_cluster(factory(), config, |_| JsonlTracer::in_memory())
-            .map_err(|e| format!("cluster run failed: {e}"))?,
+        None => run_local_cluster_with_metrics(
+            factory(),
+            config,
+            |_| JsonlTracer::in_memory(),
+            &mut metrics_for,
+        )
+        .map_err(|e| format!("cluster run failed: {e}"))?,
         Some(kill_at) => {
             let ids: Vec<NodeId> = factory().iter().map(|p| p.id()).collect();
             let victim = ids[args.victim];
@@ -229,7 +427,7 @@ where
                 },
                 spec.journal_dir.display()
             );
-            run_local_cluster_with_restart(
+            run_local_cluster_with_restart_and_metrics(
                 &ids,
                 |id| {
                     factory()
@@ -239,6 +437,7 @@ where
                 },
                 config,
                 |_| JsonlTracer::in_memory(),
+                &mut metrics_for,
                 &spec,
             )
             .map_err(|e| format!("cluster run failed: {e}"))?
@@ -280,6 +479,29 @@ where
             "MISMATCH (network != simulator)"
         }
     );
+
+    // Final per-node transport totals from the runtime registries, then
+    // release the scrape endpoints.
+    for (id, registry) in &registries {
+        let snapshot = registry.snapshot();
+        let frames_tx: u64 = snapshot
+            .counters()
+            .filter(|(name, _)| name.starts_with("net_frames_sent_total"))
+            .map(|(_, v)| v)
+            .sum();
+        let bytes_tx: u64 = snapshot
+            .counters()
+            .filter(|(name, _)| name.starts_with("net_bytes_sent_total"))
+            .map(|(_, v)| v)
+            .sum();
+        println!(
+            "metrics: node {id}: {} rounds, {frames_tx} frames / {bytes_tx} bytes sent",
+            snapshot.counter("net_rounds_total")
+        );
+    }
+    for server in servers {
+        server.shutdown();
+    }
     Ok(matched)
 }
 
@@ -309,7 +531,18 @@ fn compare<O: PartialEq + Debug>(sim: &BTreeMap<NodeId, O>, net: &BTreeMap<NodeI
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1)) {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("scrape") {
+        argv.next();
+        return match parse_scrape_args(argv).and_then(|args| run_scrape(&args)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let args = match parse_args(argv) {
         Ok(args) => args,
         Err(message) => {
             eprintln!("{message}");

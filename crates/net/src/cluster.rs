@@ -24,7 +24,7 @@ use std::thread;
 use std::time::Duration;
 
 use uba_sim::{NodeId, Process};
-use uba_trace::{RoundJournal, Tracer};
+use uba_trace::{RoundJournal, SharedRuntimeMetrics, Tracer};
 
 use crate::node::{NetConfig, NetError, NetNode, NetReport};
 use crate::wire::Wire;
@@ -66,7 +66,35 @@ use crate::wire::Wire;
 pub fn run_local_cluster<P, T>(
     processes: impl IntoIterator<Item = P>,
     config: NetConfig,
+    tracer_for: impl FnMut(NodeId) -> T,
+) -> Result<BTreeMap<NodeId, NetReport<P::Output, T>>, NetError>
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send,
+    T: Tracer + Send + 'static,
+{
+    run_local_cluster_with_metrics(processes, config, tracer_for, |_| None)
+}
+
+/// [`run_local_cluster`] with a wall-clock runtime-metrics registry per
+/// member: `metrics_for` returns the [`SharedRuntimeMetrics`] handle a
+/// member should record into (share a clone with a
+/// [`serve_metrics`](crate::serve_metrics) endpoint to scrape it live), or
+/// `None` to run that member uninstrumented at zero cost.
+///
+/// # Errors
+///
+/// As [`run_local_cluster`].
+///
+/// # Panics
+///
+/// As [`run_local_cluster`].
+pub fn run_local_cluster_with_metrics<P, T>(
+    processes: impl IntoIterator<Item = P>,
+    config: NetConfig,
     mut tracer_for: impl FnMut(NodeId) -> T,
+    mut metrics_for: impl FnMut(NodeId) -> Option<SharedRuntimeMetrics>,
 ) -> Result<BTreeMap<NodeId, NetReport<P::Output, T>>, NetError>
 where
     P: Process + Send,
@@ -91,7 +119,10 @@ where
     let handles: Vec<_> = members
         .into_iter()
         .map(|(id, process, listener)| {
-            let node = NetNode::new(process, config.clone()).with_tracer(tracer_for(id));
+            let mut node = NetNode::new(process, config.clone()).with_tracer(tracer_for(id));
+            if let Some(runtime) = metrics_for(id) {
+                node = node.with_runtime_metrics(runtime);
+            }
             let roster = roster.clone();
             let handle = thread::spawn(move || node.run(listener, &roster));
             (id, handle)
@@ -191,9 +222,41 @@ fn tear_tail(path: &Path) -> io::Result<()> {
 /// duplicate ids, or if a member thread panics.
 pub fn run_local_cluster_with_restart<P, T, F>(
     ids: &[NodeId],
+    build: F,
+    config: NetConfig,
+    tracer_for: impl FnMut(NodeId) -> T,
+    spec: &KillSpec,
+) -> Result<BTreeMap<NodeId, NetReport<P::Output, T>>, NetError>
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send,
+    T: Tracer + Send + 'static,
+    F: FnMut(NodeId) -> P,
+{
+    run_local_cluster_with_restart_and_metrics(ids, build, config, tracer_for, |_| None, spec)
+}
+
+/// [`run_local_cluster_with_restart`] with per-member runtime metrics, as in
+/// [`run_local_cluster_with_metrics`]. The victim's **second incarnation
+/// records into the same registry** as its first — counters survive the
+/// crash (the registry lives in this process, not the "crashed" node), so a
+/// scrape across the restart shows the reconnects and backfill frames the
+/// rejoin cost.
+///
+/// # Errors
+///
+/// As [`run_local_cluster_with_restart`].
+///
+/// # Panics
+///
+/// As [`run_local_cluster_with_restart`].
+pub fn run_local_cluster_with_restart_and_metrics<P, T, F>(
+    ids: &[NodeId],
     mut build: F,
     config: NetConfig,
     mut tracer_for: impl FnMut(NodeId) -> T,
+    mut metrics_for: impl FnMut(NodeId) -> Option<SharedRuntimeMetrics>,
     spec: &KillSpec,
 ) -> Result<BTreeMap<NodeId, NetReport<P::Output, T>>, NetError>
 where
@@ -234,9 +297,13 @@ where
     let handles: Vec<_> = members
         .into_iter()
         .map(|(id, process, listener, journal)| {
+            let runtime = metrics_for(id);
             let mut node = NetNode::new(process, config.clone())
                 .with_tracer(tracer_for(id))
                 .with_journal(journal);
+            if let Some(rt) = runtime.clone() {
+                node = node.with_runtime_metrics(rt);
+            }
             let roster = roster.clone();
             let handle = if id == spec.victim {
                 node = node.kill_at_round(spec.kill_at);
@@ -251,10 +318,16 @@ where
                             tear_tail(&path)?;
                         }
                         let (journal, recovery) = RoundJournal::resume(&path)?;
-                        NetNode::new(fresh, config)
+                        let mut node = NetNode::new(fresh, config)
                             .with_tracer(tracer)
-                            .with_journal(journal)
-                            .resume(&recovery, &roster)
+                            .with_journal(journal);
+                        if let Some(rt) = runtime {
+                            // Same registry as the first incarnation, so
+                            // the rejoin's reconnect/backfill cost lands in
+                            // the counters a scrape already watches.
+                            node = node.with_runtime_metrics(rt);
+                        }
+                        node.resume(&recovery, &roster)
                     }
                     // Decided before the kill round: nothing to recover.
                     other => other,

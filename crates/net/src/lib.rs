@@ -24,7 +24,11 @@
 //! * [`node`] — [`NetNode`], one cluster member: process + transport +
 //!   round loop, with [`uba_trace`] observability throughout;
 //! * [`cluster`] — [`run_local_cluster`], an n-member localhost cluster in
-//!   one call (the `cluster` binary wraps it on the command line).
+//!   one call (the `cluster` binary wraps it on the command line);
+//! * [`metrics_http`] — [`serve_metrics`], a tiny Prometheus text-format
+//!   exposition endpoint publishing a node's wall-clock
+//!   [`SharedRuntimeMetrics`](uba_trace::SharedRuntimeMetrics) registry
+//!   (phase timings, per-peer byte/frame counters) to live scrapes.
 //!
 //! ## Timeouts are omissions
 //!
@@ -72,14 +76,17 @@
 pub mod cluster;
 pub mod codec;
 pub mod conn;
+pub mod metrics_http;
 pub mod node;
 pub mod sync;
 pub mod wire;
 
 pub use cluster::{
-    decisions, journal_path, run_local_cluster, run_local_cluster_with_restart, KillSpec,
+    decisions, journal_path, run_local_cluster, run_local_cluster_with_metrics,
+    run_local_cluster_with_restart, run_local_cluster_with_restart_and_metrics, KillSpec,
 };
 pub use conn::{connect_with_retry, LinkEvent, Links, RetryPolicy};
+pub use metrics_http::{family_sum, scrape_metrics, series_value, serve_metrics, MetricsServer};
 pub use node::{NetConfig, NetError, NetNode, NetReport};
 pub use sync::{DataOutcome, RoundSynchronizer};
 pub use wire::{read_frame, write_frame, Frame, Wire, MAX_FRAME};

@@ -1,0 +1,266 @@
+//! A tiny blocking Prometheus exposition endpoint.
+//!
+//! [`serve_metrics`] binds a listener and answers every `GET /metrics`
+//! (and `GET /`) with the current [`SharedRuntimeMetrics`] rendering in
+//! the Prometheus text format 0.0.4. One thread, one connection at a
+//! time, `Connection: close` — a scrape endpoint for a cluster node, not
+//! a web server. `std`-only like the rest of the crate.
+//!
+//! The endpoint holds a *clone* of the registry handle, so it observes
+//! every update the node (or engine) makes, live, without any
+//! coordination beyond the registry's internal mutex.
+//!
+//! # Examples
+//!
+//! ```
+//! use uba_net::serve_metrics;
+//! use uba_trace::SharedRuntimeMetrics;
+//!
+//! let registry = SharedRuntimeMetrics::new();
+//! registry.inc("demo_total");
+//! let server = serve_metrics("127.0.0.1:0", registry)?;
+//! let text = uba_net::scrape_metrics(server.addr())?;
+//! assert!(text.contains("demo_total 1"));
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use uba_trace::SharedRuntimeMetrics;
+
+/// How long one scrape connection may take to send its request line and
+/// headers before the server gives up on it.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running metrics endpoint; dropping it without
+/// [`shutdown`](Self::shutdown) leaves the acceptor thread serving until
+/// the process exits (harmless for a long-lived node, deliberate for
+/// short-lived tests that outlive their cluster).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the acceptor thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves the registry's Prometheus rendering on it from
+/// a background thread.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve_metrics(
+    addr: impl ToSocketAddrs,
+    registry: SharedRuntimeMetrics,
+) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = thread::Builder::new()
+        .name(format!("metrics-http-{addr}"))
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Serve inline: scrapes are rare and tiny, so a second
+                // thread per connection would buy nothing.
+                let _ = serve_one(stream, &registry);
+            }
+        })
+        .expect("spawning the metrics endpoint thread");
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Answers a single HTTP exchange on `stream`.
+fn serve_one(mut stream: TcpStream, registry: &SharedRuntimeMetrics) -> io::Result<()> {
+    stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+    stream.set_write_timeout(Some(REQUEST_TIMEOUT))?;
+    let request = read_request_head(&mut stream)?;
+    let path = request_path(&request);
+    let (status, body) = match path {
+        Some("/") | Some("/metrics") => ("200 OK", registry.render_prometheus()),
+        Some(_) => ("404 Not Found", "only /metrics lives here\n".to_string()),
+        None => ("400 Bad Request", "malformed request\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.shutdown(Shutdown::Both)
+}
+
+/// Reads until the end of the request headers (`\r\n\r\n`) or a size cap.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 256];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8 * 1024 {
+            break; // oversized header block: parse what we have
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
+}
+
+/// Extracts the path of a `GET <path> HTTP/1.x` request line.
+fn request_path(request: &str) -> Option<&str> {
+    let line = request.lines().next()?;
+    let mut parts = line.split_ascii_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let target = parts.next()?;
+    // Strip any query string: scrape tools may append one.
+    Some(target.split('?').next().unwrap_or(target))
+}
+
+/// Scrapes `addr` once over plain HTTP and returns the exposition body.
+///
+/// The client half of [`serve_metrics`], shared by the cluster binary's
+/// scrape helper, the CI smoke job, and the end-to-end tests.
+///
+/// # Errors
+///
+/// Connection or read failures, plus [`io::ErrorKind::InvalidData`] when
+/// the response is not a 200 with a body.
+pub fn scrape_metrics(addr: SocketAddr) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+    stream.set_write_timeout(Some(REQUEST_TIMEOUT))?;
+    let request = format!(
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nAccept: text/plain\r\nConnection: close\r\n\r\n"
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "response without header block")
+    })?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("scrape failed: {status}"),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+/// Reads the value of one series (exact full name, labels included) out of
+/// an exposition body. Helper for scrape consumers; returns the **last**
+/// occurrence, which in well-formed output is the only one.
+pub fn series_value(body: &str, name: &str) -> Option<u64> {
+    let mut found = None;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix(name) {
+            if let Some(value) = rest.strip_prefix(' ') {
+                if let Ok(parsed) = value.trim().parse() {
+                    found = Some(parsed);
+                }
+            }
+        }
+    }
+    found
+}
+
+/// Sums every series of a family (lines starting with `name{` or exactly
+/// `name `) in an exposition body — e.g. total frames sent across peers.
+pub fn family_sum(body: &str, name: &str) -> u64 {
+    let mut sum = 0u64;
+    for line in body.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let family = series.split('{').next().unwrap_or(series);
+        if family == name {
+            if let Ok(parsed) = value.trim().parse::<u64>() {
+                sum += parsed;
+            }
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_the_registry_and_404s_elsewhere() {
+        let registry = SharedRuntimeMetrics::new();
+        registry.inc("hits_total");
+        registry.observe_micros("t_micros", 42);
+        let server = serve_metrics("127.0.0.1:0", registry.clone()).expect("bind");
+        let addr = server.addr();
+
+        let body = scrape_metrics(addr).expect("scrape");
+        assert!(body.contains("hits_total 1"));
+        assert!(body.contains("t_micros_bucket{le=\"+Inf\"} 1"));
+
+        // A second scrape sees live updates.
+        registry.inc("hits_total");
+        let body = scrape_metrics(addr).expect("second scrape");
+        assert_eq!(series_value(&body, "hits_total"), Some(2));
+
+        // Non-metrics paths 404 but the connection still answers cleanly.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn family_sum_adds_labelled_series() {
+        let body = "# TYPE f counter\nf{peer=\"1\"} 2\nf{peer=\"2\"} 3\ng 9\n";
+        assert_eq!(family_sum(body, "f"), 5);
+        assert_eq!(family_sum(body, "g"), 9);
+        assert_eq!(family_sum(body, "missing"), 0);
+        assert_eq!(series_value(body, "f{peer=\"2\"}"), Some(3));
+    }
+}

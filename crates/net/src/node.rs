@@ -22,7 +22,8 @@ use uba_sim::{
     ViolationReport,
 };
 use uba_trace::{
-    JournalEntry, JournalRecovery, NetEventKind, NoopTracer, RoundJournal, TraceEvent, Tracer,
+    metric_name, JournalEntry, JournalRecovery, NetEventKind, NoopTracer, RoundJournal,
+    SharedRuntimeMetrics, TraceEvent, Tracer,
 };
 
 use crate::conn::{dial_peer, spawn_acceptor, LinkEvent, Links, RetryPolicy};
@@ -49,6 +50,13 @@ pub struct NetConfig {
     /// gone and dropped from the barrier, so one dead peer costs bounded
     /// waiting instead of a timeout every round forever.
     pub give_up_after: u64,
+    /// How many completed rounds of own traffic the node retains for
+    /// answering [`Frame::SyncRequest`] backfills. A rejoiner that was down
+    /// longer than this (at one barrier timeout per round) simply misses
+    /// the pruned rounds — an omission, which the model tolerates. Larger
+    /// windows buy longer tolerated downtimes at the price of memory
+    /// proportional to the retained traffic.
+    pub history_rounds: usize,
 }
 
 impl Default for NetConfig {
@@ -59,6 +67,7 @@ impl Default for NetConfig {
             setup_timeout: Duration::from_secs(10),
             max_rounds: 10_000,
             give_up_after: 5,
+            history_rounds: 64,
         }
     }
 }
@@ -121,12 +130,6 @@ pub struct NetReport<O, T> {
     pub tracer: T,
 }
 
-/// How many completed rounds of own traffic a node retains for answering
-/// [`Frame::SyncRequest`] backfills. A rejoiner that was down longer than
-/// this (at one barrier timeout per round) simply misses the pruned rounds —
-/// an omission, which the model tolerates.
-const HISTORY_ROUNDS: usize = 64;
-
 /// Who a retained outgoing payload was addressed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SentTo {
@@ -161,6 +164,7 @@ pub struct NetNode<P: Process, T: Tracer = NoopTracer> {
     process: P,
     config: NetConfig,
     tracer: T,
+    runtime: Option<SharedRuntimeMetrics>,
     monitor: Option<Box<dyn RoundMonitor<P> + Send>>,
     journal: Option<RoundJournal>,
     kill_at: Option<u64>,
@@ -174,6 +178,7 @@ impl<P: Process> NetNode<P, NoopTracer> {
             process,
             config,
             tracer: NoopTracer,
+            runtime: None,
             monitor: None,
             journal: None,
             kill_at: None,
@@ -191,11 +196,24 @@ impl<P: Process, T: Tracer> NetNode<P, T> {
             process: self.process,
             config: self.config,
             tracer,
+            runtime: self.runtime,
             monitor: self.monitor,
             journal: self.journal,
             kill_at: self.kill_at,
             history: self.history,
         }
+    }
+
+    /// Attaches a wall-clock runtime metrics registry: per-round phase
+    /// timings, per-peer byte/frame counters, reconnect/backfill/omission
+    /// counters, and the retained-history gauge. Strictly separate from the
+    /// deterministic tracer — runtime metrics read the monotonic clock and
+    /// never feed the trace event stream, so attaching one cannot perturb
+    /// byte-identical traces or decisions (DESIGN.md §10). Share one clone
+    /// with a [`crate::serve_metrics`] endpoint to expose it live.
+    pub fn with_runtime_metrics(mut self, runtime: SharedRuntimeMetrics) -> Self {
+        self.runtime = Some(runtime);
+        self
     }
 
     /// Attaches an online invariant monitor, checked after every round
@@ -259,10 +277,14 @@ where
 
         // Dial every peer with a larger id; smaller ids dial us. Each pair
         // gets its own jitter stream so simultaneous (re)starts spread out.
+        let runtime = self.runtime.clone();
         for &peer in peers.iter().filter(|&&p| p > me) {
             let addr = roster[&peer];
             let retry = pair_retry(self.config.retry, me, peer);
             dial_peer(addr, me, peer, retry, &links, &events_tx, |attempt| {
+                if let Some(rt) = &runtime {
+                    rt.inc("net_dial_retries_total");
+                }
                 trace(&mut self.tracer, || TraceEvent::Net {
                     round: 0,
                     kind: NetEventKind::Retry,
@@ -372,6 +394,7 @@ where
         let mut sync =
             RoundSynchronizer::<P::Msg>::resume_at(me, peers.iter().copied(), next_round);
         let connected: BTreeSet<NodeId> = BTreeSet::new();
+        let runtime = self.runtime.clone();
         for &peer in &peers {
             let retry = pair_retry(self.config.retry, me, peer);
             let dialed = dial_peer(
@@ -382,6 +405,9 @@ where
                 &links,
                 &events_tx,
                 |attempt| {
+                    if let Some(rt) = &runtime {
+                        rt.inc("net_dial_retries_total");
+                    }
                     trace(&mut self.tracer, || TraceEvent::Net {
                         round: next_round,
                         kind: NetEventKind::Retry,
@@ -410,6 +436,7 @@ where
         let request = Frame::SyncRequest { since: next_round };
         for peer in sync.expected().collect::<Vec<_>>() {
             links.send(peer, &request);
+            count_sent(&self.runtime, peer, &request);
         }
         trace(&mut self.tracer, || TraceEvent::Net {
             round: next_round,
@@ -445,6 +472,12 @@ where
         let me = self.process.id();
         let mut timeouts: u64 = 0;
         let mut round_micros: Vec<u64> = Vec::new();
+        if let Some(rt) = &self.runtime {
+            rt.set_gauge(
+                "net_history_rounds_limit",
+                self.config.history_rounds as u64,
+            );
+        }
 
         loop {
             let round = sync.current_round();
@@ -462,26 +495,39 @@ where
 
             // Step the process (terminated processes leave the computation
             // and send nothing, exactly as in the engine).
+            let mut step_micros = 0u64;
+            let mut send_micros = 0u64;
             if !self.process.terminated() {
+                let phase = Instant::now();
                 let mut outbox = Outbox::new();
                 let mut ctx = Context::new(round, &inbox, &mut outbox);
                 self.process.on_round(&mut ctx);
                 if decided_round.is_none() && self.process.terminated() {
                     decided_round = Some(round);
                 }
+                step_micros = micros_since(phase);
+                let phase = Instant::now();
                 for outgoing in outbox.drain() {
                     self.dispatch(outgoing.dest, outgoing.msg, round, &mut sync, &links, me);
                 }
+                send_micros = micros_since(phase);
             }
 
             // Publish the barrier marker: all our round-`round` data is out.
+            let phase = Instant::now();
             let decided = self.process.terminated();
+            let done = Frame::Done { round, decided };
             for &peer in sync.expected().collect::<Vec<_>>().iter() {
-                links.send(peer, &Frame::Done { round, decided });
+                links.send(peer, &done);
+                count_sent(&self.runtime, peer, &done);
             }
             self.history.entry(round).or_default().done = Some(decided);
+            send_micros += micros_since(phase);
 
-            // Wait at the barrier.
+            // Wait at the barrier. Time spent handing received frames to the
+            // synchronizer is additionally accounted as the deliver phase.
+            let phase = Instant::now();
+            let mut deliver_micros = 0u64;
             let deadline = started + self.config.round_timeout;
             while !sync.barrier_complete() {
                 let remaining = deadline.saturating_duration_since(Instant::now());
@@ -490,7 +536,9 @@ where
                 }
                 match events.recv_timeout(remaining) {
                     Ok(event) => {
+                        let handling = Instant::now();
                         self.handle_link_event(event, &mut sync, &mut connected, me, &links);
+                        deliver_micros += micros_since(handling);
                     }
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => {
@@ -501,6 +549,7 @@ where
                     }
                 }
             }
+            let barrier_micros = micros_since(phase);
 
             // Charge whoever missed the deadline with an omission.
             let missed = sync.timed_out();
@@ -508,6 +557,12 @@ where
                 timeouts += missed.len() as u64;
                 let waited = self.config.round_timeout.as_millis();
                 for &peer in &missed {
+                    if let Some(rt) = &self.runtime {
+                        rt.inc(&metric_name(
+                            "net_omission_timeouts_total",
+                            &[("peer", &peer.raw().to_string())],
+                        ));
+                    }
                     trace(&mut self.tracer, || TraceEvent::Net {
                         round,
                         kind: NetEventKind::Timeout,
@@ -537,6 +592,7 @@ where
             // Commit the round durably before acting on it: the journal
             // entry holds the inbox the *next* round will consume, so a
             // crash at any later point replays to exactly this state.
+            let phase = Instant::now();
             if let Some(journal) = self.journal.as_mut() {
                 let entry = JournalEntry {
                     round,
@@ -548,10 +604,11 @@ where
                 };
                 journal.append(&entry)?;
             }
+            let journal_micros = micros_since(phase);
             // Backfill history is bounded; rounds older than the window are
             // unrecoverable for rejoiners (an omission, which the model
             // already tolerates).
-            while self.history.len() > HISTORY_ROUNDS {
+            while self.history.len() > self.config.history_rounds {
                 self.history.pop_first();
             }
 
@@ -567,6 +624,20 @@ where
                 info: String::new(),
             });
             round_micros.push(started.elapsed().as_micros() as u64);
+            if let Some(rt) = &self.runtime {
+                let total = micros_since(started);
+                let retained = self.history.len() as u64;
+                rt.with(|m| {
+                    m.inc("net_rounds_total");
+                    m.observe_micros("net_round_micros", total);
+                    m.observe_micros(PHASE_STEP, step_micros);
+                    m.observe_micros(PHASE_SEND, send_micros);
+                    m.observe_micros(PHASE_DELIVER, deliver_micros);
+                    m.observe_micros(PHASE_BARRIER, barrier_micros);
+                    m.observe_micros(PHASE_JOURNAL, journal_micros);
+                    m.set_gauge("net_history_rounds_retained", retained);
+                });
+            }
 
             if let Some(monitor) = &mut self.monitor {
                 let view = single_node_view(round, me, &self.process, decided_round);
@@ -638,6 +709,7 @@ where
                 };
                 for peer in sync.expected().collect::<Vec<_>>() {
                     links.send(peer, &frame);
+                    count_sent(&self.runtime, peer, &frame);
                 }
                 sync.self_deliver(shared);
             }
@@ -651,13 +723,12 @@ where
                     .or_default()
                     .sends
                     .push((SentTo::One(to), bytes.clone()));
-                links.send(
-                    to,
-                    &Frame::Data {
-                        round,
-                        payload: bytes,
-                    },
-                );
+                let frame = Frame::Data {
+                    round,
+                    payload: bytes,
+                };
+                links.send(to, &frame);
+                count_sent(&self.runtime, to, &frame);
             }
         }
     }
@@ -675,7 +746,15 @@ where
     ) {
         match event {
             LinkEvent::Connected { peer, .. } => {
-                connected.insert(peer);
+                let first_time = connected.insert(peer);
+                if let Some(rt) = &self.runtime {
+                    let name = if first_time {
+                        "net_connects_total"
+                    } else {
+                        "net_reconnects_total"
+                    };
+                    rt.inc(&metric_name(name, &[("peer", &peer.raw().to_string())]));
+                }
                 trace(&mut self.tracer, || TraceEvent::Net {
                     round: sync.current_round(),
                     kind: NetEventKind::Connect,
@@ -689,118 +768,123 @@ where
                 // guarded). The peer may redial; if it stays silent the
                 // barrier timeout and the give-up budget take over.
             }
-            LinkEvent::Frame { from, frame } => match frame {
-                Frame::Hello { .. } => {} // handshake already consumed ours
-                Frame::Data { round, payload } => {
-                    let Some(msg) = P::Msg::from_bytes(&payload) else {
-                        return; // malformed payload from this peer: drop it
-                    };
-                    let shared = MsgRef::new(msg);
-                    let current = sync.current_round();
-                    match sync.accept_data(from, round, MsgRef::clone(&shared)) {
-                        DataOutcome::Delivered => {
-                            trace(&mut self.tracer, || TraceEvent::Deliver {
-                                round,
-                                from: from.raw(),
-                                to: me.raw(),
-                                payload: format!("{:?}", shared.get()),
-                                adversary: false,
-                            });
-                        }
-                        DataOutcome::Duplicate => {
-                            trace(&mut self.tracer, || TraceEvent::DuplicateDrop {
-                                round,
-                                from: from.raw(),
-                                to: me.raw(),
-                                payload: format!("{:?}", shared.get()),
-                            });
-                        }
-                        DataOutcome::Late => {
-                            trace(&mut self.tracer, || TraceEvent::Net {
-                                round: current,
-                                kind: NetEventKind::LateDrop,
-                                node: me.raw(),
-                                peer: Some(from.raw()),
-                                info: format!("frame for past round {round}"),
-                            });
+            LinkEvent::Frame { from, frame } => {
+                count_received(&self.runtime, from, &frame);
+                match frame {
+                    Frame::Hello { .. } => {} // handshake already consumed ours
+                    Frame::Data { round, payload } => {
+                        let Some(msg) = P::Msg::from_bytes(&payload) else {
+                            return; // malformed payload from this peer: drop it
+                        };
+                        let shared = MsgRef::new(msg);
+                        let current = sync.current_round();
+                        match sync.accept_data(from, round, MsgRef::clone(&shared)) {
+                            DataOutcome::Delivered => {
+                                trace(&mut self.tracer, || TraceEvent::Deliver {
+                                    round,
+                                    from: from.raw(),
+                                    to: me.raw(),
+                                    payload: format!("{:?}", shared.get()),
+                                    adversary: false,
+                                });
+                            }
+                            DataOutcome::Duplicate => {
+                                trace(&mut self.tracer, || TraceEvent::DuplicateDrop {
+                                    round,
+                                    from: from.raw(),
+                                    to: me.raw(),
+                                    payload: format!("{:?}", shared.get()),
+                                });
+                            }
+                            DataOutcome::Late => {
+                                trace(&mut self.tracer, || TraceEvent::Net {
+                                    round: current,
+                                    kind: NetEventKind::LateDrop,
+                                    node: me.raw(),
+                                    peer: Some(from.raw()),
+                                    info: format!("frame for past round {round}"),
+                                });
+                            }
                         }
                     }
-                }
-                Frame::Done { round, decided } => {
-                    sync.accept_done(from, round, decided);
-                }
-                Frame::SyncRequest { since } => {
-                    let current = sync.current_round();
-                    trace(&mut self.tracer, || TraceEvent::Net {
-                        round: current,
-                        kind: NetEventKind::SyncRequest,
-                        node: me.raw(),
-                        peer: Some(from.raw()),
-                        info: format!("backfill requested since round {since}"),
-                    });
-                    // The requester crashed and came back: expect it at
-                    // barriers again (even if the silence budget had given
-                    // it up), with a clean slate.
-                    sync.peer_rejoined(from);
-                    trace(&mut self.tracer, || TraceEvent::Net {
-                        round: current,
-                        kind: NetEventKind::Rejoin,
-                        node: me.raw(),
-                        peer: Some(from.raw()),
-                        info: "expected at barriers again".to_string(),
-                    });
-                    let oldest = self.history.keys().next().copied().unwrap_or(current);
-                    links.send(
-                        from,
-                        &Frame::SyncTips {
+                    Frame::Done { round, decided } => {
+                        sync.accept_done(from, round, decided);
+                    }
+                    Frame::SyncRequest { since } => {
+                        let current = sync.current_round();
+                        trace(&mut self.tracer, || TraceEvent::Net {
+                            round: current,
+                            kind: NetEventKind::SyncRequest,
+                            node: me.raw(),
+                            peer: Some(from.raw()),
+                            info: format!("backfill requested since round {since}"),
+                        });
+                        // The requester crashed and came back: expect it at
+                        // barriers again (even if the silence budget had given
+                        // it up), with a clean slate.
+                        sync.peer_rejoined(from);
+                        trace(&mut self.tracer, || TraceEvent::Net {
+                            round: current,
+                            kind: NetEventKind::Rejoin,
+                            node: me.raw(),
+                            peer: Some(from.raw()),
+                            info: "expected at barriers again".to_string(),
+                        });
+                        let oldest = self.history.keys().next().copied().unwrap_or(current);
+                        let tips = Frame::SyncTips {
                             current_round: current,
                             oldest_retained: oldest,
                             decided: self.process.terminated(),
-                        },
-                    );
-                    // Replay our own retained traffic addressed to the
-                    // requester, round by round in send order — never
-                    // third-party payloads, so backfilled frames stay as
-                    // unforgeable as live ones.
-                    for (&r, hist) in self.history.range(since..) {
-                        let payloads: Vec<Vec<u8>> = hist
-                            .sends
-                            .iter()
-                            .filter(|(dest, _)| *dest == SentTo::All || *dest == SentTo::One(from))
-                            .map(|(_, bytes)| bytes.clone())
-                            .collect();
-                        let (done, decided) = match hist.done {
-                            Some(flag) => (true, flag),
-                            None => (false, false),
                         };
-                        links.send(
-                            from,
-                            &Frame::Backfill {
+                        links.send(from, &tips);
+                        count_sent(&self.runtime, from, &tips);
+                        // Replay our own retained traffic addressed to the
+                        // requester, round by round in send order — never
+                        // third-party payloads, so backfilled frames stay as
+                        // unforgeable as live ones.
+                        for (&r, hist) in self.history.range(since..) {
+                            let payloads: Vec<Vec<u8>> = hist
+                                .sends
+                                .iter()
+                                .filter(|(dest, _)| {
+                                    *dest == SentTo::All || *dest == SentTo::One(from)
+                                })
+                                .map(|(_, bytes)| bytes.clone())
+                                .collect();
+                            let (done, decided) = match hist.done {
+                                Some(flag) => (true, flag),
+                                None => (false, false),
+                            };
+                            let backfill = Frame::Backfill {
                                 round: r,
                                 done,
                                 decided,
                                 payloads,
-                            },
-                        );
-                        trace(&mut self.tracer, || TraceEvent::Net {
-                            round: current,
-                            kind: NetEventKind::Backfill,
-                            node: me.raw(),
-                            peer: Some(from.raw()),
-                            info: format!("sent round {r}"),
-                        });
+                            };
+                            links.send(from, &backfill);
+                            count_sent(&self.runtime, from, &backfill);
+                            if let Some(rt) = &self.runtime {
+                                rt.inc("net_backfill_frames_served_total");
+                            }
+                            trace(&mut self.tracer, || TraceEvent::Net {
+                                round: current,
+                                kind: NetEventKind::Backfill,
+                                node: me.raw(),
+                                peer: Some(from.raw()),
+                                info: format!("sent round {r}"),
+                            });
+                        }
                     }
-                }
-                Frame::SyncTips {
-                    current_round,
-                    oldest_retained,
-                    decided,
-                } => {
-                    // Informational: the peer's view of where the cluster
-                    // is. Rounds below `oldest_retained` cannot be
-                    // backfilled; they surface as omissions at our barrier.
-                    trace(&mut self.tracer, || {
-                        TraceEvent::Net {
+                    Frame::SyncTips {
+                        current_round,
+                        oldest_retained,
+                        decided,
+                    } => {
+                        // Informational: the peer's view of where the cluster
+                        // is. Rounds below `oldest_retained` cannot be
+                        // backfilled; they surface as omissions at our barrier.
+                        trace(&mut self.tracer, || {
+                            TraceEvent::Net {
                         round: sync.current_round(),
                         kind: NetEventKind::SyncTips,
                         node: me.raw(),
@@ -809,38 +893,43 @@ where
                             "peer at round {current_round}, retains from {oldest_retained}, decided {decided}"
                         ),
                     }
-                    });
-                }
-                Frame::Backfill {
-                    round,
-                    done,
-                    decided,
-                    payloads,
-                } => {
-                    let current = sync.current_round();
-                    let total = payloads.len();
-                    let mut fresh = 0usize;
-                    for payload in &payloads {
-                        let Some(msg) = P::Msg::from_bytes(payload) else {
-                            continue; // malformed backfill payload: drop it
-                        };
-                        if sync.accept_data(from, round, MsgRef::new(msg)) == DataOutcome::Delivered
-                        {
-                            fresh += 1;
+                        });
+                    }
+                    Frame::Backfill {
+                        round,
+                        done,
+                        decided,
+                        payloads,
+                    } => {
+                        if let Some(rt) = &self.runtime {
+                            rt.inc("net_backfill_frames_received_total");
                         }
+                        let current = sync.current_round();
+                        let total = payloads.len();
+                        let mut fresh = 0usize;
+                        for payload in &payloads {
+                            let Some(msg) = P::Msg::from_bytes(payload) else {
+                                continue; // malformed backfill payload: drop it
+                            };
+                            if sync.accept_data(from, round, MsgRef::new(msg))
+                                == DataOutcome::Delivered
+                            {
+                                fresh += 1;
+                            }
+                        }
+                        if done {
+                            sync.accept_done(from, round, decided);
+                        }
+                        trace(&mut self.tracer, || TraceEvent::Net {
+                            round: current,
+                            kind: NetEventKind::Backfill,
+                            node: me.raw(),
+                            peer: Some(from.raw()),
+                            info: format!("received round {round}: {fresh} of {total} delivered"),
+                        });
                     }
-                    if done {
-                        sync.accept_done(from, round, decided);
-                    }
-                    trace(&mut self.tracer, || TraceEvent::Net {
-                        round: current,
-                        kind: NetEventKind::Backfill,
-                        node: me.raw(),
-                        peer: Some(from.raw()),
-                        info: format!("received round {round}: {fresh} of {total} delivered"),
-                    });
                 }
-            },
+            }
         }
     }
 }
@@ -882,4 +971,52 @@ fn trace<T: Tracer>(tracer: &mut T, event: impl FnOnce() -> TraceEvent) {
     if tracer.enabled() {
         tracer.record(event());
     }
+}
+
+/// Runtime-metric names of the per-round phase timing histograms. Static
+/// strings so the hot loop never formats a metric name.
+const PHASE_STEP: &str = "net_round_phase_micros{phase=\"step\"}";
+const PHASE_SEND: &str = "net_round_phase_micros{phase=\"send\"}";
+const PHASE_DELIVER: &str = "net_round_phase_micros{phase=\"deliver\"}";
+const PHASE_BARRIER: &str = "net_round_phase_micros{phase=\"barrier\"}";
+const PHASE_JOURNAL: &str = "net_round_phase_micros{phase=\"journal\"}";
+
+/// Counts one outgoing frame (frames and wire bytes, per peer) against the
+/// runtime registry, if one is attached. The encode-for-length cost is paid
+/// only in that case.
+fn count_sent(runtime: &Option<SharedRuntimeMetrics>, peer: NodeId, frame: &Frame) {
+    if let Some(rt) = runtime {
+        let peer = peer.raw().to_string();
+        let bytes = frame.encoded_len() as u64;
+        rt.with(|m| {
+            m.inc(&metric_name("net_frames_sent_total", &[("peer", &peer)]));
+            m.add(
+                &metric_name("net_bytes_sent_total", &[("peer", &peer)]),
+                bytes,
+            );
+        });
+    }
+}
+
+/// Counts one incoming frame against the runtime registry, if attached.
+fn count_received(runtime: &Option<SharedRuntimeMetrics>, peer: NodeId, frame: &Frame) {
+    if let Some(rt) = runtime {
+        let peer = peer.raw().to_string();
+        let bytes = frame.encoded_len() as u64;
+        rt.with(|m| {
+            m.inc(&metric_name(
+                "net_frames_received_total",
+                &[("peer", &peer)],
+            ));
+            m.add(
+                &metric_name("net_bytes_received_total", &[("peer", &peer)]),
+                bytes,
+            );
+        });
+    }
+}
+
+/// Elapsed microseconds since `from`, saturated into `u64`.
+fn micros_since(from: Instant) -> u64 {
+    u64::try_from(from.elapsed().as_micros()).unwrap_or(u64::MAX)
 }

@@ -280,6 +280,16 @@ const TAG_SYNC_TIPS: u8 = 0x04;
 const TAG_BACKFILL: u8 = 0x05;
 
 impl Frame {
+    /// Total bytes this frame occupies on the wire: the 4-byte length
+    /// prefix plus the encoded body. Costs one throwaway encoding, so the
+    /// runtime-metrics byte counters call it only when a registry is
+    /// attached.
+    pub fn encoded_len(&self) -> usize {
+        let mut body = Vec::with_capacity(32);
+        self.encode_body(&mut body);
+        4 + body.len()
+    }
+
     /// Encodes the frame body (everything after the length prefix).
     fn encode_body(&self, out: &mut Vec<u8>) {
         match self {

@@ -1,0 +1,163 @@
+//! End-to-end runtime observability: a live cluster's Prometheus endpoints
+//! answer scrapes while rounds run, counters only ever grow, and the final
+//! exposition carries every advertised series family.
+//!
+//! The scrape loop races the cluster on purpose — endpoints must serve
+//! partial state mid-run without perturbing the round loop (the registry is
+//! wall-clock-only and never touches the deterministic event stream, so a
+//! scraped run still decides exactly what an unscraped one does).
+
+use std::collections::BTreeMap;
+use std::thread;
+use std::time::Duration;
+
+use uba_core::consensus::EarlyConsensus;
+use uba_net::{
+    decisions, family_sum, run_local_cluster_with_metrics, scrape_metrics, series_value,
+    serve_metrics, NetConfig,
+};
+use uba_sim::{sparse_ids, NodeId};
+use uba_trace::{NoopTracer, SharedRuntimeMetrics};
+
+/// Generous timeouts: this test asserts observability, not latency.
+fn test_config() -> NetConfig {
+    NetConfig {
+        round_timeout: Duration::from_secs(10),
+        setup_timeout: Duration::from_secs(30),
+        max_rounds: 200,
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn live_cluster_scrapes_are_monotonic_and_complete() {
+    let ids = sparse_ids(3, 42);
+    let registries: BTreeMap<NodeId, SharedRuntimeMetrics> = ids
+        .iter()
+        .map(|&id| (id, SharedRuntimeMetrics::new()))
+        .collect();
+    let servers: BTreeMap<NodeId, _> = registries
+        .iter()
+        .map(|(&id, registry)| {
+            let server = serve_metrics("127.0.0.1:0", registry.clone()).expect("bind endpoint");
+            (id, server)
+        })
+        .collect();
+    let addrs: Vec<_> = servers.values().map(|s| s.addr()).collect();
+
+    let cluster = {
+        let ids = ids.clone();
+        let registries = registries.clone();
+        thread::spawn(move || {
+            let members = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| EarlyConsensus::new(id, (i % 2) as u64));
+            run_local_cluster_with_metrics(
+                members,
+                test_config(),
+                |_| NoopTracer,
+                |id| registries.get(&id).cloned(),
+            )
+        })
+    };
+
+    // Scrape all endpoints while the cluster runs: every counter we watch
+    // must be non-decreasing between consecutive scrapes of one node.
+    let mut last_rounds = vec![0u64; addrs.len()];
+    let mut last_frames = vec![0u64; addrs.len()];
+    for _ in 0..20 {
+        for (i, &addr) in addrs.iter().enumerate() {
+            let body = scrape_metrics(addr).expect("endpoint answers mid-run");
+            let rounds = series_value(&body, "net_rounds_total").unwrap_or(0);
+            let frames = family_sum(&body, "net_frames_sent_total");
+            assert!(
+                rounds >= last_rounds[i],
+                "net_rounds_total went backwards on node {i}: {} -> {rounds}",
+                last_rounds[i]
+            );
+            assert!(
+                frames >= last_frames[i],
+                "net_frames_sent_total went backwards on node {i}: {} -> {frames}",
+                last_frames[i]
+            );
+            last_rounds[i] = rounds;
+            last_frames[i] = frames;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    let reports = cluster
+        .join()
+        .expect("cluster thread")
+        .expect("cluster run completes");
+    assert_eq!(decisions(&reports).len(), 3, "every member decided");
+
+    // The final exposition from each node carries the full advertised
+    // vocabulary: round counter, latency histogram, every phase series,
+    // per-peer frame/byte counters, and the history-depth gauges.
+    for (id, server) in servers {
+        let body = scrape_metrics(server.addr()).expect("final scrape");
+        let rounds = series_value(&body, "net_rounds_total").expect("rounds counter");
+        assert!(rounds >= 1, "node {id} recorded no rounds");
+        assert_eq!(
+            series_value(&body, "net_round_micros_count"),
+            Some(rounds),
+            "one round-latency observation per round"
+        );
+        for phase in ["step", "send", "deliver", "barrier", "journal"] {
+            let series = format!("net_round_phase_micros{{phase=\"{phase}\",le=\"+Inf\"}}");
+            // The phase histogram renders with `le` spliced after `phase`.
+            let bucket = format!("net_round_phase_micros_bucket{{phase=\"{phase}\",le=\"+Inf\"}}");
+            assert!(
+                series_value(&body, &bucket).is_some() || series_value(&body, &series).is_some(),
+                "node {id} missing phase series for {phase:?}:\n{body}"
+            );
+        }
+        assert!(
+            family_sum(&body, "net_frames_sent_total") > 0,
+            "node {id} sent no counted frames"
+        );
+        assert!(
+            family_sum(&body, "net_bytes_sent_total") > family_sum(&body, "net_frames_sent_total"),
+            "every frame is more than one byte"
+        );
+        assert!(
+            family_sum(&body, "net_frames_received_total") > 0,
+            "node {id} received no counted frames"
+        );
+        assert_eq!(
+            series_value(&body, "net_history_rounds_limit"),
+            Some(test_config().history_rounds as u64)
+        );
+        assert!(series_value(&body, "net_history_rounds_retained").is_some());
+        server.shutdown();
+    }
+}
+
+#[test]
+fn uninstrumented_nodes_cost_nothing_and_instrumented_runs_still_decide() {
+    // Mixed cluster: only one member carries a registry; the run must
+    // still decide unanimously and the registry must fill in.
+    let ids = sparse_ids(4, 7);
+    let observed = ids[0];
+    let registry = SharedRuntimeMetrics::new();
+    let handle = registry.clone();
+    let members = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| EarlyConsensus::new(id, (i % 2) as u64));
+    let reports = run_local_cluster_with_metrics(
+        members,
+        test_config(),
+        |_| NoopTracer,
+        |id| (id == observed).then(|| handle.clone()),
+    )
+    .expect("cluster run completes");
+    assert_eq!(decisions(&reports).len(), 4);
+
+    let snapshot = registry.snapshot();
+    assert!(snapshot.counter("net_rounds_total") >= 1);
+    let body = snapshot.render_prometheus();
+    assert!(body.contains("net_round_micros_bucket"));
+}

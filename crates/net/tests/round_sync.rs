@@ -77,6 +77,7 @@ fn quick_config(give_up_after: u64) -> NetConfig {
         setup_timeout: Duration::from_secs(5),
         max_rounds: 50,
         give_up_after,
+        ..NetConfig::default()
     }
 }
 

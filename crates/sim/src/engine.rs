@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 
-use uba_trace::{NodeSnapshot, NoopTracer, TraceEvent, Tracer};
+use uba_trace::{NodeSnapshot, NoopTracer, SharedRuntimeMetrics, Stopwatch, TraceEvent, Tracer};
 
 use crate::adversary::{Adversary, AdversaryOutbox, AdversaryView, NoAdversary};
 use crate::churn::{ChurnAction, ChurnSchedule};
@@ -207,6 +207,7 @@ pub struct EngineBuilder<P: Process, A> {
     trace: bool,
     tracer: Box<dyn Tracer>,
     observe: Option<ObserveFn<P>>,
+    runtime: Option<SharedRuntimeMetrics>,
 }
 
 impl<P: Process> EngineBuilder<P, NoAdversary> {
@@ -222,6 +223,7 @@ impl<P: Process> EngineBuilder<P, NoAdversary> {
             trace: false,
             tracer: Box::new(NoopTracer),
             observe: None,
+            runtime: None,
         }
     }
 }
@@ -264,6 +266,7 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
             trace: self.trace,
             tracer: self.tracer,
             observe: self.observe,
+            runtime: self.runtime,
         }
     }
 
@@ -316,6 +319,20 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
         self
     }
 
+    /// Attaches a wall-clock runtime-metrics registry (default: none —
+    /// zero cost on the hot path). The engine then records per-round and
+    /// per-phase wall-clock timings plus envelope/dedup counters into the
+    /// `sim_*` families; keep a clone of the handle to read them after (or
+    /// during, from another thread) the run.
+    ///
+    /// Strictly separate from [`tracer`](Self::tracer): the registry never
+    /// feeds the deterministic event stream, so attaching it cannot perturb
+    /// a golden trace (DESIGN.md §10).
+    pub fn runtime_metrics(mut self, registry: SharedRuntimeMetrics) -> Self {
+        self.runtime = Some(registry);
+        self
+    }
+
     /// Installs the observe hook projecting each correct process onto a
     /// [`NodeSnapshot`]. At the end of every round the engine snapshots
     /// every present correct node and emits a [`TraceEvent::NodeState`]
@@ -352,6 +369,7 @@ impl<P: Process, A: Adversary<P::Msg>> EngineBuilder<P, A> {
             trace: self.trace.then(Vec::new),
             tracer: self.tracer,
             observe: self.observe,
+            runtime: self.runtime,
             last_snapshots: BTreeMap::new(),
             replay_log,
         };
@@ -394,6 +412,9 @@ pub struct SyncEngine<P: Process, A> {
     trace: Option<Vec<SentRecord<P::Msg>>>,
     tracer: Box<dyn Tracer>,
     observe: Option<ObserveFn<P>>,
+    /// Wall-clock runtime registry (`sim_*` families), never part of the
+    /// deterministic event stream.
+    runtime: Option<SharedRuntimeMetrics>,
     /// Last emitted snapshot per node, for change-only `NodeState` events.
     last_snapshots: BTreeMap<NodeId, NodeSnapshot>,
     /// Per-node inbox history, recorded only when the churn schedule
@@ -697,12 +718,20 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
         if self.tracer.enabled() {
             self.tracer.record(TraceEvent::RoundBegin { round });
         }
+        // Wall-clock timers exist only while a runtime registry is
+        // attached; otherwise the hot path never reads the clock.
+        let round_timer = self.runtime.as_ref().map(|_| Stopwatch::start());
+        let mut step_micros = 0u64;
+        let mut adversary_micros = 0u64;
+        let mut deliver_micros = 0u64;
+        let mut duplicate_drops = 0u64;
 
         let mut delivered = std::mem::take(&mut self.inboxes);
 
         // Step 1: correct nodes compute and queue messages (in id order —
         // deterministic, and irrelevant to semantics since delivery is
         // simultaneous). Crashed nodes neither compute nor send.
+        let step_timer = self.runtime.as_ref().map(|_| Stopwatch::start());
         let mut correct_traffic: Vec<(NodeId, Outgoing<P::Msg>)> = Vec::new();
         let active: Vec<NodeId> = self
             .correct
@@ -754,9 +783,14 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             }
         }
 
+        if let Some(timer) = step_timer {
+            step_micros = timer.elapsed_micros();
+        }
+
         // Step 2: the rushing adversary sees this round's correct traffic and
         // the faulty nodes' inboxes, then queues the faulty nodes' messages.
         // Crashed faulty nodes are hidden from the view and must stay silent.
+        let adversary_timer = self.runtime.as_ref().map(|_| Stopwatch::start());
         let present_faulty: BTreeSet<NodeId> = self
             .faulty
             .iter()
@@ -808,10 +842,15 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             }
         }
 
+        if let Some(timer) = adversary_timer {
+            adversary_micros = timer.elapsed_micros();
+        }
+
         // Step 3: delivery with per-recipient (sender, payload) dedup. The
         // round's transient faults filter here — after the adversary has
         // committed, so attacks and faults compose — and crashed nodes are
         // excluded from the recipient set.
+        let deliver_timer = self.runtime.as_ref().map(|_| Stopwatch::start());
         let recipients: Vec<NodeId> = self
             .correct
             .iter()
@@ -837,6 +876,7 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             let dedup = seen.entry(to).or_default();
             if !dedup.insert((from, msg.clone())) {
                 // Duplicate within the round: discarded by the model.
+                duplicate_drops += 1;
                 if tracer.enabled() {
                     tracer.record(TraceEvent::DuplicateDrop {
                         round,
@@ -918,6 +958,9 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             }
         }
         self.inboxes = next;
+        if let Some(timer) = deliver_timer {
+            deliver_micros = timer.elapsed_micros();
+        }
 
         // Emit node-state transitions: one event per present correct node
         // whose observed snapshot changed this round (in id order).
@@ -973,6 +1016,22 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
             let deliveries = self.stats.deliveries_by_round.last().copied().unwrap_or(0);
             self.tracer
                 .record(TraceEvent::RoundEnd { round, deliveries });
+        }
+        if let Some(rt) = &self.runtime {
+            let deliveries = self.stats.deliveries_by_round.last().copied().unwrap_or(0);
+            let total = round_timer.map_or(0, |t| t.elapsed_micros());
+            rt.with(|m| {
+                m.inc("sim_rounds_total");
+                m.observe_micros("sim_round_micros", total);
+                m.observe_micros("sim_round_phase_micros{phase=\"step\"}", step_micros);
+                m.observe_micros(
+                    "sim_round_phase_micros{phase=\"adversary\"}",
+                    adversary_micros,
+                );
+                m.observe_micros("sim_round_phase_micros{phase=\"deliver\"}", deliver_micros);
+                m.add("sim_envelopes_delivered_total", deliveries);
+                m.add("sim_duplicate_drops_total", duplicate_drops);
+            });
         }
         Ok(())
     }

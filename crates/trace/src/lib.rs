@@ -23,11 +23,20 @@
 //!    fsync-on-commit JSONL record of a networked node's per-round state,
 //!    with crash-safe torn-tail recovery — the persistence half of the
 //!    `uba-net` crash-recovery rejoin protocol.
+//! 5. **A wall-clock runtime registry** ([`RuntimeMetrics`] behind the
+//!    thread-safe [`SharedRuntimeMetrics`] handle, with [`Stopwatch`] and
+//!    RAII [`Span`] timers): monotonic-clock timing histograms in
+//!    microseconds plus transport counters and gauges, rendered in the
+//!    Prometheus text exposition format.
 //!
-//! Everything is deterministic for a fixed seed: events carry no wall-clock
-//! timestamps, maps are ordered, and the JSONL encoding uses a fixed key
-//! order — two runs of the same seeded experiment produce byte-identical
-//! traces, so `diff` localises divergence.
+//! Everything in the **event stream** is deterministic for a fixed seed:
+//! events carry no wall-clock timestamps, maps are ordered, and the JSONL
+//! encoding uses a fixed key order — two runs of the same seeded experiment
+//! produce byte-identical traces, so `diff` localises divergence. The
+//! runtime registry is the one deliberate exception: it measures wall-clock
+//! time and real transport volume, and for exactly that reason it is **not**
+//! a [`Tracer`] and never feeds the event stream — the two registries must
+//! never mix (DESIGN.md §10).
 //!
 //! ## Feature flags
 //!
@@ -61,6 +70,7 @@ mod journal;
 #[cfg(feature = "jsonl")]
 mod json;
 mod metrics;
+mod runtime;
 mod tracer;
 
 pub use event::{NetEventKind, NodeSnapshot, TraceEvent};
@@ -68,6 +78,9 @@ pub use journal::{JournalEntry, JournalRecovery, RoundJournal};
 #[cfg(feature = "jsonl")]
 pub use json::to_json;
 pub use metrics::{Histogram, Metrics};
+pub use runtime::{
+    metric_name, RuntimeMetrics, SharedRuntimeMetrics, Span, Stopwatch, TIMING_BUCKETS_US,
+};
 #[cfg(feature = "jsonl")]
 pub use tracer::JsonlTracer;
 pub use tracer::{Fanout, NoopTracer, RingTracer, SharedTracer, Tracer};

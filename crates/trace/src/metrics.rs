@@ -102,6 +102,25 @@ impl Histogram {
             .zip(self.counts.iter().copied())
             .collect()
     }
+
+    /// Folds another histogram's samples into this one, bucket by bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms were built with different bounds — a
+    /// merge across incompatible bucket layouts has no meaning.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bucket bounds"
+        );
+        for (slot, &count) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += count;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -211,6 +230,69 @@ impl Metrics {
         }
     }
 
+    /// Renders the registry as one schema-versioned JSON object with fully
+    /// deterministic output: `BTreeMap` iteration gives sorted keys, and
+    /// histogram buckets appear in bound order (`null` is the overflow
+    /// bucket). Counter names are `'static` identifiers from the event
+    /// vocabulary, so no string escaping is required — asserted in debug
+    /// builds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uba_trace::{Metrics, TraceEvent};
+    ///
+    /// let mut m = Metrics::new();
+    /// m.observe(&TraceEvent::RoundBegin { round: 1 });
+    /// let json = m.to_json();
+    /// assert!(json.starts_with("{\"schema\":\"uba-metrics-v1\""));
+    /// assert!(json.contains("\"round_begin\":1"));
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"uba-metrics-v1\",\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            debug_assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "counter name {name:?} needs escaping"
+            );
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, histogram)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                histogram.count(),
+                histogram.sum(),
+                histogram.max()
+            ));
+            for (j, (bound, count)) in histogram.buckets().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                match bound {
+                    Some(b) => out.push_str(&format!("[{b},{count}]")),
+                    None => out.push_str(&format!("[null,{count}]")),
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"decided_rounds\":{");
+        for (i, (node, round)) in self.decided.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{node}\":{round}"));
+        }
+        out.push_str("}}");
+        out
+    }
+
     /// Compact multi-line summary: every counter, then every histogram.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -290,6 +372,56 @@ mod tests {
         assert_eq!(m.decided_rounds()[&1], 7);
         assert_eq!(m.decided_rounds()[&2], 12);
         assert_eq!(m.histogram("n_v").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let mut a = Histogram::new(&[5, 10]);
+        let mut b = Histogram::new(&[5, 10]);
+        a.record(3);
+        b.record(7);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.buckets(), vec![(Some(5), 1), (Some(10), 1), (None, 1)]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 110);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[5]);
+        a.merge(&Histogram::new(&[6]));
+    }
+
+    #[test]
+    fn to_json_is_schema_versioned_and_deterministic() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        for m in [&mut a, &mut b] {
+            m.observe(&TraceEvent::RoundBegin { round: 1 });
+            m.observe(&TraceEvent::RoundEnd {
+                round: 1,
+                deliveries: 3,
+            });
+            m.observe(&TraceEvent::NodeState {
+                round: 2,
+                node: 9,
+                state: NodeSnapshot {
+                    decided: Some("1".into()),
+                    n_v: Some(4),
+                    ..NodeSnapshot::new()
+                },
+            });
+        }
+        let json = a.to_json();
+        assert_eq!(json, b.to_json());
+        assert!(json.starts_with("{\"schema\":\"uba-metrics-v1\""));
+        assert!(json.contains("\"round_begin\":1"));
+        assert!(json.contains("\"deliveries_per_round\":{\"count\":1"));
+        assert!(json.contains("\"decided_rounds\":{\"9\":2}"));
+        assert!(json.contains("[null,0]"), "overflow bucket rendered");
     }
 
     #[test]
