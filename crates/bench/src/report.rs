@@ -34,6 +34,7 @@ use uba_trace::{NoopTracer, RuntimeMetrics, SharedRuntimeMetrics};
 use crate::experiments::t11_net::{
     consensus_cluster, net_config, reliable_cluster, CONSENSUS_CELLS, RELIABLE_CELLS,
 };
+use crate::experiments::t13_wan;
 use crate::Table;
 
 /// Schema tag of the committed documents; bump on field changes.
@@ -142,9 +143,12 @@ fn run_sim_cell<P: Process>(processes: Vec<P>, registry: &SharedRuntimeMetrics) 
 }
 
 /// Runs every cell over localhost TCP with one registry per member and
-/// folds the merged `net_*` metrics into a report.
+/// folds the merged `net_*` metrics into a report. The T11 equivalence
+/// cells come first; the T13 fault-soak cells (seeded WAN impairment
+/// through the [`FaultProxy`](uba_net::FaultProxy)) follow, committing the
+/// decision-latency trajectory under loss and partitions.
 pub fn run_net_report() -> BenchReport {
-    let workloads = cells()
+    let mut workloads: Vec<Workload> = cells()
         .into_iter()
         .map(|(algo, n, seed)| {
             let (merged, decided, rounds) = match algo {
@@ -164,10 +168,44 @@ pub fn run_net_report() -> BenchReport {
             }
         })
         .collect();
+    workloads.extend(run_t13_workloads());
     BenchReport {
         kind: "net",
         workloads,
     }
+}
+
+/// The T13 fault-soak workloads: the impaired profiles of the T13 grid.
+/// Protocol facts (everyone decided, on one value) are exact; drop and
+/// sever counts ride with the wall-clock fields because a slow machine's
+/// reconnects could reshuffle the per-link frame indices the loss draws
+/// key on.
+fn run_t13_workloads() -> Vec<Workload> {
+    t13_wan::CELLS
+        .iter()
+        .filter(|spec| matches!(spec.profile, "lossy" | "partition"))
+        .map(|spec| {
+            let cell = t13_wan::run_spec(spec);
+            let algo = if spec.algo == "consensus" {
+                "consensus"
+            } else {
+                "reliable"
+            };
+            let mut exact = BTreeMap::new();
+            exact.insert("decided", cell.decided);
+            exact.insert("agreement", u64::from(cell.agreement()));
+            let mut measured = BTreeMap::new();
+            measured.insert("round_micros_mean", cell.mean_us);
+            measured.insert("round_micros_max", cell.max_us);
+            measured.insert("frames_dropped", cell.dropped);
+            measured.insert("frames_severed", cell.severed);
+            Workload {
+                name: format!("t13-{}-{algo}-n{}-seed{}", spec.profile, spec.n, spec.seed),
+                exact,
+                measured,
+            }
+        })
+        .collect()
 }
 
 fn run_net_cell<P, F>(factory: F) -> (RuntimeMetrics, u64, u64)

@@ -19,15 +19,85 @@ use std::collections::BTreeMap;
 use std::fs::OpenOptions;
 use std::io;
 use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
 use uba_sim::{NodeId, Process};
-use uba_trace::{RoundJournal, SharedRuntimeMetrics, Tracer};
+use uba_trace::{RoundJournal, SharedRuntimeMetrics, TraceEvent, Tracer};
 
 use crate::node::{NetConfig, NetError, NetNode, NetReport};
+use crate::proxy::{FaultProxy, LinkPlan};
 use crate::wire::Wire;
+
+/// A member's id paired with its running thread, as the cluster runners
+/// collect them for the panic-safe join.
+type MemberHandle<O, T> = (
+    NodeId,
+    thread::JoinHandle<Result<NetReport<O, T>, NetError>>,
+);
+
+/// What a proxied cluster run returns: every member's report plus the
+/// proxy's link-shaping trace events (drops, delays, partitions, heals)
+/// in emission order.
+pub type ProxiedRun<O, T> = (BTreeMap<NodeId, NetReport<O, T>>, Vec<TraceEvent>);
+
+/// Joins every member thread and folds the results, panic-safely. Each
+/// thread body is wrapped in `catch_unwind`, so a panicking member
+/// surfaces as [`NetError::MemberPanicked`] instead of poisoning the
+/// join; the surviving members, woken by the shared abort flag the wrapper
+/// flips, report [`NetError::Aborted`]. Error priority: a panic beats
+/// everything (it is the root cause), any other member failure beats the
+/// collateral aborts.
+fn collect_reports<O, T>(
+    handles: Vec<MemberHandle<O, T>>,
+) -> Result<BTreeMap<NodeId, NetReport<O, T>>, NetError> {
+    let mut reports = BTreeMap::new();
+    let mut panicked = None;
+    let mut first_error = None;
+    let mut aborted = None;
+    for (id, handle) in handles {
+        // The catch_unwind wrapper already converts panics; join() itself
+        // failing means one escaped anyway (e.g. out of a Drop) — treat it
+        // the same way.
+        let result = handle
+            .join()
+            .unwrap_or(Err(NetError::MemberPanicked { id }));
+        match result {
+            Ok(report) => {
+                reports.insert(id, report);
+            }
+            Err(err @ NetError::MemberPanicked { .. }) => {
+                if panicked.is_none() {
+                    panicked = Some(err);
+                }
+            }
+            Err(NetError::Aborted) => {
+                if aborted.is_none() {
+                    aborted = Some(NetError::Aborted);
+                }
+            }
+            Err(err) => {
+                if first_error.is_none() {
+                    first_error = Some(err);
+                }
+            }
+        }
+    }
+    if let Some(err) = panicked {
+        return Err(err);
+    }
+    if let Some(err) = first_error {
+        return Err(err);
+    }
+    if let Some(err) = aborted {
+        return Err(err);
+    }
+    Ok(reports)
+}
 
 /// Runs one process per cluster member over localhost TCP and returns each
 /// member's report, keyed by node id.
@@ -41,11 +111,15 @@ use crate::wire::Wire;
 ///
 /// The first member failure in id order ([`NetError::RoundLimit`],
 /// [`NetError::InvariantViolated`], or a transport [`NetError::Io`]); all
-/// threads are joined either way.
+/// threads are joined either way. A member thread that *panics* surfaces
+/// as [`NetError::MemberPanicked`] — the panic aborts the surviving
+/// members (they bail out at their next barrier check instead of waiting
+/// out their timeouts) and the harness reports it as a typed failure
+/// rather than poisoning the run.
 ///
 /// # Panics
 ///
-/// Panics if two processes share an id or a member thread panics.
+/// Panics if two processes share an id.
 ///
 /// # Examples
 ///
@@ -93,9 +167,71 @@ where
 pub fn run_local_cluster_with_metrics<P, T>(
     processes: impl IntoIterator<Item = P>,
     config: NetConfig,
+    tracer_for: impl FnMut(NodeId) -> T,
+    metrics_for: impl FnMut(NodeId) -> Option<SharedRuntimeMetrics>,
+) -> Result<BTreeMap<NodeId, NetReport<P::Output, T>>, NetError>
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send,
+    T: Tracer + Send + 'static,
+{
+    run_cluster(processes, config, tracer_for, metrics_for, None).map(|(reports, _)| reports)
+}
+
+/// [`run_local_cluster_with_metrics`] behind a WAN [`FaultProxy`]: every
+/// member is fronted by a shaping relay applying `plan`, the nodes dial
+/// the fronts, and everything above the sockets runs unmodified. Returns
+/// the reports **plus** the `net_link_*` trace events the proxy collected
+/// (drops, delays, partitions, heals); per-link counters land in
+/// `link_metrics`, if attached.
+///
+/// A zero-impairment `plan` is byte-identical to [`run_local_cluster`]
+/// modulo the extra hop — see the [`crate::proxy`] module docs.
+///
+/// # Errors
+///
+/// As [`run_local_cluster`]. Note that under impairments that exceed the
+/// configured timeouts (a partition outlasting `give_up_after`, say) the
+/// cluster can legitimately fail with [`NetError::RoundLimit`].
+///
+/// # Panics
+///
+/// Panics if two processes share an id. A panicking member thread is
+/// *not* propagated: it aborts the surviving members and surfaces as
+/// [`NetError::MemberPanicked`].
+pub fn run_local_cluster_with_proxy<P, T>(
+    processes: impl IntoIterator<Item = P>,
+    config: NetConfig,
+    tracer_for: impl FnMut(NodeId) -> T,
+    metrics_for: impl FnMut(NodeId) -> Option<SharedRuntimeMetrics>,
+    plan: &LinkPlan,
+    link_metrics: Option<SharedRuntimeMetrics>,
+) -> Result<ProxiedRun<P::Output, T>, NetError>
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send,
+    T: Tracer + Send + 'static,
+{
+    run_cluster(
+        processes,
+        config,
+        tracer_for,
+        metrics_for,
+        Some((plan, link_metrics)),
+    )
+}
+
+/// The shared plain-runner body: bind listeners, optionally interpose the
+/// fault proxy, spawn one panic-guarded thread per member, fold reports.
+fn run_cluster<P, T>(
+    processes: impl IntoIterator<Item = P>,
+    config: NetConfig,
     mut tracer_for: impl FnMut(NodeId) -> T,
     mut metrics_for: impl FnMut(NodeId) -> Option<SharedRuntimeMetrics>,
-) -> Result<BTreeMap<NodeId, NetReport<P::Output, T>>, NetError>
+    proxy: Option<(&LinkPlan, Option<SharedRuntimeMetrics>)>,
+) -> Result<ProxiedRun<P::Output, T>, NetError>
 where
     P: Process + Send,
     P::Msg: Wire,
@@ -116,37 +252,49 @@ where
         members.push((id, process, listener));
     }
 
+    // With a proxy, the nodes dial the fronts; the real roster stays the
+    // relay targets.
+    let fault_proxy = match proxy {
+        Some((plan, link_metrics)) => Some(FaultProxy::spawn(&roster, plan.clone(), link_metrics)?),
+        None => None,
+    };
+    let dial_roster = fault_proxy
+        .as_ref()
+        .map_or(&roster, FaultProxy::roster)
+        .clone();
+
+    let abort = Arc::new(AtomicBool::new(false));
     let handles: Vec<_> = members
         .into_iter()
         .map(|(id, process, listener)| {
-            let mut node = NetNode::new(process, config.clone()).with_tracer(tracer_for(id));
+            let mut node = NetNode::new(process, config.clone())
+                .with_tracer(tracer_for(id))
+                .with_abort_flag(Arc::clone(&abort));
             if let Some(runtime) = metrics_for(id) {
                 node = node.with_runtime_metrics(runtime);
             }
-            let roster = roster.clone();
-            let handle = thread::spawn(move || node.run(listener, &roster));
+            let roster = dial_roster.clone();
+            let abort = Arc::clone(&abort);
+            let handle = thread::spawn(move || {
+                match catch_unwind(AssertUnwindSafe(move || node.run(listener, &roster))) {
+                    Ok(result) => result,
+                    Err(_) => {
+                        abort.store(true, Ordering::SeqCst);
+                        Err(NetError::MemberPanicked { id })
+                    }
+                }
+            });
             (id, handle)
         })
         .collect();
 
-    let mut reports = BTreeMap::new();
-    let mut first_error = None;
-    for (id, handle) in handles {
-        match handle.join().expect("cluster member thread panicked") {
-            Ok(report) => {
-                reports.insert(id, report);
-            }
-            Err(err) => {
-                if first_error.is_none() {
-                    first_error = Some(err);
-                }
-            }
-        }
-    }
-    match first_error {
-        Some(err) => Err(err),
-        None => Ok(reports),
-    }
+    let result = collect_reports(handles);
+    let events = fault_proxy.map_or_else(Vec::new, |p| {
+        let events = p.take_events();
+        p.shutdown();
+        events
+    });
+    result.map(|reports| (reports, events))
 }
 
 /// Fault-injection script for [`run_local_cluster_with_restart`]: which
@@ -218,8 +366,9 @@ fn tear_tail(path: &Path) -> io::Result<()> {
 ///
 /// # Panics
 ///
-/// Panics if `spec.victim` is not among the built members' ids, on
-/// duplicate ids, or if a member thread panics.
+/// Panics if `spec.victim` is not among the built members' ids or on
+/// duplicate ids; a panicking member thread surfaces as
+/// [`NetError::MemberPanicked`].
 pub fn run_local_cluster_with_restart<P, T, F>(
     ids: &[NodeId],
     build: F,
@@ -253,12 +402,80 @@ where
 /// As [`run_local_cluster_with_restart`].
 pub fn run_local_cluster_with_restart_and_metrics<P, T, F>(
     ids: &[NodeId],
+    build: F,
+    config: NetConfig,
+    tracer_for: impl FnMut(NodeId) -> T,
+    metrics_for: impl FnMut(NodeId) -> Option<SharedRuntimeMetrics>,
+    spec: &KillSpec,
+) -> Result<BTreeMap<NodeId, NetReport<P::Output, T>>, NetError>
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send,
+    T: Tracer + Send + 'static,
+    F: FnMut(NodeId) -> P,
+{
+    run_restart_cluster(ids, build, config, tracer_for, metrics_for, spec, None)
+        .map(|(reports, _)| reports)
+}
+
+/// [`run_local_cluster_with_restart_and_metrics`] behind a WAN
+/// [`FaultProxy`], as in [`run_local_cluster_with_proxy`]: the kill, the
+/// downtime and the journal rejoin all happen *through* the shaping
+/// relays, and the proxy's `net_link_*` trace events are returned
+/// alongside the reports. This is the T12-through-proxy configuration —
+/// with a zero-impairment plan it must behave exactly like the direct
+/// restart drill.
+///
+/// # Errors
+///
+/// As [`run_local_cluster_with_restart`].
+///
+/// # Panics
+///
+/// Panics if `spec.victim` is not among `ids` or on duplicate ids; a
+/// panicking member thread surfaces as [`NetError::MemberPanicked`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_local_cluster_with_restart_through_proxy<P, T, F>(
+    ids: &[NodeId],
+    build: F,
+    config: NetConfig,
+    tracer_for: impl FnMut(NodeId) -> T,
+    metrics_for: impl FnMut(NodeId) -> Option<SharedRuntimeMetrics>,
+    spec: &KillSpec,
+    plan: &LinkPlan,
+    link_metrics: Option<SharedRuntimeMetrics>,
+) -> Result<ProxiedRun<P::Output, T>, NetError>
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send,
+    T: Tracer + Send + 'static,
+    F: FnMut(NodeId) -> P,
+{
+    run_restart_cluster(
+        ids,
+        build,
+        config,
+        tracer_for,
+        metrics_for,
+        spec,
+        Some((plan, link_metrics)),
+    )
+}
+
+/// The shared restart-runner body; see
+/// [`run_local_cluster_with_restart`] for the drill it scripts.
+#[allow(clippy::too_many_arguments)]
+fn run_restart_cluster<P, T, F>(
+    ids: &[NodeId],
     mut build: F,
     config: NetConfig,
     mut tracer_for: impl FnMut(NodeId) -> T,
     mut metrics_for: impl FnMut(NodeId) -> Option<SharedRuntimeMetrics>,
     spec: &KillSpec,
-) -> Result<BTreeMap<NodeId, NetReport<P::Output, T>>, NetError>
+    proxy: Option<(&LinkPlan, Option<SharedRuntimeMetrics>)>,
+) -> Result<ProxiedRun<P::Output, T>, NetError>
 where
     P: Process + Send,
     P::Msg: Wire,
@@ -293,6 +510,20 @@ where
     // owns everything it needs.
     let reborn = build(spec.victim);
 
+    // With a proxy, every dial — including the rejoiner's — goes through
+    // the fronts. The victim's rebind reuses its original inner address
+    // only for identity; nobody dials a rejoiner (it dials the peers), so
+    // the fronts' fixed relay targets stay correct across the restart.
+    let fault_proxy = match proxy {
+        Some((plan, link_metrics)) => Some(FaultProxy::spawn(&roster, plan.clone(), link_metrics)?),
+        None => None,
+    };
+    let dial_roster = fault_proxy
+        .as_ref()
+        .map_or(&roster, FaultProxy::roster)
+        .clone();
+
+    let abort = Arc::new(AtomicBool::new(false));
     let mut reborn = Some((reborn, tracer_for(spec.victim)));
     let handles: Vec<_> = members
         .into_iter()
@@ -300,17 +531,20 @@ where
             let runtime = metrics_for(id);
             let mut node = NetNode::new(process, config.clone())
                 .with_tracer(tracer_for(id))
-                .with_journal(journal);
+                .with_journal(journal)
+                .with_abort_flag(Arc::clone(&abort));
             if let Some(rt) = runtime.clone() {
                 node = node.with_runtime_metrics(rt);
             }
-            let roster = roster.clone();
+            let roster = dial_roster.clone();
+            let abort = Arc::clone(&abort);
             let handle = if id == spec.victim {
                 node = node.kill_at_round(spec.kill_at);
                 let (fresh, tracer) = reborn.take().expect("one victim");
                 let config = config.clone();
                 let spec = spec.clone();
-                thread::spawn(move || match node.run(listener, &roster) {
+                let abort_flag = Arc::clone(&abort);
+                let body = move || match node.run(listener, &roster) {
                     Err(NetError::Killed(_)) => {
                         thread::sleep(spec.restart_delay);
                         let path = journal_path(&spec.journal_dir, id);
@@ -320,7 +554,8 @@ where
                         let (journal, recovery) = RoundJournal::resume(&path)?;
                         let mut node = NetNode::new(fresh, config)
                             .with_tracer(tracer)
-                            .with_journal(journal);
+                            .with_journal(journal)
+                            .with_abort_flag(abort_flag);
                         if let Some(rt) = runtime {
                             // Same registry as the first incarnation, so
                             // the rejoin's reconnect/backfill cost lands in
@@ -331,32 +566,36 @@ where
                     }
                     // Decided before the kill round: nothing to recover.
                     other => other,
+                };
+                thread::spawn(move || match catch_unwind(AssertUnwindSafe(body)) {
+                    Ok(result) => result,
+                    Err(_) => {
+                        abort.store(true, Ordering::SeqCst);
+                        Err(NetError::MemberPanicked { id })
+                    }
                 })
             } else {
-                thread::spawn(move || node.run(listener, &roster))
+                thread::spawn(move || {
+                    match catch_unwind(AssertUnwindSafe(move || node.run(listener, &roster))) {
+                        Ok(result) => result,
+                        Err(_) => {
+                            abort.store(true, Ordering::SeqCst);
+                            Err(NetError::MemberPanicked { id })
+                        }
+                    }
+                })
             };
             (id, handle)
         })
         .collect();
 
-    let mut reports = BTreeMap::new();
-    let mut first_error = None;
-    for (id, handle) in handles {
-        match handle.join().expect("cluster member thread panicked") {
-            Ok(report) => {
-                reports.insert(id, report);
-            }
-            Err(err) => {
-                if first_error.is_none() {
-                    first_error = Some(err);
-                }
-            }
-        }
-    }
-    match first_error {
-        Some(err) => Err(err),
-        None => Ok(reports),
-    }
+    let result = collect_reports(handles);
+    let events = fault_proxy.map_or_else(Vec::new, |p| {
+        let events = p.take_events();
+        p.shutdown();
+        events
+    });
+    result.map(|reports| (reports, events))
 }
 
 /// The decisions of a cluster run: each member's output, keyed by id, for

@@ -63,8 +63,11 @@ impl RetryPolicy {
 
 /// One step of the splitmix64 output function: a cheap, well-mixed pure
 /// hash, good enough to decorrelate backoff schedules across (seed,
-/// attempt) pairs.
-fn splitmix64(x: u64) -> u64 {
+/// attempt) pairs. The crate's whole RNG vocabulary — dial jitter here,
+/// the WAN fault proxy's loss and jitter draws in [`crate::proxy`] — is
+/// built from this one function, so every randomized decision is a pure
+/// function of a seed and a counter.
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

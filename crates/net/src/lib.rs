@@ -25,6 +25,11 @@
 //!   round loop, with [`uba_trace`] observability throughout;
 //! * [`cluster`] — [`run_local_cluster`], an n-member localhost cluster in
 //!   one call (the `cluster` binary wraps it on the command line);
+//! * [`proxy`] — [`FaultProxy`], a deterministic WAN emulation layer: a
+//!   seeded [`LinkPlan`] of per-link latency/jitter/loss/bandwidth and
+//!   scheduled partitions, applied by shaping relays between the sockets
+//!   and the framed codec (a zero-impairment plan is byte-identical to
+//!   direct TCP — DESIGN.md §11);
 //! * [`metrics_http`] — [`serve_metrics`], a tiny Prometheus text-format
 //!   exposition endpoint publishing a node's wall-clock
 //!   [`SharedRuntimeMetrics`](uba_trace::SharedRuntimeMetrics) registry
@@ -78,15 +83,21 @@ pub mod codec;
 pub mod conn;
 pub mod metrics_http;
 pub mod node;
+pub mod proxy;
 pub mod sync;
 pub mod wire;
 
 pub use cluster::{
     decisions, journal_path, run_local_cluster, run_local_cluster_with_metrics,
-    run_local_cluster_with_restart, run_local_cluster_with_restart_and_metrics, KillSpec,
+    run_local_cluster_with_proxy, run_local_cluster_with_restart,
+    run_local_cluster_with_restart_and_metrics, run_local_cluster_with_restart_through_proxy,
+    KillSpec,
 };
 pub use conn::{connect_with_retry, LinkEvent, Links, RetryPolicy};
-pub use metrics_http::{family_sum, scrape_metrics, series_value, serve_metrics, MetricsServer};
+pub use metrics_http::{
+    family_sum, member_port, scrape_metrics, series_value, serve_metrics, MetricsServer,
+};
 pub use node::{NetConfig, NetError, NetNode, NetReport};
+pub use proxy::{FaultProxy, LinkPlan, LinkSpec, Partition, WanProfile};
 pub use sync::{DataOutcome, RoundSynchronizer};
 pub use wire::{read_frame, write_frame, Frame, Wire, MAX_FRAME};

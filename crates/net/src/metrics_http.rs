@@ -222,9 +222,32 @@ pub fn family_sum(body: &str, name: &str) -> u64 {
     sum
 }
 
+/// The metrics port of cluster member `index` when member endpoints are
+/// laid out consecutively from `base` (the `--metrics-addr HOST:PORT`
+/// convention of the `cluster` binary). Returns `None` when `base + index`
+/// does not fit in a `u16` — callers must reject such a layout up front
+/// instead of letting the port arithmetic silently wrap onto unrelated
+/// (possibly privileged) ports.
+pub fn member_port(base: u16, index: u64) -> Option<u16> {
+    u16::try_from(index)
+        .ok()
+        .and_then(|offset| base.checked_add(offset))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn member_ports_are_consecutive_and_overflow_checked() {
+        assert_eq!(member_port(9100, 0), Some(9100));
+        assert_eq!(member_port(9100, 3), Some(9103));
+        assert_eq!(member_port(u16::MAX, 0), Some(u16::MAX));
+        assert_eq!(member_port(u16::MAX, 1), None, "would wrap past 65535");
+        assert_eq!(member_port(65530, 6), None);
+        assert_eq!(member_port(1, u64::from(u16::MAX)), None);
+        assert_eq!(member_port(0, 1 << 32), None, "index alone overflows");
+    }
 
     #[test]
     fn serves_the_registry_and_404s_elsewhere() {

@@ -86,6 +86,19 @@ pub enum NetError {
     /// EOF, and the process can later be rebuilt from its journal via
     /// [`NetNode::resume`].
     Killed(u64),
+    /// A cluster member's thread panicked. Reported by the
+    /// [`run_local_cluster`](crate::run_local_cluster) harness family,
+    /// which converts the panic into this typed error, keeps draining the
+    /// surviving members, and flips their abort flag so they shut down
+    /// promptly instead of grinding out their give-up budgets.
+    MemberPanicked {
+        /// The member whose thread panicked.
+        id: NodeId,
+    },
+    /// The run was aborted through [`NetNode::with_abort_flag`] — the
+    /// harness pulled the plug (e.g. because another member panicked), so
+    /// this node shut its sockets down and stopped mid-run.
+    Aborted,
 }
 
 impl fmt::Display for NetError {
@@ -99,6 +112,10 @@ impl fmt::Display for NetError {
             NetError::Killed(round) => {
                 write!(f, "killed by fault injection at the start of round {round}")
             }
+            NetError::MemberPanicked { id } => {
+                write!(f, "cluster member {id}'s thread panicked")
+            }
+            NetError::Aborted => write!(f, "run aborted by the harness"),
         }
     }
 }
@@ -168,6 +185,7 @@ pub struct NetNode<P: Process, T: Tracer = NoopTracer> {
     monitor: Option<Box<dyn RoundMonitor<P> + Send>>,
     journal: Option<RoundJournal>,
     kill_at: Option<u64>,
+    abort: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     history: BTreeMap<u64, RoundHistory>,
 }
 
@@ -182,6 +200,7 @@ impl<P: Process> NetNode<P, NoopTracer> {
             monitor: None,
             journal: None,
             kill_at: None,
+            abort: None,
             history: BTreeMap::new(),
         }
     }
@@ -200,6 +219,7 @@ impl<P: Process, T: Tracer> NetNode<P, T> {
             monitor: self.monitor,
             journal: self.journal,
             kill_at: self.kill_at,
+            abort: self.abort,
             history: self.history,
         }
     }
@@ -242,7 +262,31 @@ impl<P: Process, T: Tracer> NetNode<P, T> {
         self.kill_at = Some(round);
         self
     }
+
+    /// Attaches a harness-controlled abort flag: once it reads `true`, the
+    /// node shuts its sockets down and returns [`NetError::Aborted`] at the
+    /// next round boundary or barrier poll (the barrier wait degrades to
+    /// short poll slices while a flag is attached, so the reaction time is
+    /// bounded by tens of milliseconds, not by `round_timeout`). The
+    /// cluster harness uses this to tear down survivors after one member's
+    /// thread panicked.
+    pub fn with_abort_flag(mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.abort = Some(flag);
+        self
+    }
+
+    /// Whether the attached abort flag (if any) has been raised.
+    fn aborted(&self) -> bool {
+        self.abort
+            .as_ref()
+            .is_some_and(|flag| flag.load(std::sync::atomic::Ordering::Relaxed))
+    }
 }
+
+/// How often a node with an abort flag re-checks it while parked at the
+/// round barrier. Coarse enough to cost nothing, fine enough that a
+/// harness teardown never waits a full `round_timeout`.
+const ABORT_POLL: Duration = Duration::from_millis(25);
 
 impl<P, T> NetNode<P, T>
 where
@@ -481,6 +525,12 @@ where
 
         loop {
             let round = sync.current_round();
+            if self.aborted() {
+                // Harness teardown (a sibling member panicked): close the
+                // sockets so peers see EOF, and report the abort.
+                links.shutdown_all();
+                return Err(NetError::Aborted);
+            }
             if self.kill_at == Some(round) {
                 // Injected crash: die like an OS process would — sockets
                 // closed (peers read EOF), nothing flushed, no goodbye.
@@ -534,13 +584,29 @@ where
                 if remaining.is_zero() {
                     break;
                 }
-                match events.recv_timeout(remaining) {
+                // With an abort flag attached, wait in short slices so a
+                // harness teardown is noticed mid-barrier; without one the
+                // single full-length wait is preserved unchanged.
+                let slice = if self.abort.is_some() {
+                    remaining.min(ABORT_POLL)
+                } else {
+                    remaining
+                };
+                match events.recv_timeout(slice) {
                     Ok(event) => {
                         let handling = Instant::now();
                         self.handle_link_event(event, &mut sync, &mut connected, me, &links);
                         deliver_micros += micros_since(handling);
                     }
-                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if self.aborted() {
+                            links.shutdown_all();
+                            return Err(NetError::Aborted);
+                        }
+                        // Not necessarily the deadline: the loop head
+                        // recomputes the remaining budget and exits when
+                        // it truly is.
+                    }
                     Err(RecvTimeoutError::Disconnected) => {
                         return Err(NetError::Io(io::Error::new(
                             io::ErrorKind::BrokenPipe,
@@ -555,7 +621,16 @@ where
             let missed = sync.timed_out();
             if !missed.is_empty() {
                 timeouts += missed.len() as u64;
-                let waited = self.config.round_timeout.as_millis();
+                // Report the time actually spent at the barrier, not the
+                // configured budget: under WAN delays (or a sliced abort
+                // wait) the two diverge, and postmortems need the truth.
+                let waited = started.elapsed().as_millis();
+                if let Some(rt) = &self.runtime {
+                    rt.observe_micros(
+                        "net_omission_wait_micros",
+                        started.elapsed().as_micros() as u64,
+                    );
+                }
                 for &peer in &missed {
                     if let Some(rt) = &self.runtime {
                         rt.inc(&metric_name(

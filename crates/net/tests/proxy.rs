@@ -1,0 +1,418 @@
+//! WAN fault-proxy behavior: zero impairment is invisible (proxy ≡ direct
+//! TCP, checked against the engine over random seeds), loss is per
+//! *direction*, scheduled partitions sever and heal on round boundaries,
+//! a lossy-profile cluster still reaches agreement, and a panicking
+//! member surfaces as a typed error that promptly aborts the survivors.
+
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use uba_core::consensus::EarlyConsensus;
+use uba_net::{
+    decisions, read_frame, run_local_cluster, run_local_cluster_with_proxy, write_frame,
+    FaultProxy, Frame, LinkPlan, LinkSpec, NetConfig, NetError, NetNode, RetryPolicy, WanProfile,
+    Wire,
+};
+use uba_sim::{sparse_ids, Context, NodeId, Process, SyncEngine};
+use uba_trace::{metric_name, NoopTracer, RingTracer, SharedRuntimeMetrics, TraceEvent};
+
+/// Broadcasts its round number for `rounds` rounds, then outputs how many
+/// messages it received (own broadcasts self-deliver).
+struct Counter {
+    id: NodeId,
+    rounds: u64,
+    received: u64,
+    out: Option<u64>,
+}
+
+impl Counter {
+    fn new(id: NodeId, rounds: u64) -> Self {
+        Counter {
+            id,
+            rounds,
+            received: 0,
+            out: None,
+        }
+    }
+}
+
+impl Process for Counter {
+    type Msg = u64;
+    type Output = u64;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u64>) {
+        self.received += ctx.inbox().len() as u64;
+        if ctx.round() <= self.rounds {
+            ctx.broadcast(ctx.round());
+        } else {
+            self.out = Some(self.received);
+        }
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.out
+    }
+}
+
+/// Generous timeouts: these tests assert decisions, not latency.
+fn test_config() -> NetConfig {
+    NetConfig {
+        round_timeout: Duration::from_secs(10),
+        setup_timeout: Duration::from_secs(30),
+        max_rounds: 200,
+        ..NetConfig::default()
+    }
+}
+
+/// Short timeouts for the scripted fault scenarios.
+fn quick_config(give_up_after: u64) -> NetConfig {
+    NetConfig {
+        round_timeout: Duration::from_millis(200),
+        retry: RetryPolicy {
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            budget: Duration::from_secs(5),
+            jitter_seed: 0,
+        },
+        setup_timeout: Duration::from_secs(5),
+        max_rounds: 50,
+        give_up_after,
+        ..NetConfig::default()
+    }
+}
+
+fn consensus_cluster(seed: u64, n: usize) -> Vec<EarlyConsensus<u64>> {
+    let ids = sparse_ids(n, seed);
+    ids.iter()
+        .enumerate()
+        .map(|(i, &id)| EarlyConsensus::new(id, (seed >> (i % 64)) & 1))
+        .collect()
+}
+
+/// Runs `factory()`'s processes in the engine and over TCP *through a
+/// zero-impairment proxy*; returns `(sim_outputs, net_outputs)`.
+fn run_proxied<P, F>(
+    seed: u64,
+    factory: F,
+) -> (BTreeMap<NodeId, P::Output>, BTreeMap<NodeId, P::Output>)
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send + Clone,
+    F: Fn() -> Vec<P>,
+{
+    let mut engine = SyncEngine::builder().correct_many(factory()).build();
+    let sim = engine
+        .run_to_completion(200)
+        .expect("simulator twin must complete");
+    let plan = LinkPlan::new(seed);
+    assert!(plan.is_zero_impairment());
+    let (reports, events) = run_local_cluster_with_proxy(
+        factory(),
+        test_config(),
+        |_| NoopTracer,
+        |_| None,
+        &plan,
+        None,
+    )
+    .expect("proxied run must complete");
+    assert!(
+        events.is_empty(),
+        "a zero-impairment proxy records nothing: {events:?}"
+    );
+    (sim.outputs, decisions(&reports))
+}
+
+#[test]
+fn zero_impairment_proxy_matches_the_engine() {
+    let (sim, net) = run_proxied(42, || consensus_cluster(42, 4));
+    assert_eq!(sim, net);
+    assert_eq!(net.len(), 4, "every member decided through the proxy");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Proxy ≡ direct TCP for random seeds: the relay of unimpaired
+    /// frames is byte-identical, so the decisions must equal the
+    /// engine's — the same property `tests/equivalence.rs` holds for the
+    /// direct transport.
+    #[test]
+    fn zero_impairment_equivalence_over_random_seeds(seed in 0u64..1_000_000) {
+        let (sim, net) = run_proxied(seed, || consensus_cluster(seed, 4));
+        prop_assert_eq!(&sim, &net, "seed {} diverged through the proxy", seed);
+        prop_assert!(net.len() == 4, "someone failed to decide for seed {}", seed);
+    }
+}
+
+/// Dials `addr` as node `me` and completes the handshake.
+fn script_dial(addr: std::net::SocketAddr, me: NodeId) -> std::net::TcpStream {
+    let mut stream = std::net::TcpStream::connect(addr).expect("scripted peer dial");
+    stream.set_nodelay(true).unwrap();
+    write_frame(&mut stream, &Frame::Hello { node: me }).unwrap();
+    match read_frame(&mut stream).unwrap() {
+        Some(Frame::Hello { .. }) => stream,
+        other => panic!("expected Hello back, got {other:?}"),
+    }
+}
+
+/// Spawns a [`NetNode`] (id 1) behind a [`FaultProxy`] applying `plan`,
+/// with the scripted peer (id 0) expected to dial the returned front
+/// address. Returns `(front_addr, proxy, node_handle)`.
+type NodeResult = Result<uba_net::NetReport<u64, RingTracer>, NetError>;
+
+fn spawn_proxied_node(
+    rounds: u64,
+    config: NetConfig,
+    plan: LinkPlan,
+    metrics: Option<SharedRuntimeMetrics>,
+) -> (
+    std::net::SocketAddr,
+    FaultProxy,
+    std::thread::JoinHandle<NodeResult>,
+) {
+    let me = NodeId::new(1);
+    let peer = NodeId::new(0);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let proxy = FaultProxy::spawn(&[(me, addr)].into(), plan, metrics).expect("proxy spawns");
+    let front = proxy.roster()[&me];
+    // The scripted peer has the smaller id, so the node accepts; its
+    // roster address is never dialed and can be a placeholder.
+    let roster: BTreeMap<NodeId, std::net::SocketAddr> =
+        [(me, addr), (peer, "127.0.0.1:1".parse().unwrap())].into();
+    let handle = std::thread::spawn(move || {
+        NetNode::new(Counter::new(me, rounds), config)
+            .with_tracer(RingTracer::new(4096))
+            .run(listener, &roster)
+    });
+    (front, proxy, handle)
+}
+
+#[test]
+fn loss_is_asymmetric_per_direction() {
+    let me = NodeId::new(1);
+    let peer = NodeId::new(0);
+    // 100% Data loss on peer -> node only; the reverse direction and all
+    // control frames are untouched.
+    let plan = LinkPlan::new(9).with_link(peer, me, LinkSpec::zero().with_loss_ppm(1_000_000));
+    let registry = SharedRuntimeMetrics::new();
+    let (front, proxy, handle) =
+        spawn_proxied_node(1, quick_config(10), plan, Some(registry.clone()));
+
+    let mut stream = script_dial(front, peer);
+    write_frame(
+        &mut stream,
+        &Frame::Data {
+            round: 1,
+            payload: 77u64.to_le_bytes().to_vec(),
+        },
+    )
+    .unwrap();
+    write_frame(
+        &mut stream,
+        &Frame::Done {
+            round: 1,
+            decided: false,
+        },
+    )
+    .unwrap();
+    write_frame(
+        &mut stream,
+        &Frame::Done {
+            round: 2,
+            decided: true,
+        },
+    )
+    .unwrap();
+
+    // The node's own direction is clean: its round-1 broadcast reaches the
+    // scripted peer through the proxy.
+    let mut got_data = false;
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        if let Frame::Data { round: 1, payload } = frame {
+            assert_eq!(payload, 1u64.to_le_bytes().to_vec());
+            got_data = true;
+            break;
+        }
+    }
+    assert!(got_data, "node -> peer direction must be unimpaired");
+
+    let report = handle.join().unwrap().expect("run completes");
+    // Only the node's own broadcast: the peer's payload was dropped, but
+    // its Done markers passed, so no barrier ever timed out.
+    assert_eq!(report.output, Some(1));
+    assert_eq!(report.timeouts, 0, "control frames are never lossy");
+
+    let events = proxy.take_events();
+    proxy.shutdown();
+    assert!(
+        events.iter().any(|e| e.kind() == "net_link_drop"),
+        "the drop is traced: {events:?}"
+    );
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.counter(&metric_name(
+            "net_link_frames_dropped_total",
+            &[("link", "0->1")]
+        )),
+        1,
+        "exactly the one Data frame dropped, on the lossy direction"
+    );
+    assert_eq!(
+        snapshot.counter(&metric_name(
+            "net_link_frames_dropped_total",
+            &[("link", "1->0")]
+        )),
+        0,
+        "the reverse direction dropped nothing"
+    );
+}
+
+#[test]
+fn partition_severs_mid_run_then_heals() {
+    let me = NodeId::new(1);
+    let peer = NodeId::new(0);
+    // Round 2 is cut off (half-open window 2..3); rounds 1 and 3 flow.
+    let plan = LinkPlan::new(3).with_partition(2..3, [me]);
+    let (front, proxy, handle) = spawn_proxied_node(3, quick_config(10), plan, None);
+
+    let mut stream = script_dial(front, peer);
+    for round in 1..=3u64 {
+        write_frame(
+            &mut stream,
+            &Frame::Data {
+                round,
+                payload: (10 * round).to_le_bytes().to_vec(),
+            },
+        )
+        .unwrap();
+        write_frame(
+            &mut stream,
+            &Frame::Done {
+                round,
+                decided: false,
+            },
+        )
+        .unwrap();
+    }
+    write_frame(
+        &mut stream,
+        &Frame::Done {
+            round: 4,
+            decided: true,
+        },
+    )
+    .unwrap();
+
+    let report = handle.join().unwrap().expect("run completes");
+    // Three own broadcasts + the peer's round-1 and round-3 payloads; the
+    // round-2 traffic died at the cut and was charged as an omission.
+    assert_eq!(report.output, Some(5));
+    assert!(report.timeouts >= 1, "the severed round missed its barrier");
+
+    let events = proxy.take_events();
+    proxy.shutdown();
+    let kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
+    assert!(
+        kinds.contains(&"net_link_partition"),
+        "the cut is traced: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&"net_link_heal"),
+        "the heal is traced: {kinds:?}"
+    );
+}
+
+#[test]
+fn lossy_profile_cluster_still_agrees() {
+    let seed = 42;
+    let ids = sparse_ids(4, seed);
+    let plan = WanProfile::Lossy.plan(seed, &ids);
+    let registry = SharedRuntimeMetrics::new();
+    let (reports, events) = run_local_cluster_with_proxy(
+        consensus_cluster(seed, 4),
+        test_config(),
+        |_| NoopTracer,
+        |_| None,
+        &plan,
+        Some(registry.clone()),
+    )
+    .expect("lossy run must still decide");
+
+    let net = decisions(&reports);
+    assert_eq!(net.len(), 4, "termination under 2% loss");
+    let mut values: Vec<u64> = net.values().copied().collect();
+    values.dedup();
+    assert_eq!(values.len(), 1, "agreement under 2% loss");
+
+    // The proxy actually shaped traffic, and its trace matches its
+    // counters: one net_link_drop event per dropped frame.
+    let snapshot = registry.snapshot();
+    let body = snapshot.render_prometheus();
+    let forwarded = uba_net::family_sum(&body, "net_link_frames_forwarded_total");
+    let dropped = uba_net::family_sum(&body, "net_link_frames_dropped_total");
+    assert!(forwarded > 0, "frames transited the proxy");
+    let drop_events = events
+        .iter()
+        .filter(|e| e.kind() == "net_link_drop")
+        .count() as u64;
+    assert_eq!(dropped, drop_events, "counters and trace agree on drops");
+}
+
+/// Broadcasts until `boom_at`, then panics (scripted harness bug).
+struct Grenade {
+    id: NodeId,
+    boom_at: Option<u64>,
+}
+
+impl Process for Grenade {
+    type Msg = u64;
+    type Output = u64;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u64>) {
+        if self.boom_at == Some(ctx.round()) {
+            panic!("scripted member panic");
+        }
+        ctx.broadcast(ctx.round());
+    }
+
+    fn output(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[test]
+fn panicking_member_is_a_typed_error_and_aborts_the_survivors_promptly() {
+    let ids = sparse_ids(4, 7);
+    let victim = ids[2];
+    let members = ids.iter().map(|&id| Grenade {
+        id,
+        boom_at: (id == victim).then_some(2),
+    });
+    // A 10s barrier: without the abort flag the survivors would sit out
+    // (multiple) full timeouts after the victim vanishes — the elapsed
+    // bound below is what proves the fast teardown.
+    let start = Instant::now();
+    let err =
+        run_local_cluster(members, test_config(), |_| NoopTracer).expect_err("a member panicked");
+    match err {
+        NetError::MemberPanicked { id } => assert_eq!(id, victim, "the victim is named"),
+        other => panic!("expected MemberPanicked, got {other}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "survivors must abort promptly, took {:?}",
+        start.elapsed()
+    );
+}

@@ -129,6 +129,76 @@ fn silent_peer_becomes_an_omission_then_gone() {
     );
 }
 
+/// Like [`Counter`], but burns wall-clock inside `on_round`, pushing the
+/// node past its own barrier deadline before it even starts waiting.
+struct SlowCounter {
+    inner: Counter,
+    busy: Duration,
+}
+
+impl Process for SlowCounter {
+    type Msg = u64;
+    type Output = u64;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u64>) {
+        std::thread::sleep(self.busy);
+        self.inner.on_round(ctx);
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.inner.output()
+    }
+}
+
+#[test]
+fn omission_trace_reports_actual_elapsed_time_not_the_configured_timeout() {
+    // Regression: the omission trace used to stamp the *configured*
+    // `round_timeout` as the waited duration. A step that overruns the
+    // deadline (or any WAN-delayed barrier) then produced a postmortem
+    // claiming a 200ms wait that actually lasted twice that.
+    let me = NodeId::new(1);
+    let peer = NodeId::new(0);
+    let config = quick_config(1); // 200ms barrier, give up after 1 silence
+    let busy = Duration::from_millis(450);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let roster: BTreeMap<NodeId, std::net::SocketAddr> =
+        [(me, addr), (peer, "127.0.0.1:1".parse().unwrap())].into();
+    let handle = std::thread::spawn(move || {
+        let process = SlowCounter {
+            inner: Counter::new(me, 1),
+            busy,
+        };
+        NetNode::new(process, config)
+            .with_tracer(RingTracer::new(4096))
+            .run(listener, &roster)
+    });
+    // Handshake, then silence: round 1's barrier is already expired when
+    // the slow step ends, so the omission is charged ~450ms after the
+    // round started — more than twice the configured timeout.
+    let _stream = script_dial(addr, peer);
+    let report = handle.join().unwrap().expect("node finishes alone");
+    let waited_ms: u128 = report
+        .tracer
+        .events()
+        .find_map(|event| match event {
+            TraceEvent::Net { info, .. } if event.kind() == "net_timeout" => {
+                let ms = info.strip_prefix("silent at barrier after ")?;
+                ms.strip_suffix("ms")?.parse().ok()
+            }
+            _ => None,
+        })
+        .expect("an omission was traced");
+    assert!(
+        waited_ms >= 400,
+        "trace must report the ~450ms actually elapsed, got {waited_ms}ms"
+    );
+}
+
 #[test]
 fn duplicate_frames_on_the_wire_are_delivered_once() {
     let peer = NodeId::new(0);

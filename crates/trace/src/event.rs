@@ -213,6 +213,25 @@ pub enum NetEventKind {
     /// barrier's expectations after it announced itself with a
     /// `SyncRequest`.
     Rejoin,
+    /// A WAN fault proxy dropped one frame on a link, per its seeded loss
+    /// draw (the networked analogue of a `drop-link` fault for a single
+    /// message).
+    LinkDrop,
+    /// A WAN fault proxy began delaying a link's frames for a round (base
+    /// latency and/or jitter). Emitted once per (link, round), not per
+    /// frame — the per-frame counts live in the runtime metrics.
+    LinkDelay,
+    /// A WAN fault proxy throttled a link for a round: its bandwidth cap
+    /// added serialization delay on top of the base latency. Emitted once
+    /// per (link, round).
+    LinkThrottle,
+    /// A scheduled partition severed a link for a round: every `Data`/`Done`
+    /// frame of that round was discarded. Emitted once per (link, round) in
+    /// the partition window.
+    LinkPartition,
+    /// The first frame crossed a link again after a partition window ended —
+    /// the heal, observed from the proxy's side.
+    LinkHeal,
 }
 
 impl NetEventKind {
@@ -230,6 +249,11 @@ impl NetEventKind {
             NetEventKind::SyncTips => "sync_tips",
             NetEventKind::Backfill => "backfill",
             NetEventKind::Rejoin => "rejoin",
+            NetEventKind::LinkDrop => "link_drop",
+            NetEventKind::LinkDelay => "link_delay",
+            NetEventKind::LinkThrottle => "link_throttle",
+            NetEventKind::LinkPartition => "link_partition",
+            NetEventKind::LinkHeal => "link_heal",
         }
     }
 }
@@ -262,6 +286,11 @@ impl TraceEvent {
                 NetEventKind::SyncTips => "net_sync_tips",
                 NetEventKind::Backfill => "net_backfill",
                 NetEventKind::Rejoin => "net_rejoin",
+                NetEventKind::LinkDrop => "net_link_drop",
+                NetEventKind::LinkDelay => "net_link_delay",
+                NetEventKind::LinkThrottle => "net_link_throttle",
+                NetEventKind::LinkPartition => "net_link_partition",
+                NetEventKind::LinkHeal => "net_link_heal",
             },
         }
     }
@@ -326,6 +355,11 @@ mod tests {
             NetEventKind::SyncTips,
             NetEventKind::Backfill,
             NetEventKind::Rejoin,
+            NetEventKind::LinkDrop,
+            NetEventKind::LinkDelay,
+            NetEventKind::LinkThrottle,
+            NetEventKind::LinkPartition,
+            NetEventKind::LinkHeal,
         ];
         let names: BTreeSet<&str> = kinds
             .iter()
