@@ -10,6 +10,7 @@ pub mod t10_faults;
 pub mod t11_net;
 pub mod t12_rejoin;
 pub mod t13_wan;
+pub mod t14_logd;
 pub mod t1_reliable;
 pub mod t2_rotor;
 pub mod t3_consensus;

@@ -31,6 +31,7 @@ pub use table::Table;
 /// Every experiment id, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "t1", "t2", "t3", "f1", "t4", "t5", "f2", "t6", "t7", "t8", "t9", "t10", "t11", "t12", "t13",
+    "t14",
 ];
 
 /// Runs one experiment by id, returning its tables.
@@ -55,6 +56,7 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "t11" => experiments::t11_net::run(),
         "t12" => experiments::t12_rejoin::run(),
         "t13" => experiments::t13_wan::run(),
+        "t14" => experiments::t14_logd::run(),
         other => panic!("unknown experiment id {other:?}; valid: {ALL_EXPERIMENTS:?}"),
     }
 }

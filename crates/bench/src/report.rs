@@ -35,6 +35,7 @@ use crate::experiments::t11_net::{
     consensus_cluster, net_config, reliable_cluster, CONSENSUS_CELLS, RELIABLE_CELLS,
 };
 use crate::experiments::t13_wan;
+use crate::experiments::t14_logd;
 use crate::Table;
 
 /// Schema tag of the committed documents; bump on field changes.
@@ -169,6 +170,7 @@ pub fn run_net_report() -> BenchReport {
         })
         .collect();
     workloads.extend(run_t13_workloads());
+    workloads.extend(run_t14_workloads());
     BenchReport {
         kind: "net",
         workloads,
@@ -201,6 +203,39 @@ fn run_t13_workloads() -> Vec<Workload> {
             measured.insert("frames_severed", cell.severed);
             Workload {
                 name: format!("t13-{}-{algo}-n{}-seed{}", spec.profile, spec.n, spec.seed),
+                exact,
+                measured,
+            }
+        })
+        .collect()
+}
+
+/// The T14 log-service workloads: the full shard grid of the T14 cells.
+/// The service's promise (every submission acked, every ack ordered
+/// exactly once, identical prefixes everywhere) is exact; ack latencies
+/// and per-record run cost are wall-clock and ride in the tolerance-
+/// checked measured fields.
+fn run_t14_workloads() -> Vec<Workload> {
+    t14_logd::CELLS
+        .iter()
+        .map(|spec| {
+            let cell = t14_logd::run_spec(spec);
+            let mut exact = BTreeMap::new();
+            exact.insert("submitted", cell.submitted);
+            exact.insert("acked", cell.acked);
+            exact.insert("ordered", cell.ordered);
+            exact.insert("agreement", u64::from(cell.agreement));
+            exact.insert("exactly_once", u64::from(cell.exactly_once));
+            let mut measured = BTreeMap::new();
+            measured.insert("ack_micros_mean", cell.ack_mean_us);
+            measured.insert("ack_micros_p99", cell.ack_p99_us);
+            measured.insert("micros_per_record", cell.micros_per_record());
+            measured.insert("load_micros", cell.load_micros);
+            Workload {
+                name: format!(
+                    "t14-logd-n{}-shards{}-seed{}",
+                    spec.n, spec.shards, spec.seed
+                ),
                 exact,
                 measured,
             }

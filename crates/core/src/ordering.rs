@@ -170,6 +170,25 @@ impl<V: Value> TotalOrdering<V> {
         self
     }
 
+    /// Enqueues an event while the process is already running, scheduling
+    /// it for the first free round after the current one (each loop round
+    /// broadcasts at most one event per node). Returns the scheduled round,
+    /// or `None` once the process has terminated and can order nothing
+    /// more. This is the live-submission path of the `uba-net` log service:
+    /// `with_events` declares a workload up front, `enqueue_event` feeds
+    /// one in mid-run.
+    pub fn enqueue_event(&mut self, value: V) -> Option<u64> {
+        if self.mode == Mode::Done {
+            return None;
+        }
+        let mut round = self.r + 1;
+        while self.events.contains_key(&round) {
+            round += 1;
+        }
+        self.events.insert(round, value);
+        Some(round)
+    }
+
     /// Terminates the process at the given loop round, outputting the chain.
     pub fn with_horizon(mut self, round: u64) -> Self {
         self.horizon = Some(round);
@@ -468,6 +487,47 @@ mod tests {
         }
         assert!(lengths.windows(2).all(|w| w[0] <= w[1]));
         assert!(*lengths.last().unwrap() > 0, "chain-growth: {lengths:?}");
+    }
+
+    #[test]
+    fn live_enqueued_events_are_ordered_on_every_chain() {
+        let ids = sparse_ids(3, 21);
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                ids.iter()
+                    .map(|&id| TotalOrdering::genesis(id).with_horizon(60)),
+            )
+            .build();
+        engine.run_rounds(10);
+        // A submission arriving mid-run lands in the first free round after
+        // the node's current one; two submissions to the same node take
+        // consecutive slots.
+        let node = engine.process_mut(ids[0]).expect("node present");
+        let first = node.enqueue_event(501).expect("still running");
+        let second = node.enqueue_event(502).expect("still running");
+        assert!(first > node.round());
+        assert_eq!(second, first + 1);
+        let done = engine.run_to_completion(70).expect("horizon reached");
+        let chains: Vec<Chain<u64>> = done.outputs.values().cloned().collect();
+        for c in &chains {
+            assert_eq!(c, &chains[0]);
+        }
+        let values: Vec<u64> = chains[0].iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![501, 502], "live events ordered in slot order");
+    }
+
+    #[test]
+    fn enqueue_after_termination_is_rejected() {
+        let ids = sparse_ids(3, 5);
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                ids.iter()
+                    .map(|&id| TotalOrdering::genesis(id).with_horizon(8)),
+            )
+            .build();
+        engine.run_to_completion(12).expect("horizon reached");
+        let node = engine.process_mut(ids[0]).expect("node present");
+        assert_eq!(node.enqueue_event(1), None, "done process orders nothing");
     }
 
     #[test]

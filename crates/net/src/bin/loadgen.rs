@@ -1,0 +1,317 @@
+//! `loadgen` — drive a running `logd` cluster with client load and check
+//! the service's exactly-once promise from the outside.
+//!
+//! Spawns `--clients` concurrent clients, each connected to one of the
+//! `--addr` endpoints round-robin, submitting `--count` records total
+//! spread over `--keys` distinct keys. Closed-loop by default (each client
+//! submits as fast as its acks return); `--rate R` switches to an open
+//! loop paced at R submissions/second across all clients. When the
+//! service closes ingest, clients stop cleanly — the check covers *acked*
+//! submissions only, which is exactly the service's promise.
+//!
+//! After the load, every endpoint's sealed per-shard prefixes are read
+//! back and checked: all endpoints agree on every shard, and every acked
+//! submission appears exactly once in exactly one shard. Exit code 0
+//! means the check passed; 1 means it failed; 2 is a usage or I/O error.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT[,HOST:PORT...] [--clients C] [--keys K]
+//!         [--count N] [--rate R] [--seal-timeout-ms MS]
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use uba_net::{LogClient, Record};
+
+struct Args {
+    addrs: Vec<String>,
+    clients: usize,
+    keys: usize,
+    count: usize,
+    rate: u64,
+    seal_timeout_ms: u64,
+}
+
+fn usage() -> String {
+    "usage: loadgen --addr HOST:PORT[,HOST:PORT...] [--clients C] [--keys K]\n\
+     \x20              [--count N] [--rate R] [--seal-timeout-ms MS]\n\
+     rate 0 (the default) is closed-loop: submit as fast as acks return"
+        .to_string()
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        addrs: Vec::new(),
+        clients: 4,
+        keys: 64,
+        count: 1_000,
+        rate: 0,
+        seal_timeout_ms: 120_000,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("missing value for {flag}\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => {
+                args.addrs = value("--addr")?
+                    .split(',')
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("invalid --clients: {e}"))?;
+                if args.clients == 0 {
+                    return Err("--clients must be at least 1".into());
+                }
+            }
+            "--keys" => {
+                args.keys = value("--keys")?
+                    .parse()
+                    .map_err(|e| format!("invalid --keys: {e}"))?;
+                if args.keys == 0 {
+                    return Err("--keys must be at least 1".into());
+                }
+            }
+            "--count" => {
+                args.count = value("--count")?
+                    .parse()
+                    .map_err(|e| format!("invalid --count: {e}"))?;
+            }
+            "--rate" => {
+                args.rate = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("invalid --rate: {e}"))?;
+            }
+            "--seal-timeout-ms" => {
+                args.seal_timeout_ms = value("--seal-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seal-timeout-ms: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if args.addrs.is_empty() {
+        return Err(format!("--addr is required\n{}", usage()));
+    }
+    Ok(args)
+}
+
+/// What one client thread brings home: its acked submissions (key,
+/// payload, shard) and the ack latency of each in microseconds.
+struct ClientReport {
+    acked: Vec<(String, Vec<u8>, u32)>,
+    latencies_us: Vec<u64>,
+}
+
+/// One client's submission loop. Unique payloads per submission keep the
+/// service's duplicate detection out of the measurement. Stops at its
+/// quota, on ingest close, or when `stop` flips (another client saw the
+/// close).
+fn run_client(
+    client_idx: usize,
+    addr: String,
+    quota: usize,
+    keys: usize,
+    pace: Option<Duration>,
+    stop: Arc<AtomicBool>,
+) -> Result<ClientReport, String> {
+    let mut client = LogClient::connect(&addr)
+        .map_err(|e| format!("client {client_idx}: connect {addr}: {e}"))?;
+    let mut report = ClientReport {
+        acked: Vec::with_capacity(quota),
+        latencies_us: Vec::with_capacity(quota),
+    };
+    let started = Instant::now();
+    for i in 0..quota {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        // Open loop: sleep off any lead over the schedule before sending.
+        if let Some(pace) = pace {
+            let due = pace * i as u32;
+            let ahead = due.saturating_sub(started.elapsed());
+            if !ahead.is_zero() {
+                thread::sleep(ahead);
+            }
+        }
+        let key = format!("key-{}", (client_idx + i * 7) % keys);
+        let payload = format!("c{client_idx}-{i}").into_bytes();
+        let sent = Instant::now();
+        match client
+            .submit(&key, &payload)
+            .map_err(|e| format!("client {client_idx}: submit: {e}"))?
+        {
+            Some((shard, _seq)) => {
+                report.latencies_us.push(sent.elapsed().as_micros() as u64);
+                report.acked.push((key, payload, shard));
+            }
+            None => {
+                // Ingest closed: the run is over for everyone.
+                stop.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Reads the sealed prefixes of shards `0..` from one endpoint until the
+/// endpoint runs out of shards is not knowable over the wire — the shard
+/// count is, by construction, the highest shard any ack named plus one.
+fn read_prefixes(addr: &str, shards: u32, timeout: Duration) -> Result<Vec<Vec<Record>>, String> {
+    let mut client =
+        LogClient::connect(addr).map_err(|e| format!("reader: connect {addr}: {e}"))?;
+    (0..shards)
+        .map(|shard| {
+            client
+                .read_sealed_prefix(shard, timeout)
+                .map_err(|e| format!("reader: shard {shard} via {addr}: {e}"))
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank]
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let pace = (args.rate > 0).then(|| {
+        // Per-client pace: the global rate spread over the client count.
+        Duration::from_secs_f64(args.clients as f64 / args.rate as f64)
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let quota = args.count.div_ceil(args.clients);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.clients)
+        .map(|i| {
+            let addr = args.addrs[i % args.addrs.len()].clone();
+            let stop = Arc::clone(&stop);
+            let keys = args.keys;
+            thread::spawn(move || run_client(i, addr, quota, keys, pace, stop))
+        })
+        .collect();
+    let mut acked = Vec::new();
+    let mut latencies = Vec::new();
+    for worker in workers {
+        let report = worker.join().map_err(|_| "client thread panicked")??;
+        acked.extend(report.acked);
+        latencies.extend(report.latencies_us);
+    }
+    let elapsed = started.elapsed();
+
+    latencies.sort_unstable();
+    let mean = latencies
+        .iter()
+        .sum::<u64>()
+        .checked_div(latencies.len() as u64)
+        .unwrap_or(0);
+    println!(
+        "load: {} acked in {:.2}s ({:.0} submissions/s), ack latency mean {}us p50 {}us p99 {}us",
+        acked.len(),
+        elapsed.as_secs_f64(),
+        acked.len() as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        mean,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+    );
+    if acked.is_empty() {
+        println!("check: SKIPPED (no submission was acked — nothing promised)");
+        return Ok(true);
+    }
+
+    // The acks name the shards; read every endpoint's sealed prefixes.
+    let shards = acked.iter().map(|(_, _, s)| *s).max().unwrap_or(0) + 1;
+    let timeout = Duration::from_millis(args.seal_timeout_ms);
+    let mut all_prefixes = Vec::new();
+    for addr in &args.addrs {
+        all_prefixes.push((addr.clone(), read_prefixes(addr, shards, timeout)?));
+    }
+    let (first_addr, reference) = &all_prefixes[0];
+    let mut ok = true;
+    for (addr, prefixes) in &all_prefixes[1..] {
+        if prefixes != reference {
+            eprintln!("check: {addr} and {first_addr} disagree on the finalized prefixes");
+            ok = false;
+        }
+    }
+
+    // Exactly once: every acked (key, payload) appears once, in the shard
+    // the ack named; nothing unacked appears at all (this loadgen is the
+    // only writer).
+    let mut counts: BTreeMap<(&str, &[u8]), (u32, usize)> = BTreeMap::new();
+    for (shard, prefix) in reference.iter().enumerate() {
+        for record in prefix {
+            counts
+                .entry((record.key.as_str(), record.payload.as_slice()))
+                .and_modify(|(_, n)| *n += 1)
+                .or_insert((shard as u32, 1));
+        }
+    }
+    for (key, payload, shard) in &acked {
+        match counts.remove(&(key.as_str(), payload.as_slice())) {
+            Some((s, 1)) if s == *shard => {}
+            Some((s, n)) => {
+                eprintln!(
+                    "check: acked {key:?} expected once in shard {shard}, found {n} in shard {s}"
+                );
+                ok = false;
+            }
+            None => {
+                eprintln!("check: acked {key:?} missing from the finalized log");
+                ok = false;
+            }
+        }
+    }
+    if !counts.is_empty() {
+        eprintln!(
+            "check: {} unacked records in the finalized log",
+            counts.len()
+        );
+        ok = false;
+    }
+    for (shard, prefix) in reference.iter().enumerate() {
+        println!("shard {shard}: {} records", prefix.len());
+    }
+    println!(
+        "check: {}",
+        if ok {
+            "PASS (every acked submission ordered exactly once, all endpoints agree)"
+        } else {
+            "FAIL"
+        }
+    );
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

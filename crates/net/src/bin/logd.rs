@@ -1,0 +1,242 @@
+//! `logd` — run a localhost `uba-net` log-service cluster.
+//!
+//! Every node runs `--shards` independent total-ordering instances
+//! (DESIGN.md §12), accepts client submissions over the wire, and serves
+//! finalized per-shard prefixes. Drive it with the `loadgen` binary from
+//! another terminal. Exit code 0 means every member terminated and all
+//! members finalized identical per-shard prefixes; 1 means they diverged;
+//! 2 is a usage or transport error.
+//!
+//! ```text
+//! logd [--nodes N] [--shards S] [--seed SEED] [--ingest-rounds R]
+//!      [--pace-ms MS] [--timeout-ms MS] [--max-rounds R]
+//!      [--metrics-addr HOST:PORT] [--linger-ms MS]
+//! ```
+//!
+//! The service accepts submissions for `--ingest-rounds` rounds, each
+//! paced to `--pace-ms` so client traffic lands between round barriers,
+//! then runs the ordering out to its horizon and seals. Client listener
+//! addresses are printed one per line as `client: NODE ADDR` — `loadgen`
+//! takes the addresses. After sealing, the listeners keep serving reads
+//! for `--linger-ms` so late readers can fetch the final prefixes.
+//!
+//! With `--metrics-addr HOST:PORT`, the member with the i-th smallest id
+//! serves its wall-clock runtime metrics on `PORT + i` — the transport
+//! families (`net_*`) plus the per-shard service families
+//! (`logd_submits_total{shard=..}`, `logd_batches_total{shard=..}`,
+//! `logd_batch_records_total{shard=..}`, `logd_prefix_records{shard=..}`,
+//! `logd_reads_total{shard=..}`). `cluster scrape` works against them.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use uba_net::{
+    member_port, serve_metrics, spawn_log_cluster, MetricsServer, NetConfig, RetryPolicy,
+};
+use uba_sim::sparse_ids;
+use uba_trace::{NoopTracer, SharedRuntimeMetrics};
+
+struct Args {
+    nodes: u64,
+    shards: u32,
+    seed: u64,
+    ingest_rounds: u64,
+    pace_ms: u64,
+    timeout_ms: u64,
+    max_rounds: u64,
+    metrics_addr: Option<String>,
+    linger_ms: u64,
+}
+
+fn usage() -> String {
+    "usage: logd [--nodes N] [--shards S] [--seed SEED] [--ingest-rounds R]\n\
+     \x20           [--pace-ms MS] [--timeout-ms MS] [--max-rounds R]\n\
+     \x20           [--metrics-addr HOST:PORT] [--linger-ms MS]"
+        .to_string()
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        nodes: 3,
+        shards: 4,
+        seed: 42,
+        ingest_rounds: 50,
+        pace_ms: 50,
+        timeout_ms: 5_000,
+        max_rounds: 10_000,
+        metrics_addr: None,
+        linger_ms: 2_000,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("missing value for {flag}\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("invalid --nodes: {e}"))?;
+                if args.nodes < 2 {
+                    return Err("--nodes must be at least 2".into());
+                }
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("invalid --shards: {e}"))?;
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed: {e}"))?;
+            }
+            "--ingest-rounds" => {
+                args.ingest_rounds = value("--ingest-rounds")?
+                    .parse()
+                    .map_err(|e| format!("invalid --ingest-rounds: {e}"))?;
+                if args.ingest_rounds == 0 {
+                    return Err("--ingest-rounds must be at least 1".into());
+                }
+            }
+            "--pace-ms" => {
+                args.pace_ms = value("--pace-ms")?
+                    .parse()
+                    .map_err(|e| format!("invalid --pace-ms: {e}"))?;
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("invalid --timeout-ms: {e}"))?;
+            }
+            "--max-rounds" => {
+                args.max_rounds = value("--max-rounds")?
+                    .parse()
+                    .map_err(|e| format!("invalid --max-rounds: {e}"))?;
+            }
+            "--metrics-addr" => {
+                args.metrics_addr = Some(value("--metrics-addr")?);
+            }
+            "--linger-ms" => {
+                args.linger_ms = value("--linger-ms")?
+                    .parse()
+                    .map_err(|e| format!("invalid --linger-ms: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let ids = sparse_ids(args.nodes as usize, args.seed);
+    let config = NetConfig {
+        round_timeout: Duration::from_millis(args.timeout_ms),
+        retry: RetryPolicy::default(),
+        max_rounds: args.max_rounds,
+        round_pace: Duration::from_millis(args.pace_ms),
+        ..NetConfig::default()
+    };
+
+    // One runtime registry + exposition endpoint per member, the `cluster`
+    // binary's port convention: i-th smallest id on base port + i.
+    let mut registries = std::collections::BTreeMap::new();
+    let mut servers: Vec<MetricsServer> = Vec::new();
+    if let Some(base) = &args.metrics_addr {
+        let (host, port) = base
+            .rsplit_once(':')
+            .ok_or_else(|| format!("invalid --metrics-addr {base:?} (expected HOST:PORT)"))?;
+        let port: u16 = port
+            .parse()
+            .map_err(|e| format!("invalid --metrics-addr port: {e}"))?;
+        if member_port(port, args.nodes - 1).is_none() {
+            return Err(format!(
+                "--metrics-addr port {port} + {} nodes exceeds port 65535",
+                args.nodes
+            ));
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        for (i, id) in sorted.into_iter().enumerate() {
+            let registry = SharedRuntimeMetrics::new();
+            let member = member_port(port, i as u64).expect("range validated above");
+            let addr = format!("{host}:{member}");
+            let server = serve_metrics(addr.as_str(), registry.clone())
+                .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+            println!("metrics: node {id} on http://{}/metrics", server.addr());
+            registries.insert(id, registry);
+            servers.push(server);
+        }
+    }
+
+    let mut cluster = spawn_log_cluster(
+        &ids,
+        args.shards,
+        args.ingest_rounds,
+        config,
+        |_| NoopTracer,
+        |id| registries.get(&id).cloned(),
+    )
+    .map_err(|e| format!("spawning the cluster: {e}"))?;
+    println!(
+        "logd: {} nodes x {} shards, ingesting for {} rounds at {}ms/round",
+        args.nodes, args.shards, args.ingest_rounds, args.pace_ms
+    );
+    for (id, addr) in cluster.client_addrs() {
+        println!("client: {id} {addr}");
+    }
+
+    let reports = cluster
+        .join_ordering()
+        .map_err(|e| format!("cluster run failed: {e}"))?;
+
+    // Agreement: every member finalized the same per-shard prefixes.
+    let outputs: Vec<_> = reports.values().map(|r| r.output.clone()).collect();
+    let agreed = outputs.iter().all(|o| o == &outputs[0]);
+    if let Some(Some(prefixes)) = outputs.first() {
+        let total: usize = prefixes.iter().map(Vec::len).sum();
+        for (shard, prefix) in prefixes.iter().enumerate() {
+            println!("shard {shard}: {} records finalized", prefix.len());
+        }
+        let rounds = reports.values().map(|r| r.rounds).max().unwrap_or(0);
+        println!("logd: {total} records ordered in {rounds} rounds");
+    }
+    println!(
+        "prefixes: {}",
+        if agreed {
+            "MATCH (all nodes finalized identical shard prefixes)"
+        } else {
+            "MISMATCH (shard prefixes diverged across nodes)"
+        }
+    );
+
+    // Keep serving sealed reads for late readers, then tear down.
+    std::thread::sleep(Duration::from_millis(args.linger_ms));
+    cluster.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+    Ok(agreed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -35,7 +35,7 @@ use crate::wire::Wire;
 
 /// A member's id paired with its running thread, as the cluster runners
 /// collect them for the panic-safe join.
-type MemberHandle<O, T> = (
+pub(crate) type MemberHandle<O, T> = (
     NodeId,
     thread::JoinHandle<Result<NetReport<O, T>, NetError>>,
 );
@@ -52,7 +52,7 @@ pub type ProxiedRun<O, T> = (BTreeMap<NodeId, NetReport<O, T>>, Vec<TraceEvent>)
 /// flips, report [`NetError::Aborted`]. Error priority: a panic beats
 /// everything (it is the root cause), any other member failure beats the
 /// collateral aborts.
-fn collect_reports<O, T>(
+pub(crate) fn collect_reports<O, T>(
     handles: Vec<MemberHandle<O, T>>,
 ) -> Result<BTreeMap<NodeId, NetReport<O, T>>, NetError> {
     let mut reports = BTreeMap::new();

@@ -7,6 +7,8 @@
 //! their own `Wire` impl — the transport is generic over `P::Msg: Wire`.
 
 use uba_core::consensus::ConsensusMsg;
+use uba_core::ordering::OrderMsg;
+use uba_core::parallel::ParMsg;
 use uba_core::reliable::RbMsg;
 use uba_core::OrderedF64;
 
@@ -88,6 +90,109 @@ impl<M: Wire> Wire for RbMsg<M> {
     }
 }
 
+const PAR_ROTOR_INIT: u8 = 0;
+const PAR_ROTOR_ECHO: u8 = 1;
+const PAR_OPINION: u8 = 2;
+const PAR_INPUT: u8 = 3;
+const PAR_PREFER: u8 = 4;
+const PAR_NO_PREFERENCE: u8 = 5;
+const PAR_STRONG_PREFER: u8 = 6;
+const PAR_NO_STRONG_PREFERENCE: u8 = 7;
+
+impl<I: Wire, V: Wire> Wire for ParMsg<I, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ParMsg::RotorInit => out.push(PAR_ROTOR_INIT),
+            ParMsg::RotorEcho(node) => {
+                out.push(PAR_ROTOR_ECHO);
+                node.encode(out);
+            }
+            ParMsg::Opinion(id, v) => {
+                out.push(PAR_OPINION);
+                id.encode(out);
+                v.encode(out);
+            }
+            ParMsg::Input(id, v) => {
+                out.push(PAR_INPUT);
+                id.encode(out);
+                v.encode(out);
+            }
+            ParMsg::Prefer(id, v) => {
+                out.push(PAR_PREFER);
+                id.encode(out);
+                v.encode(out);
+            }
+            ParMsg::NoPreference(id) => {
+                out.push(PAR_NO_PREFERENCE);
+                id.encode(out);
+            }
+            ParMsg::StrongPrefer(id, v) => {
+                out.push(PAR_STRONG_PREFER);
+                id.encode(out);
+                v.encode(out);
+            }
+            ParMsg::NoStrongPreference(id) => {
+                out.push(PAR_NO_STRONG_PREFERENCE);
+                id.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            PAR_ROTOR_INIT => ParMsg::RotorInit,
+            PAR_ROTOR_ECHO => ParMsg::RotorEcho(Wire::decode(input)?),
+            PAR_OPINION => ParMsg::Opinion(I::decode(input)?, Option::decode(input)?),
+            PAR_INPUT => ParMsg::Input(I::decode(input)?, V::decode(input)?),
+            PAR_PREFER => ParMsg::Prefer(I::decode(input)?, Option::decode(input)?),
+            PAR_NO_PREFERENCE => ParMsg::NoPreference(I::decode(input)?),
+            PAR_STRONG_PREFER => ParMsg::StrongPrefer(I::decode(input)?, Option::decode(input)?),
+            PAR_NO_STRONG_PREFERENCE => ParMsg::NoStrongPreference(I::decode(input)?),
+            _ => return None,
+        })
+    }
+}
+
+const ORDER_PRESENT: u8 = 0;
+const ORDER_ACK: u8 = 1;
+const ORDER_ABSENT: u8 = 2;
+const ORDER_EVENT: u8 = 3;
+const ORDER_WAVE: u8 = 4;
+
+impl<V: Wire> Wire for OrderMsg<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            OrderMsg::Present => out.push(ORDER_PRESENT),
+            OrderMsg::Ack(round) => {
+                out.push(ORDER_ACK);
+                round.encode(out);
+            }
+            OrderMsg::Absent => out.push(ORDER_ABSENT),
+            OrderMsg::Event(v, round) => {
+                out.push(ORDER_EVENT);
+                v.encode(out);
+                round.encode(out);
+            }
+            OrderMsg::Wave(wave, msg) => {
+                out.push(ORDER_WAVE);
+                wave.encode(out);
+                msg.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            ORDER_PRESENT => OrderMsg::Present,
+            ORDER_ACK => OrderMsg::Ack(u64::decode(input)?),
+            ORDER_ABSENT => OrderMsg::Absent,
+            ORDER_EVENT => OrderMsg::Event(V::decode(input)?, u64::decode(input)?),
+            ORDER_WAVE => OrderMsg::Wave(u64::decode(input)?, ParMsg::decode(input)?),
+            _ => return None,
+        })
+    }
+}
+
 /// `OrderedF64` travels as the IEEE-754 bit pattern of its float. Decoding
 /// re-validates through [`OrderedF64::new`], so a NaN bit pattern on the
 /// wire is malformed input — the invariant cannot be smuggled past the
@@ -138,8 +243,37 @@ mod tests {
     }
 
     #[test]
+    fn parallel_consensus_messages_round_trip() {
+        round_trip(ParMsg::<NodeId, u64>::RotorInit);
+        round_trip(ParMsg::<NodeId, u64>::RotorEcho(NodeId::new(3)));
+        round_trip(ParMsg::<NodeId, u64>::Opinion(NodeId::new(1), Some(7)));
+        round_trip(ParMsg::<NodeId, u64>::Opinion(NodeId::new(1), None));
+        round_trip(ParMsg::<NodeId, u64>::Input(NodeId::new(2), 9));
+        round_trip(ParMsg::<NodeId, u64>::Prefer(NodeId::new(2), None));
+        round_trip(ParMsg::<NodeId, u64>::NoPreference(NodeId::new(4)));
+        round_trip(ParMsg::<NodeId, u64>::StrongPrefer(NodeId::new(5), Some(0)));
+        round_trip(ParMsg::<NodeId, u64>::NoStrongPreference(NodeId::new(6)));
+    }
+
+    #[test]
+    fn ordering_messages_round_trip() {
+        round_trip(OrderMsg::<u64>::Present);
+        round_trip(OrderMsg::<u64>::Ack(12));
+        round_trip(OrderMsg::<u64>::Absent);
+        round_trip(OrderMsg::<u64>::Event(42, 3));
+        round_trip(OrderMsg::<u64>::Wave(
+            7,
+            ParMsg::StrongPrefer(NodeId::new(1), Some(8)),
+        ));
+        // The service's batch payloads nest a vector inside the event.
+        round_trip(OrderMsg::<Vec<u64>>::Event(vec![1, 2, 3], 5));
+    }
+
+    #[test]
     fn unknown_variant_tags_are_rejected() {
         assert_eq!(ConsensusMsg::<u64>::from_bytes(&[9]), None);
         assert_eq!(RbMsg::<u64>::from_bytes(&[9]), None);
+        assert_eq!(ParMsg::<NodeId, u64>::from_bytes(&[8]), None);
+        assert_eq!(OrderMsg::<u64>::from_bytes(&[5]), None);
     }
 }

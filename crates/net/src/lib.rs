@@ -30,6 +30,13 @@
 //!   scheduled partitions, applied by shaping relays between the sockets
 //!   and the framed codec (a zero-impairment plan is byte-identical to
 //!   direct TCP — DESIGN.md §11);
+//! * [`service`] — the ordering stack productized as a long-lived,
+//!   key-sharded "log as a service": [`ShardedLog`] multiplexes many
+//!   [`TotalOrdering`](uba_core::ordering::TotalOrdering) instances over
+//!   one round loop, [`serve_clients`] answers the client frames
+//!   (`Submit`/`SubmitAck`, `ReadPrefix`/`PrefixChunk`), and
+//!   [`spawn_log_cluster`] stands up a whole `logd` cluster (the `logd`
+//!   and `loadgen` binaries wrap it — DESIGN.md §12);
 //! * [`metrics_http`] — [`serve_metrics`], a tiny Prometheus text-format
 //!   exposition endpoint publishing a node's wall-clock
 //!   [`SharedRuntimeMetrics`](uba_trace::SharedRuntimeMetrics) registry
@@ -84,6 +91,7 @@ pub mod conn;
 pub mod metrics_http;
 pub mod node;
 pub mod proxy;
+pub mod service;
 pub mod sync;
 pub mod wire;
 
@@ -99,5 +107,9 @@ pub use metrics_http::{
 };
 pub use node::{NetConfig, NetError, NetNode, NetReport};
 pub use proxy::{FaultProxy, LinkPlan, LinkSpec, Partition, WanProfile};
+pub use service::{
+    serve_clients, service_horizon, shard_of, spawn_log_cluster, Batch, ClientServer, LogClient,
+    LogCluster, LogIngress, PrefixPage, Record, ShardedLog,
+};
 pub use sync::{DataOutcome, RoundSynchronizer};
 pub use wire::{read_frame, write_frame, Frame, Wire, MAX_FRAME};

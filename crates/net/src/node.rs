@@ -15,6 +15,7 @@ use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::mpsc::{self, RecvTimeoutError};
+use std::thread;
 use std::time::{Duration, Instant};
 
 use uba_sim::{
@@ -57,6 +58,14 @@ pub struct NetConfig {
     /// windows buy longer tolerated downtimes at the price of memory
     /// proportional to the retained traffic.
     pub history_rounds: usize,
+    /// Minimum wall-clock duration of one round. Zero (the default) keeps
+    /// rounds as fast as the barrier allows — the right choice for one-shot
+    /// agreement runs. A long-lived ordering service (`logd`) paces its
+    /// rounds instead, so client submissions arriving between barriers have
+    /// a window to land in the next batch; throughput then scales as
+    /// shards × batch size × round rate rather than being a race against
+    /// the barrier.
+    pub round_pace: Duration,
 }
 
 impl Default for NetConfig {
@@ -68,6 +77,7 @@ impl Default for NetConfig {
             max_rounds: 10_000,
             give_up_after: 5,
             history_rounds: 64,
+            round_pace: Duration::ZERO,
         }
     }
 }
@@ -743,6 +753,24 @@ where
                 .into_iter()
                 .map(|(from, msg)| Envelope::from_shared(from, msg))
                 .collect();
+
+            // Pace the round if configured: sleep out the remainder of the
+            // minimum round duration before starting the next round. Frames
+            // arriving meanwhile queue on the event channel and are drained
+            // at the next barrier wait (they belong to the next round, since
+            // every peer paces identically). Sliced so an abort is noticed.
+            if !self.config.round_pace.is_zero() {
+                let mut remaining = self.config.round_pace.saturating_sub(started.elapsed());
+                while !remaining.is_zero() {
+                    if self.aborted() {
+                        links.shutdown_all();
+                        return Err(NetError::Aborted);
+                    }
+                    let slice = remaining.min(ABORT_POLL);
+                    thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
         }
     }
 
@@ -1003,6 +1031,16 @@ where
                             info: format!("received round {round}: {fresh} of {total} delivered"),
                         });
                     }
+                    // Client-protocol frames belong on the service's client
+                    // listener ([`crate::service`]), not on an inter-node
+                    // link. A peer that sends one here is confused or
+                    // Byzantine either way; ignoring the frame is the same
+                    // omission-shaped response as dropping a malformed
+                    // payload.
+                    Frame::Submit { .. }
+                    | Frame::SubmitAck { .. }
+                    | Frame::ReadPrefix { .. }
+                    | Frame::PrefixChunk { .. } => {}
                 }
             }
         }

@@ -1,0 +1,1070 @@
+//! The log service layer: the total-ordering protocol productized as a
+//! long-lived, key-sharded "permissionless log as a service".
+//!
+//! Every cluster node runs `shards` independent [`TotalOrdering`]
+//! instances, multiplexed over **one** transport round loop by
+//! [`ShardedLog`] (messages carry a shard tag; each instance sees only its
+//! own traffic, so the per-shard executions are exactly the single-instance
+//! executions the T11/T12/T13 oracles certify — DESIGN.md §12). Clients
+//! speak the four client frames of the [`wire`](crate::wire) format to any
+//! node:
+//!
+//! 1. **submit** — [`Frame::Submit`] hashes the key to a shard
+//!    ([`shard_of`]) and claims the shard's next ingress sequence number,
+//!    answered by [`Frame::SubmitAck`];
+//! 2. **batch** — once per round, each shard's pending submissions are
+//!    sealed into one batch and enqueued as a single ordering event
+//!    ([`TotalOrdering::enqueue_event`]), amortizing one agreement wave
+//!    over the whole batch;
+//! 3. **order** — the shard's instance runs the paper's Algorithm 6 on the
+//!    batch, unchanged;
+//! 4. **finalize → read** — finalized batches are flattened into the
+//!    shard's record prefix, served to [`Frame::ReadPrefix`] as
+//!    [`Frame::PrefixChunk`].
+//!
+//! Acknowledgements are durability promises: the service stops accepting
+//! new submissions strictly before the last round whose batch can still
+//! finalize by the horizon, so **every acked submission is ordered exactly
+//! once** — the invariant the `logd` e2e test and the T14 experiment
+//! assert.
+//!
+//! The ingress state ([`LogIngress`]) is shared between the round loop and
+//! the client-serving threads through a mutex; it is wall-clock territory
+//! and never feeds the deterministic trace (the two-registries rule of
+//! DESIGN.md §10).
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use uba_core::ordering::{OrderMsg, TotalOrdering};
+use uba_sim::{Context, Dest, Envelope, NodeId, Outbox, Process};
+use uba_trace::{metric_name, NetEventKind, NoopTracer, SharedRuntimeMetrics, TraceEvent, Tracer};
+
+use crate::cluster::{collect_reports, MemberHandle};
+use crate::node::{NetConfig, NetError, NetNode, NetReport};
+use crate::wire::{read_frame, write_frame, Frame, Wire};
+
+/// One client submission, as ordered by a shard's instance.
+///
+/// Identity is the full tuple: `(node, seq)` pins the ingress slot the
+/// submission was acked into (seqs are per shard per ingress node), so two
+/// clients submitting identical `(key, payload)` pairs to *different*
+/// nodes produce two distinct records. Within one node the ingress dedups:
+/// resubmitting an identical pair re-acks the original slot.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Record {
+    /// The client-chosen key; decides the shard and nothing else.
+    pub key: String,
+    /// The opaque client payload.
+    pub payload: Vec<u8>,
+    /// Raw id of the node that acked the submission.
+    pub node: u64,
+    /// The per-shard ingress sequence number that node assigned.
+    pub seq: u64,
+}
+
+impl Wire for Record {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.key.encode(out);
+        self.payload.encode(out);
+        self.node.encode(out);
+        self.seq.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Record {
+            key: String::decode(input)?,
+            payload: Vec::decode(input)?,
+            node: u64::decode(input)?,
+            seq: u64::decode(input)?,
+        })
+    }
+}
+
+/// One round's worth of one shard's submissions, ordered as a single event.
+pub type Batch = Vec<Record>;
+
+/// Maps a key to its shard: FNV-1a over the key bytes, reduced modulo the
+/// shard count. Deliberately *not* [`std::hash::DefaultHasher`] — every
+/// node and every client must agree on the mapping across processes and
+/// builds, and `DefaultHasher`'s algorithm is unspecified.
+pub fn shard_of(key: &str, shards: u32) -> u32 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &byte in key.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    (hash % u64::from(shards.max(1))) as u32
+}
+
+/// The rounds one batch needs from enqueue to finality: an event broadcast
+/// in round `w` lands in wave `w + 1`, which is final once
+/// `2(r - (w + 1)) > 5n + 4` (the bound behind
+/// [`TotalOrdering::finality_round`]), plus slack for the join handshake
+/// rounds at the front of the run.
+fn finality_margin(members: usize) -> u64 {
+    (5 * members as u64 + 4) / 2 + 5
+}
+
+/// The horizon a service run needs so that every batch enqueued up to and
+/// including round `ingest_until` finalizes before the instances terminate.
+pub fn service_horizon(members: usize, ingest_until: u64) -> u64 {
+    ingest_until + finality_margin(members)
+}
+
+/// Per-node ingress/egress state shared between the round loop and the
+/// client-serving threads: pending submissions on their way *into* the
+/// ordering instances, finalized prefixes on their way *out*.
+struct IngressState {
+    /// Whether new submissions are still acked. Flips to `false` at the
+    /// ingest cutoff; acked-but-unordered submissions never exist past it.
+    accepting: bool,
+    /// Whether the prefixes are final: the ordering instances terminated
+    /// and no prefix will ever grow again.
+    sealed: bool,
+    /// Next sequence number per shard.
+    next_seq: Vec<u64>,
+    /// Submissions awaiting their round's batch, per shard.
+    pending: Vec<Batch>,
+    /// The finalized record prefix per shard (only ever grows).
+    prefixes: Vec<Vec<Record>>,
+    /// `(key, payload) → (shard, seq)`: the idempotency table behind
+    /// duplicate-submit re-acks.
+    assigned: HashMap<(String, Vec<u8>), (u32, u64)>,
+}
+
+/// Cloneable handle to one node's service state; the round loop drains
+/// batches out of it, client connections submit into it and read prefixes
+/// from it.
+#[derive(Clone)]
+pub struct LogIngress {
+    shards: u32,
+    state: Arc<Mutex<IngressState>>,
+}
+
+impl std::fmt::Debug for LogIngress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogIngress")
+            .field("shards", &self.shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LogIngress {
+    /// Fresh ingress state for `shards` shards (at least 1).
+    pub fn new(shards: u32) -> Self {
+        let shards = shards.max(1);
+        let n = shards as usize;
+        LogIngress {
+            shards,
+            state: Arc::new(Mutex::new(IngressState {
+                accepting: true,
+                sealed: false,
+                next_seq: vec![0; n],
+                pending: vec![Vec::new(); n],
+                prefixes: vec![Vec::new(); n],
+                assigned: HashMap::new(),
+            })),
+        }
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, IngressState> {
+        // The service never panics while holding the lock; treat poison as
+        // the unrecoverable bug it would be.
+        self.state.lock().expect("ingress lock poisoned")
+    }
+
+    /// Accepts one submission on behalf of `node`: assigns the key's shard
+    /// and the shard's next sequence number, or re-acks the existing slot
+    /// for a duplicate `(key, payload)` pair. `None` once ingest closed —
+    /// the caller drops the connection rather than promising an ordering
+    /// that can no longer happen. The `bool` is `true` for a fresh slot,
+    /// `false` for a duplicate re-ack.
+    pub fn submit(&self, key: String, payload: Vec<u8>, node: u64) -> Option<(u32, u64, bool)> {
+        let shard = shard_of(&key, self.shards);
+        let mut state = self.lock();
+        if let Some(&(shard, seq)) = state.assigned.get(&(key.clone(), payload.clone())) {
+            return Some((shard, seq, false));
+        }
+        if !state.accepting {
+            return None;
+        }
+        let seq = state.next_seq[shard as usize];
+        state.next_seq[shard as usize] += 1;
+        state.pending[shard as usize].push(Record {
+            key: key.clone(),
+            payload: payload.clone(),
+            node,
+            seq,
+        });
+        state.assigned.insert((key, payload), (shard, seq));
+        Some((shard, seq, true))
+    }
+
+    /// One shard's finalized records from index `from` on, plus whether the
+    /// prefix is sealed (final). An out-of-range shard reads as empty and
+    /// follows the global sealed flag.
+    pub fn prefix_from(&self, shard: u32, from: u64) -> (Vec<Record>, bool) {
+        let state = self.lock();
+        let records = state
+            .prefixes
+            .get(shard as usize)
+            .map(|prefix| {
+                let start = (from as usize).min(prefix.len());
+                prefix[start..].to_vec()
+            })
+            .unwrap_or_default();
+        (records, state.sealed)
+    }
+
+    /// Whether the prefixes are final.
+    pub fn sealed(&self) -> bool {
+        self.lock().sealed
+    }
+
+    /// Drains every shard's pending submissions into this round's batches.
+    fn take_batches(&self) -> Vec<Batch> {
+        let mut state = self.lock();
+        state.pending.iter_mut().map(std::mem::take).collect()
+    }
+
+    /// Stops acking new submissions (the ingest cutoff).
+    fn close_ingest(&self) {
+        self.lock().accepting = false;
+    }
+
+    /// Publishes one shard's grown finalized prefix.
+    fn publish(&self, shard: u32, prefix: Vec<Record>) {
+        let mut state = self.lock();
+        let slot = &mut state.prefixes[shard as usize];
+        debug_assert!(
+            prefix.len() >= slot.len() && prefix[..slot.len()] == slot[..],
+            "finalized prefix shrank or rewrote history"
+        );
+        *slot = prefix;
+    }
+
+    /// Marks the prefixes final; implies the ingest cutoff.
+    fn seal(&self) {
+        let mut state = self.lock();
+        state.accepting = false;
+        state.sealed = true;
+    }
+}
+
+/// One cluster node's service process: `shards` [`TotalOrdering`] instances
+/// multiplexed over a single round loop, fed from a [`LogIngress`].
+///
+/// The message type tags every protocol message with its shard; `on_round`
+/// partitions the inbox by tag, steps each instance through its own
+/// sub-[`Context`] (legal because [`TotalOrdering`] keeps its own loop
+/// round and never reads the context's), and re-tags the instances'
+/// outgoing traffic into the shared outbox. Each instance therefore runs
+/// the exact single-instance execution the simulator oracles certify.
+///
+/// Output: the per-shard finalized record prefixes, once every instance
+/// reached the horizon.
+pub struct ShardedLog<T: Tracer = NoopTracer> {
+    me: NodeId,
+    ingress: LogIngress,
+    instances: Vec<TotalOrdering<Batch>>,
+    ingest_until: u64,
+    runtime: Option<SharedRuntimeMetrics>,
+    tracer: T,
+    outputs: Option<Vec<Vec<Record>>>,
+}
+
+impl ShardedLog<NoopTracer> {
+    /// A founding service node: one genesis ordering instance per ingress
+    /// shard, all terminating at `horizon`, batching new submissions up to
+    /// and including round `ingest_until` (use [`service_horizon`] to
+    /// derive a horizon that lets the last batch finalize).
+    pub fn new(me: NodeId, ingress: LogIngress, ingest_until: u64, horizon: u64) -> Self {
+        let instances = (0..ingress.shards())
+            .map(|_| TotalOrdering::genesis(me).with_horizon(horizon))
+            .collect();
+        ShardedLog {
+            me,
+            ingress,
+            instances,
+            ingest_until,
+            runtime: None,
+            tracer: NoopTracer,
+            outputs: None,
+        }
+    }
+}
+
+impl<T: Tracer> ShardedLog<T> {
+    /// Attaches a tracer for the service-level events
+    /// ([`NetEventKind::ShardBatch`]).
+    pub fn with_tracer<U: Tracer>(self, tracer: U) -> ShardedLog<U> {
+        ShardedLog {
+            me: self.me,
+            ingress: self.ingress,
+            instances: self.instances,
+            ingest_until: self.ingest_until,
+            runtime: self.runtime,
+            tracer,
+            outputs: self.outputs,
+        }
+    }
+
+    /// Attaches the wall-clock registry the per-shard service families
+    /// (`logd_batches_total{shard=..}`, `logd_batch_records_total{shard=..}`,
+    /// `logd_prefix_records{shard=..}`) are recorded into.
+    pub fn with_runtime_metrics(mut self, runtime: SharedRuntimeMetrics) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// The node's ingress handle.
+    pub fn ingress(&self) -> &LogIngress {
+        &self.ingress
+    }
+
+    /// Flattens one instance's finalized chain into the shard's record
+    /// prefix: batches in wave order, records in batch order.
+    fn flatten(
+        chain: impl IntoIterator<Item = uba_core::ordering::OrderedEvent<Batch>>,
+    ) -> Vec<Record> {
+        chain.into_iter().flat_map(|event| event.value).collect()
+    }
+}
+
+impl<T: Tracer + 'static> Process for ShardedLog<T> {
+    type Msg = (u32, OrderMsg<Batch>);
+    type Output = Vec<Vec<Record>>;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let round = ctx.round();
+        let shards = self.instances.len();
+
+        // Partition the inbox by shard tag. Out-of-range tags (a Byzantine
+        // sender's prerogative) are dropped — no instance exists to confuse.
+        let mut inboxes: Vec<Vec<Envelope<OrderMsg<Batch>>>> = vec![Vec::new(); shards];
+        for env in ctx.inbox() {
+            let (shard, msg) = env.msg();
+            if let Some(bucket) = inboxes.get_mut(*shard as usize) {
+                bucket.push(Envelope::new(env.from, msg.clone()));
+            }
+        }
+
+        // Seal this round's batches before stepping, so each lands in the
+        // round about to run. At the cutoff round, close ingest *before*
+        // the final drain: `submit` and the drain serialize on the ingress
+        // lock, so every acked submission is either in this last batch or
+        // refused — never acked-then-stranded.
+        if round <= self.ingest_until {
+            if round == self.ingest_until {
+                self.ingress.close_ingest();
+            }
+            for (shard, batch) in self.ingress.take_batches().into_iter().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                let size = batch.len();
+                let slot = self.instances[shard].enqueue_event(batch);
+                debug_assert!(
+                    slot.is_some(),
+                    "acked batch dropped: instance terminated before the ingest cutoff"
+                );
+                if let Some(slot) = slot {
+                    if self.tracer.enabled() {
+                        self.tracer.record(TraceEvent::Net {
+                            round,
+                            kind: NetEventKind::ShardBatch,
+                            node: self.me.raw(),
+                            peer: None,
+                            info: format!("shard {shard}: {size} records for round {slot}"),
+                        });
+                    }
+                    if let Some(rt) = &self.runtime {
+                        let label = [("shard", shard.to_string())];
+                        let label: Vec<(&str, &str)> =
+                            label.iter().map(|(k, v)| (*k, v.as_str())).collect();
+                        rt.inc(&metric_name("logd_batches_total", &label));
+                        rt.add(
+                            &metric_name("logd_batch_records_total", &label),
+                            size as u64,
+                        );
+                    }
+                }
+            }
+        } else {
+            self.ingress.close_ingest();
+        }
+
+        // Step every instance through its own sub-context and re-tag its
+        // traffic into the shared outbox.
+        let mut sub = Outbox::new();
+        for (shard, instance) in self.instances.iter_mut().enumerate() {
+            let mut sub_ctx = Context::new(round, &inboxes[shard], &mut sub);
+            instance.on_round(&mut sub_ctx);
+            for outgoing in sub.drain() {
+                match outgoing.dest {
+                    Dest::Broadcast => ctx.broadcast((shard as u32, outgoing.msg)),
+                    Dest::To(to) => ctx.send(to, (shard as u32, outgoing.msg)),
+                }
+            }
+        }
+
+        // Publish the grown finalized prefixes; seal once every instance
+        // terminated.
+        let done = self
+            .instances
+            .iter()
+            .all(|instance| instance.output().is_some());
+        for (shard, instance) in self.instances.iter().enumerate() {
+            let prefix = Self::flatten(instance.chain());
+            if let Some(rt) = &self.runtime {
+                rt.set_gauge(
+                    &metric_name("logd_prefix_records", &[("shard", &shard.to_string())]),
+                    prefix.len() as u64,
+                );
+            }
+            self.ingress.publish(shard as u32, prefix);
+        }
+        if done {
+            self.outputs = Some(
+                self.instances
+                    .iter()
+                    .map(|instance| Self::flatten(instance.output().expect("instance done")))
+                    .collect(),
+            );
+            self.ingress.seal();
+        }
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        self.outputs.clone()
+    }
+}
+
+/// The per-connection client protocol loop: `Submit → SubmitAck` (or
+/// disconnect once ingest closed), `ReadPrefix → PrefixChunk`. Any other
+/// frame is a protocol violation and drops the connection.
+fn serve_connection<T: Tracer>(
+    stream: TcpStream,
+    ingress: LogIngress,
+    node: u64,
+    runtime: Option<SharedRuntimeMetrics>,
+    tracer: Arc<Mutex<T>>,
+) {
+    serve_frames(&stream, ingress, node, runtime, tracer);
+    // The shutdown handle in the server's connection table holds a clone of
+    // this socket, so dropping our handle alone would NOT close the
+    // connection — shut the socket down explicitly or the client never
+    // sees the disconnect.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn serve_frames<T: Tracer>(
+    mut stream: &TcpStream,
+    ingress: LogIngress,
+    node: u64,
+    runtime: Option<SharedRuntimeMetrics>,
+    tracer: Arc<Mutex<T>>,
+) {
+    let trace = |event: &dyn Fn() -> TraceEvent| {
+        let mut tracer = tracer.lock().expect("client tracer lock poisoned");
+        if tracer.enabled() {
+            tracer.record(event());
+        }
+    };
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(Frame::Submit { key, payload })) => {
+                match ingress.submit(key, payload, node) {
+                    Some((shard, seq, fresh)) => {
+                        if let Some(rt) = &runtime {
+                            let name = if fresh {
+                                "logd_submits_total"
+                            } else {
+                                "logd_submit_dedup_total"
+                            };
+                            rt.inc(&metric_name(name, &[("shard", &shard.to_string())]));
+                        }
+                        trace(&|| TraceEvent::Net {
+                            round: 0,
+                            kind: NetEventKind::ClientSubmit,
+                            node,
+                            peer: None,
+                            info: format!("shard={shard} seq={seq} fresh={fresh}"),
+                        });
+                        if write_frame(&mut stream, &Frame::SubmitAck { shard, seq }).is_err() {
+                            return;
+                        }
+                    }
+                    // Ingest closed: an ack now would be a broken promise.
+                    None => return,
+                }
+            }
+            Ok(Some(Frame::ReadPrefix { shard, from })) => {
+                let (records, sealed) = ingress.prefix_from(shard, from);
+                let served = records.len();
+                let chunk = Frame::PrefixChunk {
+                    shard,
+                    from,
+                    sealed,
+                    records: records.iter().map(Wire::to_bytes).collect(),
+                };
+                if let Some(rt) = &runtime {
+                    rt.inc(&metric_name(
+                        "logd_reads_total",
+                        &[("shard", &shard.to_string())],
+                    ));
+                }
+                trace(&|| TraceEvent::Net {
+                    round: 0,
+                    kind: NetEventKind::PrefixRead,
+                    node,
+                    peer: None,
+                    info: format!("shard={shard} from={from} served={served} sealed={sealed}"),
+                });
+                if write_frame(&mut stream, &chunk).is_err() {
+                    return;
+                }
+            }
+            // Clean disconnect, a transport/inter-node frame on the client
+            // port, or an I/O error: either way this conversation is over.
+            Ok(Some(_)) | Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+/// The live client connections of one [`ClientServer`]: each accepted
+/// stream (kept so shutdown can unblock its handler) with its thread.
+type Connections = Arc<Mutex<Vec<(TcpStream, thread::JoinHandle<()>)>>>;
+
+/// Handle to one node's client-serving listener; shut it down with
+/// [`ClientServer::shutdown`] once readers are done (the ordering run
+/// finishing does *not* stop it — sealed prefixes stay readable).
+pub struct ClientServer<T: Tracer> {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: thread::JoinHandle<()>,
+    connections: Connections,
+    tracer: Arc<Mutex<T>>,
+}
+
+impl<T: Tracer> std::fmt::Debug for ClientServer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Serves the client protocol on `listener` against `ingress`, one thread
+/// per connection. `node` attributes acked records; `runtime` receives the
+/// per-shard `logd_*` families; `tracer` the
+/// [`ClientSubmit`](NetEventKind::ClientSubmit)/
+/// [`PrefixRead`](NetEventKind::PrefixRead) events (returned by
+/// [`ClientServer::shutdown`]).
+///
+/// # Errors
+///
+/// Propagates the listener's local-address lookup failure.
+pub fn serve_clients<T: Tracer + Send + 'static>(
+    listener: TcpListener,
+    ingress: LogIngress,
+    node: u64,
+    runtime: Option<SharedRuntimeMetrics>,
+    tracer: T,
+) -> io::Result<ClientServer<T>> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let connections: Connections = Arc::new(Mutex::new(Vec::new()));
+    let tracer = Arc::new(Mutex::new(tracer));
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let connections = Arc::clone(&connections);
+        let tracer = Arc::clone(&tracer);
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Request/response over tiny frames: Nagle + delayed ACK
+                // would put ~40ms under every ack.
+                let _ = stream.set_nodelay(true);
+                let Ok(watch) = stream.try_clone() else {
+                    continue;
+                };
+                let ingress = ingress.clone();
+                let runtime = runtime.clone();
+                let tracer = Arc::clone(&tracer);
+                let handle = thread::spawn(move || {
+                    serve_connection(stream, ingress, node, runtime, tracer);
+                });
+                connections
+                    .lock()
+                    .expect("connection table lock poisoned")
+                    .push((watch, handle));
+            }
+        })
+    };
+    Ok(ClientServer {
+        addr,
+        stop,
+        acceptor,
+        connections,
+        tracer,
+    })
+}
+
+impl<T: Tracer> ClientServer<T> {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, severs the live connections, joins every serving
+    /// thread, and returns the tracer with the recorded client events.
+    pub fn shutdown(self) -> T {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        let connections = std::mem::take(
+            &mut *self
+                .connections
+                .lock()
+                .expect("connection table lock poisoned"),
+        );
+        for (stream, handle) in connections {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
+        }
+        Arc::try_unwrap(self.tracer)
+            .unwrap_or_else(|_| panic!("client threads still hold the tracer"))
+            .into_inner()
+            .expect("client tracer lock poisoned")
+    }
+}
+
+/// A blocking client of the `logd` service protocol.
+///
+/// One TCP connection, synchronous request/response. [`submit`] returning
+/// `Ok(None)` means the service closed ingest (or the connection) — the
+/// submission was **not** acked and will not be ordered.
+///
+/// [`submit`]: LogClient::submit
+#[derive(Debug)]
+pub struct LogClient {
+    stream: TcpStream,
+}
+
+/// One [`LogClient::read_prefix`] answer, with the records decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixPage {
+    /// The shard read.
+    pub shard: u32,
+    /// Index of the first record.
+    pub from: u64,
+    /// Whether the prefix is final.
+    pub sealed: bool,
+    /// The finalized records from `from` on, in log order.
+    pub records: Vec<Record>,
+}
+
+impl LogClient {
+    /// Connects to a node's client listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(LogClient { stream })
+    }
+
+    /// Submits `(key, payload)` and waits for the ack: `Some((shard, seq))`
+    /// once the service owes the submission a slot in the shard's finalized
+    /// prefix, `None` if ingest already closed.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a protocol violation by the server
+    /// ([`io::ErrorKind::InvalidData`]).
+    pub fn submit(&mut self, key: &str, payload: &[u8]) -> io::Result<Option<(u32, u64)>> {
+        write_frame(
+            &mut self.stream,
+            &Frame::Submit {
+                key: key.to_string(),
+                payload: payload.to_vec(),
+            },
+        )?;
+        match read_frame(&mut self.stream) {
+            Ok(Some(Frame::SubmitAck { shard, seq })) => Ok(Some((shard, seq))),
+            Ok(None) => Ok(None),
+            // The server hangs up instead of nacking; a reset mid-read is
+            // the same refusal observed less politely.
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::UnexpectedEof
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                Ok(None)
+            }
+            Ok(Some(_)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected frame in reply to Submit",
+            )),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Reads one shard's finalized prefix from record index `from` on.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a malformed reply ([`io::ErrorKind::InvalidData`]).
+    pub fn read_prefix(&mut self, shard: u32, from: u64) -> io::Result<PrefixPage> {
+        write_frame(&mut self.stream, &Frame::ReadPrefix { shard, from })?;
+        match read_frame(&mut self.stream)? {
+            Some(Frame::PrefixChunk {
+                shard,
+                from,
+                sealed,
+                records,
+            }) => {
+                let records = records
+                    .iter()
+                    .map(|bytes| {
+                        Record::from_bytes(bytes).ok_or_else(|| {
+                            io::Error::new(io::ErrorKind::InvalidData, "malformed record")
+                        })
+                    })
+                    .collect::<io::Result<Vec<Record>>>()?;
+                Ok(PrefixPage {
+                    shard,
+                    from,
+                    sealed,
+                    records,
+                })
+            }
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected reply to ReadPrefix",
+            )),
+        }
+    }
+
+    /// Polls [`read_prefix`](LogClient::read_prefix)` (shard, 0)` until the
+    /// prefix is sealed, then returns it whole.
+    ///
+    /// # Errors
+    ///
+    /// As `read_prefix`, plus [`io::ErrorKind::TimedOut`] if the prefix is
+    /// not sealed within `timeout`.
+    pub fn read_sealed_prefix(&mut self, shard: u32, timeout: Duration) -> io::Result<Vec<Record>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let page = self.read_prefix(shard, 0)?;
+            if page.sealed {
+                return Ok(page.records);
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "prefix not sealed within the timeout",
+                ));
+            }
+            thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+/// What one member's ordering loop yields: its [`NetReport`] with the
+/// finalized per-shard prefixes as the output type.
+type LogReport<T> = NetReport<Vec<Vec<Record>>, T>;
+
+/// A running `logd` cluster: every member's ordering loop on its own
+/// thread, every member's client listener serving, addresses published.
+pub struct LogCluster<T: Tracer> {
+    client_addrs: BTreeMap<NodeId, SocketAddr>,
+    ingresses: BTreeMap<NodeId, LogIngress>,
+    members: Vec<MemberHandle<Vec<Vec<Record>>, T>>,
+    servers: Vec<ClientServer<NoopTracer>>,
+}
+
+impl<T: Tracer> std::fmt::Debug for LogCluster<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogCluster")
+            .field("client_addrs", &self.client_addrs)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Spawns a `logd` service cluster on localhost: one [`ShardedLog`] member
+/// per id (each running `shards` ordering instances), one client listener
+/// per member, race-free startup as in
+/// [`run_local_cluster`](crate::run_local_cluster). Returns immediately
+/// with the running cluster; [`LogCluster::join_ordering`] waits for the
+/// horizon.
+///
+/// Submissions are acked through round `ingest_until`; the horizon is
+/// derived via [`service_horizon`] so the last batch finalizes. Pace the
+/// rounds via `config.round_pace` — unpaced, a quiet localhost cluster
+/// burns through the ingest window in milliseconds.
+///
+/// # Errors
+///
+/// Propagates listener binding failures.
+///
+/// # Panics
+///
+/// Panics on duplicate member ids.
+pub fn spawn_log_cluster<T>(
+    ids: &[NodeId],
+    shards: u32,
+    ingest_until: u64,
+    config: NetConfig,
+    mut tracer_for: impl FnMut(NodeId) -> T,
+    mut metrics_for: impl FnMut(NodeId) -> Option<SharedRuntimeMetrics>,
+) -> Result<LogCluster<T>, NetError>
+where
+    T: Tracer + Send + 'static,
+{
+    let horizon = service_horizon(ids.len(), ingest_until);
+    // Bind every listener — inter-node and client — before any thread
+    // spawns, then build the shared roster.
+    let mut members = Vec::new();
+    let mut roster = BTreeMap::new();
+    let mut client_addrs = BTreeMap::new();
+    let mut ingresses = BTreeMap::new();
+    let mut servers = Vec::new();
+    for &id in ids {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        assert!(
+            roster.insert(id, addr).is_none(),
+            "duplicate cluster member id {id}"
+        );
+        let client_listener = TcpListener::bind("127.0.0.1:0")?;
+        let runtime = metrics_for(id);
+        let ingress = LogIngress::new(shards);
+        let server = serve_clients(
+            client_listener,
+            ingress.clone(),
+            id.raw(),
+            runtime.clone(),
+            NoopTracer,
+        )?;
+        client_addrs.insert(id, server.addr());
+        ingresses.insert(id, ingress.clone());
+        servers.push(server);
+        let mut process = ShardedLog::new(id, ingress, ingest_until, horizon);
+        if let Some(rt) = runtime.clone() {
+            process = process.with_runtime_metrics(rt);
+        }
+        members.push((id, process, listener, runtime));
+    }
+
+    let abort = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = members
+        .into_iter()
+        .map(|(id, process, listener, runtime)| {
+            let mut node = NetNode::new(process, config.clone())
+                .with_tracer(tracer_for(id))
+                .with_abort_flag(Arc::clone(&abort));
+            if let Some(rt) = runtime {
+                node = node.with_runtime_metrics(rt);
+            }
+            let roster = roster.clone();
+            let abort = Arc::clone(&abort);
+            let handle = thread::spawn(move || {
+                match catch_unwind(AssertUnwindSafe(move || node.run(listener, &roster))) {
+                    Ok(result) => result,
+                    Err(_) => {
+                        abort.store(true, Ordering::SeqCst);
+                        Err(NetError::MemberPanicked { id })
+                    }
+                }
+            });
+            (id, handle)
+        })
+        .collect();
+
+    Ok(LogCluster {
+        client_addrs,
+        ingresses,
+        members: handles,
+        servers,
+    })
+}
+
+impl<T: Tracer> LogCluster<T> {
+    /// The client listener address of every member.
+    pub fn client_addrs(&self) -> &BTreeMap<NodeId, SocketAddr> {
+        &self.client_addrs
+    }
+
+    /// One member's ingress handle (in-process prefix inspection).
+    pub fn ingress(&self, id: NodeId) -> Option<&LogIngress> {
+        self.ingresses.get(&id)
+    }
+
+    /// Waits for every member's ordering loop to reach the horizon and
+    /// returns the reports. The client listeners **keep serving** — sealed
+    /// prefixes stay readable until [`shutdown`](LogCluster::shutdown).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_local_cluster`](crate::run_local_cluster).
+    pub fn join_ordering(&mut self) -> Result<BTreeMap<NodeId, LogReport<T>>, NetError> {
+        collect_reports(std::mem::take(&mut self.members))
+    }
+
+    /// Stops the client listeners. Call after
+    /// [`join_ordering`](LogCluster::join_ordering) once readers are done.
+    pub fn shutdown(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        // Pinned values: the mapping is part of the wire contract (clients
+        // and every node must agree on it across builds).
+        assert_eq!(shard_of("user/42", 4), shard_of("user/42", 4));
+        for key in ["", "a", "user/42", "zzz"] {
+            assert!(shard_of(key, 4) < 4);
+            assert_eq!(shard_of(key, 1), 0);
+        }
+        // Different keys spread (FNV-1a of short ASCII strings).
+        let spread: std::collections::BTreeSet<u32> = (0..32u32)
+            .map(|i| shard_of(&format!("key-{i}"), 4))
+            .collect();
+        assert_eq!(spread.len(), 4, "32 keys cover all 4 shards");
+    }
+
+    #[test]
+    fn record_round_trips_on_the_wire() {
+        let record = Record {
+            key: "user/42".into(),
+            payload: vec![1, 2, 3],
+            node: 9,
+            seq: 17,
+        };
+        assert_eq!(Record::from_bytes(&record.to_bytes()), Some(record));
+    }
+
+    #[test]
+    fn ingress_assigns_slots_and_dedups() {
+        let ingress = LogIngress::new(4);
+        let (shard, seq, fresh) = ingress.submit("k".into(), vec![1], 7).expect("accepting");
+        assert!(fresh);
+        assert_eq!(seq, 0);
+        assert_eq!(shard, shard_of("k", 4));
+        // Identical pair: same slot, not fresh.
+        let dup = ingress.submit("k".into(), vec![1], 7).expect("re-acked");
+        assert_eq!(dup, (shard, seq, false));
+        // Same key, different payload: a new slot on the same shard.
+        let (shard2, seq2, fresh2) = ingress.submit("k".into(), vec![2], 7).expect("accepting");
+        assert_eq!(shard2, shard);
+        assert_eq!(seq2, seq + 1);
+        assert!(fresh2);
+        // Only one pending record per fresh slot.
+        let batches = ingress.take_batches();
+        assert_eq!(batches[shard as usize].len(), 2);
+        assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn closed_ingress_refuses_fresh_but_reacks_duplicates() {
+        let ingress = LogIngress::new(2);
+        let (shard, seq, _) = ingress.submit("k".into(), vec![1], 3).expect("accepting");
+        ingress.close_ingest();
+        assert_eq!(ingress.submit("new".into(), vec![9], 3), None);
+        // The duplicate's promise was already made; it survives the cutoff.
+        assert_eq!(
+            ingress.submit("k".into(), vec![1], 3),
+            Some((shard, seq, false))
+        );
+    }
+
+    #[test]
+    fn sharded_log_in_the_simulator_orders_and_agrees() {
+        use uba_sim::{sparse_ids, SyncEngine};
+        let ids = sparse_ids(3, 13);
+        let shards = 2;
+        let ingest_until = 8;
+        let horizon = service_horizon(ids.len(), ingest_until);
+        let ingresses: BTreeMap<NodeId, LogIngress> = ids
+            .iter()
+            .map(|&id| (id, LogIngress::new(shards)))
+            .collect();
+        let mut engine = SyncEngine::builder()
+            .correct_many(
+                ids.iter()
+                    .map(|&id| ShardedLog::new(id, ingresses[&id].clone(), ingest_until, horizon)),
+            )
+            .build();
+        engine.run_rounds(3);
+        // Submissions land at two different nodes mid-run.
+        for (i, key) in ["a", "b", "c", "d"].iter().enumerate() {
+            let node = ids[i % ids.len()];
+            ingresses[&node]
+                .submit((*key).into(), vec![i as u8], node.raw())
+                .expect("ingest open");
+        }
+        let done = engine.run_to_completion(500).expect("horizon reached");
+        let outputs: Vec<Vec<Vec<Record>>> = done.outputs.values().cloned().collect();
+        for output in &outputs {
+            assert_eq!(output, &outputs[0], "shard prefixes diverge across nodes");
+        }
+        let total: usize = outputs[0].iter().map(Vec::len).sum();
+        assert_eq!(total, 4, "every acked submission ordered exactly once");
+        for (shard, prefix) in outputs[0].iter().enumerate() {
+            for record in prefix {
+                assert_eq!(shard_of(&record.key, shards), shard as u32);
+            }
+        }
+        for ingress in ingresses.values() {
+            assert!(ingress.sealed(), "every node sealed its prefixes");
+        }
+    }
+
+    #[test]
+    fn unfinalized_prefix_reads_empty_and_unsealed() {
+        let ingress = LogIngress::new(2);
+        ingress.submit("k".into(), vec![1], 3).expect("accepting");
+        let (records, sealed) = ingress.prefix_from(shard_of("k", 2), 0);
+        assert!(records.is_empty(), "pending is not finalized");
+        assert!(!sealed);
+        // Out-of-range shard: empty, same sealed flag, no panic.
+        let (records, sealed) = ingress.prefix_from(99, 0);
+        assert!(records.is_empty() && !sealed);
+    }
+}

@@ -15,6 +15,11 @@
 //!            | u8 decided                   SyncTips    (rejoin: responder state)
 //!          | 0x05 u64 round | u8 done
 //!            | u8 decided | vec payloads    Backfill    (rejoin: replayed round)
+//!          | 0x06 string key | vec u8 bytes Submit      (client: append request)
+//!          | 0x07 u32 shard | u64 seq       SubmitAck   (client: slot assigned)
+//!          | 0x08 u32 shard | u64 from      ReadPrefix  (client: prefix ask)
+//!          | 0x09 u32 shard | u64 from
+//!            | u8 sealed | vec records      PrefixChunk (client: prefix answer)
 //! payload := whatever the payload type's [`Wire`] impl wrote
 //! ```
 //!
@@ -270,6 +275,51 @@ pub enum Frame {
         /// The replayed [`Wire`]-encoded payloads, in original send order.
         payloads: Vec<Vec<u8>>,
     },
+    /// A client asks the `logd` service to append `payload` under `key`.
+    /// The server hashes the key to a shard, assigns the submission the
+    /// shard's next sequence number, and answers [`Frame::SubmitAck`].
+    /// Resubmitting an identical `(key, payload)` pair is idempotent: the
+    /// original slot is re-acknowledged, not a new one.
+    Submit {
+        /// The client-chosen key; it decides the shard and nothing else.
+        key: String,
+        /// The opaque client payload to order.
+        payload: Vec<u8>,
+    },
+    /// The service's answer to a [`Frame::Submit`]: the submission now owns
+    /// slot `seq` of shard `shard`'s ingress queue and is guaranteed to
+    /// appear exactly once in that shard's finalized prefix (the service
+    /// stops acking before its ordering cutoff, so an ack is a durability
+    /// promise, not best-effort).
+    SubmitAck {
+        /// The shard the key hashed to.
+        shard: u32,
+        /// The per-shard ingress sequence number assigned to the submission.
+        seq: u64,
+    },
+    /// A client asks for one shard's finalized prefix, starting at record
+    /// index `from` (so a tailing reader only transfers what it is missing).
+    ReadPrefix {
+        /// The shard to read.
+        shard: u32,
+        /// First record index the client wants (0 for the whole prefix).
+        from: u64,
+    },
+    /// The service's answer to a [`Frame::ReadPrefix`]: the finalized
+    /// records of `shard` from index `from` onward, in log order. The
+    /// records stay opaque bytes at the transport layer, exactly like
+    /// [`Frame::Data`] payloads; the service layer decodes them.
+    PrefixChunk {
+        /// The shard being read.
+        shard: u32,
+        /// Index of the first record in `records`.
+        from: u64,
+        /// Whether the shard's log is sealed: the service has shut down its
+        /// ordering instance and the prefix will never grow again.
+        sealed: bool,
+        /// The [`Wire`]-encoded finalized records, in log order.
+        records: Vec<Vec<u8>>,
+    },
 }
 
 const TAG_HELLO: u8 = 0x00;
@@ -278,6 +328,10 @@ const TAG_DONE: u8 = 0x02;
 const TAG_SYNC_REQUEST: u8 = 0x03;
 const TAG_SYNC_TIPS: u8 = 0x04;
 const TAG_BACKFILL: u8 = 0x05;
+const TAG_SUBMIT: u8 = 0x06;
+const TAG_SUBMIT_ACK: u8 = 0x07;
+const TAG_READ_PREFIX: u8 = 0x08;
+const TAG_PREFIX_CHUNK: u8 = 0x09;
 
 impl Frame {
     /// Total bytes this frame occupies on the wire: the 4-byte length
@@ -333,6 +387,33 @@ impl Frame {
                 decided.encode(out);
                 payloads.encode(out);
             }
+            Frame::Submit { key, payload } => {
+                out.push(TAG_SUBMIT);
+                key.encode(out);
+                payload.encode(out);
+            }
+            Frame::SubmitAck { shard, seq } => {
+                out.push(TAG_SUBMIT_ACK);
+                shard.encode(out);
+                seq.encode(out);
+            }
+            Frame::ReadPrefix { shard, from } => {
+                out.push(TAG_READ_PREFIX);
+                shard.encode(out);
+                from.encode(out);
+            }
+            Frame::PrefixChunk {
+                shard,
+                from,
+                sealed,
+                records,
+            } => {
+                out.push(TAG_PREFIX_CHUNK);
+                shard.encode(out);
+                from.encode(out);
+                sealed.encode(out);
+                records.encode(out);
+            }
         }
     }
 
@@ -368,6 +449,24 @@ impl Frame {
                 done: bool::decode(input)?,
                 decided: bool::decode(input)?,
                 payloads: Vec::decode(input)?,
+            },
+            TAG_SUBMIT => Frame::Submit {
+                key: String::decode(input)?,
+                payload: Vec::decode(input)?,
+            },
+            TAG_SUBMIT_ACK => Frame::SubmitAck {
+                shard: u32::decode(input)?,
+                seq: u64::decode(input)?,
+            },
+            TAG_READ_PREFIX => Frame::ReadPrefix {
+                shard: u32::decode(input)?,
+                from: u64::decode(input)?,
+            },
+            TAG_PREFIX_CHUNK => Frame::PrefixChunk {
+                shard: u32::decode(input)?,
+                from: u64::decode(input)?,
+                sealed: bool::decode(input)?,
+                records: Vec::decode(input)?,
             },
             _ => return None,
         };
@@ -499,6 +598,22 @@ mod tests {
                 decided: false,
                 payloads: vec![vec![1, 2], Vec::new(), vec![3]],
             },
+            Frame::Submit {
+                key: String::from("user/42"),
+                payload: vec![0xca, 0xfe],
+            },
+            Frame::Submit {
+                key: String::new(),
+                payload: Vec::new(),
+            },
+            Frame::SubmitAck { shard: 3, seq: 17 },
+            Frame::ReadPrefix { shard: 0, from: 9 },
+            Frame::PrefixChunk {
+                shard: 2,
+                from: 4,
+                sealed: true,
+                records: vec![vec![1], Vec::new(), vec![2, 3]],
+            },
         ];
         let mut stream = Vec::new();
         for frame in &frames {
@@ -555,6 +670,18 @@ mod tests {
                 done: true,
                 decided: true,
                 payloads: vec![vec![7]],
+            },
+            Frame::Submit {
+                key: String::from("k"),
+                payload: vec![9],
+            },
+            Frame::SubmitAck { shard: 1, seq: 2 },
+            Frame::ReadPrefix { shard: 1, from: 0 },
+            Frame::PrefixChunk {
+                shard: 1,
+                from: 0,
+                sealed: false,
+                records: vec![vec![5, 6]],
             },
         ] {
             let mut body = Vec::new();

@@ -1,0 +1,218 @@
+//! End-to-end `logd` service tests: a real 3-node TCP cluster under
+//! client load, checked for the service's core promise — **every acked
+//! submission appears exactly once in exactly one shard's finalized
+//! prefix, and all nodes agree on every shard's prefix** (DESIGN.md §12).
+//!
+//! Plus the scripted client conversations: a submit while an ordering
+//! round is in flight, duplicate-submit dedup re-acking the original
+//! slot, and a read of a not-yet-finalized prefix.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use uba_net::{shard_of, spawn_log_cluster, LogClient, LogCluster, NetConfig, Record};
+use uba_sim::sparse_ids;
+use uba_trace::NoopTracer;
+
+/// Service config for tests: generous timeouts (decisions, not latency),
+/// and a round pace wide enough that client submissions reliably land
+/// inside the ingest window on a loaded CI machine.
+fn service_config() -> NetConfig {
+    NetConfig {
+        round_timeout: Duration::from_secs(10),
+        setup_timeout: Duration::from_secs(30),
+        max_rounds: 500,
+        round_pace: Duration::from_millis(20),
+        ..NetConfig::default()
+    }
+}
+
+fn spawn(seed: u64, nodes: usize, shards: u32, ingest_until: u64) -> LogCluster<NoopTracer> {
+    let ids = sparse_ids(nodes, seed);
+    spawn_log_cluster(
+        &ids,
+        shards,
+        ingest_until,
+        service_config(),
+        |_| NoopTracer,
+        |_| None,
+    )
+    .expect("cluster spawns")
+}
+
+/// Submits `count` records round-robin across every node's client
+/// listener; returns the acked `(shard, key, payload, ingress node)`
+/// slots. Stops early (without failing) if ingest closes mid-way — the
+/// invariant under test is about *acked* submissions only.
+fn submit_load(
+    cluster: &LogCluster<NoopTracer>,
+    count: usize,
+    keys: usize,
+) -> Vec<(u32, String, Vec<u8>)> {
+    let addrs: Vec<_> = cluster.client_addrs().values().copied().collect();
+    let mut clients: Vec<LogClient> = addrs
+        .iter()
+        .map(|addr| LogClient::connect(addr).expect("client connects"))
+        .collect();
+    let mut acked = Vec::new();
+    for i in 0..count {
+        let key = format!("key-{}", i % keys);
+        let payload = format!("payload-{i}").into_bytes();
+        let slot = i % clients.len();
+        let client = &mut clients[slot];
+        match client.submit(&key, &payload).expect("submit I/O") {
+            Some((shard, _seq)) => acked.push((shard, key, payload)),
+            None => break,
+        }
+    }
+    acked
+}
+
+/// Reads every shard's sealed prefix from every node and asserts all
+/// nodes serve identical prefixes; returns the agreed prefixes.
+fn sealed_prefixes(cluster: &LogCluster<NoopTracer>, shards: u32) -> Vec<Vec<Record>> {
+    let mut agreed: Vec<Option<Vec<Record>>> = vec![None; shards as usize];
+    for (id, addr) in cluster.client_addrs() {
+        let mut client = LogClient::connect(addr).expect("reader connects");
+        for shard in 0..shards {
+            let prefix = client
+                .read_sealed_prefix(shard, Duration::from_secs(60))
+                .expect("prefix seals");
+            match &agreed[shard as usize] {
+                None => agreed[shard as usize] = Some(prefix),
+                Some(first) => {
+                    assert_eq!(
+                        first, &prefix,
+                        "node {id} disagrees on shard {shard}'s finalized prefix"
+                    );
+                }
+            }
+        }
+    }
+    agreed.into_iter().map(|p| p.expect("read")).collect()
+}
+
+/// Every acked submission is in exactly one shard's prefix exactly once,
+/// in the shard `shard_of` promised; nothing unacked sneaks in.
+fn assert_exactly_once(acked: &[(u32, String, Vec<u8>)], prefixes: &[Vec<Record>], shards: u32) {
+    let mut counts: BTreeMap<(String, Vec<u8>), usize> = BTreeMap::new();
+    for (shard, prefix) in prefixes.iter().enumerate() {
+        for record in prefix {
+            assert_eq!(
+                shard_of(&record.key, shards),
+                shard as u32,
+                "record {:?} landed in the wrong shard",
+                record.key
+            );
+            *counts
+                .entry((record.key.clone(), record.payload.clone()))
+                .or_default() += 1;
+        }
+    }
+    for (shard, key, payload) in acked {
+        let n = counts.remove(&(key.clone(), payload.clone())).unwrap_or(0);
+        assert_eq!(
+            n, 1,
+            "acked submission {key:?} (shard {shard}) appears {n} times in the finalized log"
+        );
+    }
+    assert!(
+        counts.is_empty(),
+        "unacked records in the finalized log: {:?}",
+        counts.keys().take(5).collect::<Vec<_>>()
+    );
+}
+
+fn run_end_to_end(seed: u64, shards: u32) {
+    let mut cluster = spawn(seed, 3, shards, 30);
+    let acked = submit_load(&cluster, 60, 24);
+    assert!(
+        !acked.is_empty(),
+        "the ingest window closed before any submission was acked"
+    );
+    let reports = cluster.join_ordering().expect("ordering completes");
+    assert_eq!(reports.len(), 3, "every member reports");
+
+    // The members' own outputs agree shard by shard.
+    let outputs: Vec<_> = reports.values().map(|r| r.output.clone()).collect();
+    for output in &outputs {
+        assert_eq!(output, &outputs[0], "member outputs diverge");
+    }
+
+    // What clients read over the wire matches, node against node...
+    let prefixes = sealed_prefixes(&cluster, shards);
+    // ...and matches the members' outputs.
+    assert_eq!(
+        prefixes,
+        outputs[0].clone().expect("members terminated"),
+        "served prefixes diverge from the ordering output"
+    );
+    assert_exactly_once(&acked, &prefixes, shards);
+    cluster.shutdown();
+}
+
+#[test]
+fn three_nodes_one_shard_exactly_once() {
+    run_end_to_end(7, 1);
+}
+
+#[test]
+fn three_nodes_four_shards_exactly_once() {
+    run_end_to_end(11, 4);
+}
+
+#[test]
+fn scripted_client_conversation() {
+    // A long ingest window so the scripted conversation happens while
+    // ordering rounds are demonstrably in flight.
+    let mut cluster = spawn(5, 3, 2, 40);
+    let addr = *cluster.client_addrs().values().next().expect("a node");
+    let mut client = LogClient::connect(addr).expect("client connects");
+
+    // Read of a not-yet-finalized prefix: answered immediately (no block),
+    // unsealed, and without the submission we have not even made yet.
+    let page = client.read_prefix(0, 0).expect("read answers");
+    assert!(
+        !page.sealed,
+        "prefix cannot be sealed inside the ingest window"
+    );
+
+    // Submit during an in-flight round: acked with the key's shard.
+    let (shard, seq) = client
+        .submit("alpha", b"one")
+        .expect("submit I/O")
+        .expect("ingest open");
+    assert_eq!(shard, shard_of("alpha", 2));
+
+    // Duplicate submit: re-acked with the *same* slot, not a new one.
+    let dup = client
+        .submit("alpha", b"one")
+        .expect("submit I/O")
+        .expect("duplicates are re-acked");
+    assert_eq!(dup, (shard, seq), "duplicate got a fresh slot");
+
+    // Same key, new payload: a fresh slot on the same shard.
+    let (shard2, seq2) = client
+        .submit("alpha", b"two")
+        .expect("submit I/O")
+        .expect("ingest open");
+    assert_eq!(shard2, shard);
+    assert_ne!(seq2, seq);
+
+    // The unfinalized read again, now racing the ordering rounds: whatever
+    // it serves must be a prefix of the final log.
+    let early = client.read_prefix(shard, 0).expect("read answers");
+
+    let _ = cluster.join_ordering().expect("ordering completes");
+    let sealed = client
+        .read_sealed_prefix(shard, Duration::from_secs(60))
+        .expect("prefix seals");
+    assert!(
+        early.records.len() <= sealed.len() && early.records[..] == sealed[..early.records.len()],
+        "an early read served something the final log rewrote"
+    );
+    // Exactly one record per acked slot, duplicate folded in.
+    let alphas: Vec<&Record> = sealed.iter().filter(|r| r.key == "alpha").collect();
+    assert_eq!(alphas.len(), 2, "two distinct payloads, duplicate deduped");
+    cluster.shutdown();
+}

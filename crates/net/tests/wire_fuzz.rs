@@ -17,7 +17,7 @@ fn build_frame(
     bytes: Vec<u8>,
     nested: Vec<Vec<u8>>,
 ) -> Frame {
-    match selector % 6 {
+    match selector % 10 {
         0 => Frame::Hello {
             node: NodeId::new(a),
         },
@@ -35,11 +35,31 @@ fn build_frame(
             oldest_retained: b,
             decided: flag,
         },
-        _ => Frame::Backfill {
+        5 => Frame::Backfill {
             round: a,
             done: flag,
             decided: !flag,
             payloads: nested,
+        },
+        6 => Frame::Submit {
+            // Any valid UTF-8 key must survive the wire; lossy conversion
+            // turns the sampled bytes into one.
+            key: String::from_utf8_lossy(&bytes).into_owned(),
+            payload: nested.into_iter().next().unwrap_or_default(),
+        },
+        7 => Frame::SubmitAck {
+            shard: a as u32,
+            seq: b,
+        },
+        8 => Frame::ReadPrefix {
+            shard: a as u32,
+            from: b,
+        },
+        _ => Frame::PrefixChunk {
+            shard: a as u32,
+            from: b,
+            sealed: flag,
+            records: nested,
         },
     }
 }
@@ -82,7 +102,7 @@ proptest! {
 
     #[test]
     fn valid_frames_round_trip(
-        selector in 0u8..6,
+        selector in 0u8..10,
         a in 0u64..=u64::MAX,
         b in 0u64..=u64::MAX,
         flag in 0u8..2,
@@ -99,7 +119,7 @@ proptest! {
 
     #[test]
     fn truncation_never_parses(
-        selector in 0u8..6,
+        selector in 0u8..10,
         a in 0u64..=u64::MAX,
         b in 0u64..=u64::MAX,
         flag in 0u8..2,

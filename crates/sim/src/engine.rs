@@ -503,6 +503,15 @@ impl<P: Process, A: Adversary<P::Msg>> SyncEngine<P, A> {
         self.correct.get(&id).map(|n| &n.process)
     }
 
+    /// Mutable access to a correct node's process, for injecting work
+    /// between rounds (e.g. live event submission into a long-lived
+    /// ordering process). Mutating protocol state mid-run is on the caller:
+    /// the engine only guarantees that the next `on_round` observes the
+    /// mutation.
+    pub fn process_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        self.correct.get_mut(&id).map(|n| &mut n.process)
+    }
+
     /// Outputs produced so far (present and departed correct nodes).
     pub fn outputs(&self) -> BTreeMap<NodeId, P::Output> {
         let mut map: BTreeMap<NodeId, P::Output> = self

@@ -232,6 +232,17 @@ pub enum NetEventKind {
     /// The first frame crossed a link again after a partition window ended —
     /// the heal, observed from the proxy's side.
     LinkHeal,
+    /// A `logd` service node accepted a client `Submit` frame and assigned it
+    /// a `(shard, seq)` slot (the `info` field carries `shard=<s> seq=<q>`).
+    ClientSubmit,
+    /// A `logd` service node sealed one shard's pending submissions into the
+    /// batch proposed for the next ordering round (`info` carries the batch
+    /// size).
+    ShardBatch,
+    /// A `logd` service node answered a client `ReadPrefix` with a
+    /// `PrefixChunk` of its finalized shard prefix (`info` carries the range
+    /// served).
+    PrefixRead,
 }
 
 impl NetEventKind {
@@ -254,6 +265,9 @@ impl NetEventKind {
             NetEventKind::LinkThrottle => "link_throttle",
             NetEventKind::LinkPartition => "link_partition",
             NetEventKind::LinkHeal => "link_heal",
+            NetEventKind::ClientSubmit => "client_submit",
+            NetEventKind::ShardBatch => "shard_batch",
+            NetEventKind::PrefixRead => "prefix_read",
         }
     }
 }
@@ -291,6 +305,9 @@ impl TraceEvent {
                 NetEventKind::LinkThrottle => "net_link_throttle",
                 NetEventKind::LinkPartition => "net_link_partition",
                 NetEventKind::LinkHeal => "net_link_heal",
+                NetEventKind::ClientSubmit => "net_client_submit",
+                NetEventKind::ShardBatch => "net_shard_batch",
+                NetEventKind::PrefixRead => "net_prefix_read",
             },
         }
     }

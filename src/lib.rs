@@ -8,7 +8,7 @@
 //! `f` — yet all the fundamental agreement problems are solved with the
 //! optimal resiliency `n > 3f`.
 //!
-//! This facade re-exports the three workspace crates:
+//! This facade re-exports the workspace crates:
 //!
 //! - [`sim`] ([`uba_sim`]) — the synchronous round engine, the
 //!   full-information rushing Byzantine adversary interface, dynamic
@@ -19,7 +19,12 @@
 //!   (terminating reliable broadcast, renaming, king consensus), the
 //!   classic known-`(n, f)` baselines, and the impossibility constructions;
 //! - [`adversary`] ([`uba_adversary`]) — Byzantine strategies, generic and
-//!   protocol-aware.
+//!   protocol-aware;
+//! - [`net`] ([`uba_net`]) — the real TCP transport: framed codec, round
+//!   synchronizer, WAN fault proxy, and the key-sharded log service
+//!   (`logd`/`loadgen`);
+//! - [`trace`] ([`uba_trace`]) — deterministic event traces and wall-clock
+//!   runtime metrics.
 //!
 //! # Example: consensus among strangers
 //!
@@ -48,7 +53,9 @@
 
 pub use uba_adversary as adversary;
 pub use uba_core as core;
+pub use uba_net as net;
 pub use uba_sim as sim;
+pub use uba_trace as trace;
 
 /// Compiles and runs every fenced Rust block in `README.md` as a doctest,
 /// so the quickstart snippet can never drift from the actual API.
