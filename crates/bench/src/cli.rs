@@ -218,7 +218,7 @@ pub fn parse_experiments_args(
                 return Err(CliError::Unknown {
                     arg: other.to_string(),
                     expected: "--trace-out DIR, --trace-last-n N, --jobs N, \
-                               or an experiment id (t1..t13, f1, f2)",
+                               or an experiment id (t1..t15, f1, f2)",
                 });
             }
         }

@@ -11,6 +11,7 @@ pub mod t11_net;
 pub mod t12_rejoin;
 pub mod t13_wan;
 pub mod t14_logd;
+pub mod t15_byzantine;
 pub mod t1_reliable;
 pub mod t2_rotor;
 pub mod t3_consensus;

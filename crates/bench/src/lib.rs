@@ -31,7 +31,7 @@ pub use table::Table;
 /// Every experiment id, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "t1", "t2", "t3", "f1", "t4", "t5", "f2", "t6", "t7", "t8", "t9", "t10", "t11", "t12", "t13",
-    "t14",
+    "t14", "t15",
 ];
 
 /// Runs one experiment by id, returning its tables.
@@ -57,6 +57,7 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "t12" => experiments::t12_rejoin::run(),
         "t13" => experiments::t13_wan::run(),
         "t14" => experiments::t14_logd::run(),
+        "t15" => experiments::t15_byzantine::run(),
         other => panic!("unknown experiment id {other:?}; valid: {ALL_EXPERIMENTS:?}"),
     }
 }

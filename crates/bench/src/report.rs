@@ -36,6 +36,7 @@ use crate::experiments::t11_net::{
 };
 use crate::experiments::t13_wan;
 use crate::experiments::t14_logd;
+use crate::experiments::t15_byzantine;
 use crate::Table;
 
 /// Schema tag of the committed documents; bump on field changes.
@@ -171,6 +172,7 @@ pub fn run_net_report() -> BenchReport {
         .collect();
     workloads.extend(run_t13_workloads());
     workloads.extend(run_t14_workloads());
+    workloads.extend(run_t15_workloads());
     BenchReport {
         kind: "net",
         workloads,
@@ -235,6 +237,57 @@ fn run_t14_workloads() -> Vec<Workload> {
                 name: format!(
                     "t14-logd-n{}-shards{}-seed{}",
                     spec.n, spec.shards, spec.seed
+                ),
+                exact,
+                measured,
+            }
+        })
+        .collect()
+}
+
+/// The T15 Byzantine workloads: the full attack grid of the T15 cells.
+/// The defense's promise — every honest member decided on one value, the
+/// equivocation cell sim-identical, evictions exactly where the threat
+/// model places them (zero for tolerated/omission scripts, one per honest
+/// member for the flood) — is exact; strike totals and wall-clock ride in
+/// the tolerance-checked measured fields (a slow machine can reshuffle how
+/// many violating frames land before the eviction cuts the link).
+fn run_t15_workloads() -> Vec<Workload> {
+    t15_byzantine::CELLS
+        .iter()
+        .map(|spec| {
+            let cell = t15_byzantine::run_spec(spec);
+            let mut exact = BTreeMap::new();
+            exact.insert("decided", cell.decided);
+            exact.insert("agreement", u64::from(cell.agreement()));
+            match spec.attack {
+                "equivocate" => {
+                    exact.insert("sim_match", u64::from(cell.matches_sim()));
+                    exact.insert("evictions", cell.evictions);
+                }
+                "stall" => {
+                    exact.insert("evictions", cell.evictions);
+                }
+                "flood" => {
+                    exact.insert("evictions", cell.evictions);
+                }
+                _ => {}
+            }
+            let mut measured = BTreeMap::new();
+            measured.insert("round_micros_mean", cell.mean_us);
+            measured.insert("round_micros_max", cell.max_us);
+            measured.insert("strikes", cell.misbehavior);
+            measured.insert("timeouts", cell.timeouts);
+            if !matches!(spec.attack, "equivocate" | "stall" | "flood") {
+                measured.insert("evictions", cell.evictions);
+            }
+            Workload {
+                name: format!(
+                    "t15-{}-n{}-f{}-seed{}",
+                    spec.attack,
+                    spec.n_correct + spec.f,
+                    spec.f,
+                    spec.seed
                 ),
                 exact,
                 measured,

@@ -29,6 +29,7 @@ use std::time::Duration;
 use uba_sim::{NodeId, Process};
 use uba_trace::{RoundJournal, SharedRuntimeMetrics, TraceEvent, Tracer};
 
+use crate::byzantine::{AttackKind, AttackPlan, ByzReport, ByzantineNode};
 use crate::node::{NetConfig, NetError, NetNode, NetReport};
 use crate::proxy::{FaultProxy, LinkPlan};
 use crate::wire::Wire;
@@ -596,6 +597,124 @@ where
         events
     });
     result.map(|reports| (reports, events))
+}
+
+/// What a mixed honest/hostile cluster run returned: the honest members'
+/// reports (with their per-node eviction ledgers) and each Byzantine
+/// member's script summary.
+#[derive(Debug)]
+pub struct ByzantineRun<O, T> {
+    /// The honest members' reports, keyed by id.
+    pub honest: BTreeMap<NodeId, NetReport<O, T>>,
+    /// Each hostile member's observations, keyed by id. A Byzantine thread
+    /// that errors or panics contributes a default (all-zero) report — the
+    /// attacker's health is never allowed to fail the run.
+    pub byzantine: BTreeMap<NodeId, ByzReport>,
+}
+
+/// Runs an adversarial localhost cluster: the honest `processes` as in
+/// [`run_local_cluster`], plus one scripted [`ByzantineNode`] per id in
+/// `byzantine_ids`, all executing the same seeded [`AttackKind`] (so
+/// multiple conspirators compute identical equivocation splits, exactly
+/// like the simulator's adversary acting for every faulty node).
+///
+/// The full roster — honest and hostile — is bound before any thread
+/// spawns, so the mesh forms exactly as in the benign runners. Honest
+/// failures are reported as usual; hostile threads are best-effort (an
+/// attacker crashing or erroring is equivalent to it going silent, which
+/// the honest side already tolerates).
+///
+/// # Errors
+///
+/// As [`run_local_cluster`], for the honest members only.
+///
+/// # Panics
+///
+/// Panics if ids collide (among processes, among `byzantine_ids`, or
+/// across the two sets).
+pub fn run_local_cluster_with_byzantine<P, T>(
+    processes: impl IntoIterator<Item = P>,
+    byzantine_ids: &[NodeId],
+    kind: AttackKind,
+    seed: u64,
+    config: NetConfig,
+    mut tracer_for: impl FnMut(NodeId) -> T,
+    mut metrics_for: impl FnMut(NodeId) -> Option<SharedRuntimeMetrics>,
+) -> Result<ByzantineRun<P::Output, T>, NetError>
+where
+    P: Process + Send,
+    P::Msg: Wire,
+    P::Output: Send,
+    T: Tracer + Send + 'static,
+{
+    // Bind every listener — honest and hostile — before any thread spawns.
+    let mut members = Vec::new();
+    let mut roster = BTreeMap::new();
+    for process in processes {
+        let id = process.id();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        assert!(
+            roster.insert(id, addr).is_none(),
+            "duplicate cluster member id {id}"
+        );
+        members.push((id, process, listener));
+    }
+    let mut hostiles = Vec::new();
+    for &id in byzantine_ids {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        assert!(
+            roster.insert(id, addr).is_none(),
+            "duplicate cluster member id {id}"
+        );
+        let plan = AttackPlan::new(seed, kind.clone(), byzantine_ids.iter().copied());
+        hostiles.push((id, ByzantineNode::new(id, plan, config.clone()), listener));
+    }
+
+    let abort = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = members
+        .into_iter()
+        .map(|(id, process, listener)| {
+            let mut node = NetNode::new(process, config.clone())
+                .with_tracer(tracer_for(id))
+                .with_abort_flag(Arc::clone(&abort));
+            if let Some(runtime) = metrics_for(id) {
+                node = node.with_runtime_metrics(runtime);
+            }
+            let roster = roster.clone();
+            let abort = Arc::clone(&abort);
+            let handle = thread::spawn(move || {
+                match catch_unwind(AssertUnwindSafe(move || node.run(listener, &roster))) {
+                    Ok(result) => result,
+                    Err(_) => {
+                        abort.store(true, Ordering::SeqCst);
+                        Err(NetError::MemberPanicked { id })
+                    }
+                }
+            });
+            (id, handle)
+        })
+        .collect();
+    let byz_handles: Vec<_> = hostiles
+        .into_iter()
+        .map(|(id, node, listener)| {
+            let roster = roster.clone();
+            let handle = thread::spawn(move || {
+                catch_unwind(AssertUnwindSafe(move || node.run(listener, &roster)))
+                    .unwrap_or_else(|_| Ok(ByzReport::default()))
+                    .unwrap_or_default()
+            });
+            (id, handle)
+        })
+        .collect();
+
+    let honest = collect_reports(handles);
+    let byzantine = byz_handles
+        .into_iter()
+        .map(|(id, handle)| (id, handle.join().unwrap_or_default()))
+        .collect();
+    honest.map(|honest| ByzantineRun { honest, byzantine })
 }
 
 /// The decisions of a cluster run: each member's output, keyed by id, for

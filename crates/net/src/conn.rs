@@ -148,6 +148,19 @@ pub enum LinkEvent {
         /// The generation that closed.
         generation: u64,
     },
+    /// The connection's reader hit a frame no honest peer can produce — an
+    /// oversized length prefix or an undecodable body. TCP checksums make
+    /// accidental corruption on a live stream vanishingly unlikely, so this
+    /// is attributable misbehavior, reported *before* the trailing
+    /// [`Closed`](Self::Closed) for the same generation.
+    Corrupt {
+        /// The peer the connection is pinned to.
+        peer: NodeId,
+        /// The generation that read the bad bytes.
+        generation: u64,
+        /// The decoder's error message (names the violated bound).
+        info: String,
+    },
 }
 
 struct Link {
@@ -237,6 +250,18 @@ impl Links {
         }
     }
 
+    /// Shuts down `peer`'s connection (both directions, any generation) and
+    /// drops its writer: the eviction path for a misbehaving peer. Like
+    /// [`shutdown_all`](Self::shutdown_all), the socket-level shutdown
+    /// unblocks the reader thread parked on the cloned read half, so the
+    /// offender observes a hard close immediately.
+    pub fn shutdown_peer(&self, peer: NodeId) {
+        let mut table = self.inner.lock().expect("links lock");
+        if let Some(link) = table.remove(&peer) {
+            let _ = link.writer.get_ref().shutdown(std::net::Shutdown::Both);
+        }
+    }
+
     /// The peers with a live link, in no particular order.
     pub fn connected(&self) -> Vec<NodeId> {
         self.inner
@@ -283,9 +308,26 @@ pub fn spawn_reader(
 ) {
     thread::spawn(move || {
         let mut reader = BufReader::new(stream);
-        while let Ok(Some(frame)) = read_frame(&mut reader) {
-            if events.send(LinkEvent::Frame { from: peer, frame }).is_err() {
-                break; // node loop is gone; stop pumping
+        loop {
+            match read_frame(&mut reader) {
+                Ok(Some(frame)) => {
+                    if events.send(LinkEvent::Frame { from: peer, frame }).is_err() {
+                        break; // node loop is gone; stop pumping
+                    }
+                }
+                Ok(None) => break, // clean EOF
+                Err(err) => {
+                    // An InvalidData error is the codec refusing bytes no
+                    // honest peer can send; attribute it before closing.
+                    if err.kind() == io::ErrorKind::InvalidData {
+                        let _ = events.send(LinkEvent::Corrupt {
+                            peer,
+                            generation,
+                            info: err.to_string(),
+                        });
+                    }
+                    break;
+                }
             }
         }
         links.remove(peer, generation);

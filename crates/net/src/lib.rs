@@ -40,7 +40,13 @@
 //! * [`metrics_http`] — [`serve_metrics`], a tiny Prometheus text-format
 //!   exposition endpoint publishing a node's wall-clock
 //!   [`SharedRuntimeMetrics`](uba_trace::SharedRuntimeMetrics) registry
-//!   (phase timings, per-peer byte/frame counters) to live scrapes.
+//!   (phase timings, per-peer byte/frame counters) to live scrapes;
+//! * [`byzantine`] — [`ByzantineNode`], a scripted hostile member driven by
+//!   a seeded [`AttackPlan`] mirroring the simulator's adversary
+//!   vocabulary (equivocation, replay, corruption, floods, stalls,
+//!   backfill abuse), plus [`run_local_cluster_with_byzantine`] to stand up
+//!   mixed honest/hostile clusters — the T15 experiment and the threat
+//!   model in DESIGN.md §13 build on it.
 //!
 //! ## Timeouts are omissions
 //!
@@ -85,6 +91,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod byzantine;
 pub mod cluster;
 pub mod codec;
 pub mod conn;
@@ -95,11 +102,12 @@ pub mod service;
 pub mod sync;
 pub mod wire;
 
+pub use byzantine::{equivocation_frames, AttackKind, AttackPlan, ByzReport, ByzantineNode};
 pub use cluster::{
-    decisions, journal_path, run_local_cluster, run_local_cluster_with_metrics,
-    run_local_cluster_with_proxy, run_local_cluster_with_restart,
+    decisions, journal_path, run_local_cluster, run_local_cluster_with_byzantine,
+    run_local_cluster_with_metrics, run_local_cluster_with_proxy, run_local_cluster_with_restart,
     run_local_cluster_with_restart_and_metrics, run_local_cluster_with_restart_through_proxy,
-    KillSpec,
+    ByzantineRun, KillSpec,
 };
 pub use conn::{connect_with_retry, LinkEvent, Links, RetryPolicy};
 pub use metrics_http::{
@@ -111,5 +119,5 @@ pub use service::{
     serve_clients, service_horizon, shard_of, spawn_log_cluster, Batch, ClientServer, LogClient,
     LogCluster, LogIngress, PrefixPage, Record, ShardedLog,
 };
-pub use sync::{DataOutcome, RoundSynchronizer};
+pub use sync::{DataOutcome, DoneOutcome, RoundSynchronizer};
 pub use wire::{read_frame, write_frame, Frame, Wire, MAX_FRAME};

@@ -28,7 +28,7 @@ use uba_trace::{
 };
 
 use crate::conn::{dial_peer, spawn_acceptor, LinkEvent, Links, RetryPolicy};
-use crate::sync::{DataOutcome, RoundSynchronizer};
+use crate::sync::{DataOutcome, DoneOutcome, RoundSynchronizer};
 use crate::wire::{Frame, Wire};
 
 /// Tuning knobs of a networked node.
@@ -66,6 +66,22 @@ pub struct NetConfig {
     /// shards × batch size × round rate rather than being a race against
     /// the barrier.
     pub round_pace: Duration,
+    /// Per-peer ingress quota: frames accepted from one peer within one
+    /// round before further frames are dropped and a flood strike is
+    /// charged. Sized far above any honest burst (a full backfill catch-up
+    /// is `history_rounds` frames plus live traffic), so only a flooder
+    /// ever trips it — DESIGN.md §13.
+    pub max_frames_per_round: u64,
+    /// Per-peer ingress quota: bytes accepted from one peer within one
+    /// round (same strike semantics as `max_frames_per_round`).
+    pub max_bytes_per_round: u64,
+    /// Misbehavior strikes (quota floods, malformed/oversized frames,
+    /// out-of-window rounds, post-`Done` injections, barrier equivocation,
+    /// backfill abuse) a peer may accumulate before it is evicted:
+    /// disconnected, removed from the barrier, and ignored for the rest of
+    /// the run. Omission timeouts are *not* strikes — silence stays
+    /// governed by `give_up_after`.
+    pub strike_limit: u32,
 }
 
 impl Default for NetConfig {
@@ -78,6 +94,9 @@ impl Default for NetConfig {
             give_up_after: 5,
             history_rounds: 64,
             round_pace: Duration::ZERO,
+            max_frames_per_round: 1024,
+            max_bytes_per_round: 32 * 1024 * 1024,
+            strike_limit: 3,
         }
     }
 }
@@ -155,6 +174,10 @@ pub struct NetReport<O, T> {
     /// The tracer handed in via [`NetNode::with_tracer`], returned so the
     /// caller can inspect or dump the collected events.
     pub tracer: T,
+    /// Peers this node evicted for wire misbehavior (raw ids, in eviction
+    /// order) — charged distinctly from the omission timeouts above, so a
+    /// verdict table can separate malice from silence.
+    pub evicted: Vec<u64>,
 }
 
 /// Who a retained outgoing payload was addressed to.
@@ -178,6 +201,34 @@ struct RoundHistory {
     done: Option<bool>,
 }
 
+/// Per-peer ingress accounting and the strike ledger (DESIGN.md §13).
+/// Frame/byte counters reset at every round advance; strikes never reset —
+/// a peer that keeps misbehaving runs out of budget and is evicted.
+#[derive(Debug, Default)]
+struct PeerDiscipline {
+    /// Frames received from the peer within the current round.
+    frames_this_round: u64,
+    /// Approximate wire bytes received from the peer within the current
+    /// round (payload sizes plus small per-frame overhead).
+    bytes_this_round: u64,
+    /// Lifetime misbehavior strikes.
+    strikes: u32,
+}
+
+/// Cheap upper-bound estimate of a frame's wire size, for quota accounting
+/// on the hot receive path (no throwaway encode — payload length plus a
+/// small constant covers tags, rounds and flags for every variant).
+fn frame_quota_len(frame: &Frame) -> u64 {
+    let payload = match frame {
+        Frame::Data { payload, .. } => payload.len(),
+        Frame::Backfill { payloads, .. } => payloads.iter().map(|p| p.len() + 4).sum(),
+        Frame::Submit { key, payload } => key.len() + payload.len(),
+        Frame::PrefixChunk { records, .. } => records.iter().map(|r| r.len() + 4).sum(),
+        _ => 0,
+    };
+    32 + payload as u64
+}
+
 /// One member of a networked cluster: a [`Process`] driven over TCP.
 ///
 /// Generic over the process and the attached [`Tracer`] (default: none).
@@ -197,6 +248,20 @@ pub struct NetNode<P: Process, T: Tracer = NoopTracer> {
     kill_at: Option<u64>,
     abort: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     history: BTreeMap<u64, RoundHistory>,
+    /// Per-peer ingress quotas and strike ledger.
+    discipline: BTreeMap<NodeId, PeerDiscipline>,
+    /// Peers evicted for misbehavior: links torn down, frames ignored,
+    /// reconnects refused.
+    banned: BTreeSet<NodeId>,
+    /// Peers we sent a `SyncRequest` to (resume path): the only senders a
+    /// `Backfill` frame is accepted from — anyone else pushing unsolicited
+    /// backfill is abusing the rejoin path.
+    backfill_ok: BTreeSet<NodeId>,
+    /// Round at which each peer was last served a backfill, to refuse
+    /// repeat `SyncRequest`s within one round.
+    sync_served: BTreeMap<NodeId, u64>,
+    /// Raw ids of evicted peers, in eviction order (for the report).
+    evicted: Vec<u64>,
 }
 
 impl<P: Process> NetNode<P, NoopTracer> {
@@ -212,6 +277,11 @@ impl<P: Process> NetNode<P, NoopTracer> {
             kill_at: None,
             abort: None,
             history: BTreeMap::new(),
+            discipline: BTreeMap::new(),
+            banned: BTreeSet::new(),
+            backfill_ok: BTreeSet::new(),
+            sync_served: BTreeMap::new(),
+            evicted: Vec::new(),
         }
     }
 }
@@ -231,6 +301,11 @@ impl<P: Process, T: Tracer> NetNode<P, T> {
             kill_at: self.kill_at,
             abort: self.abort,
             history: self.history,
+            discipline: self.discipline,
+            banned: self.banned,
+            backfill_ok: self.backfill_ok,
+            sync_served: self.sync_served,
+            evicted: self.evicted,
         }
     }
 
@@ -327,7 +402,8 @@ where
         let (events_tx, events) = mpsc::channel::<LinkEvent>();
         spawn_acceptor(listener, me, links.clone(), events_tx.clone());
 
-        let mut sync = RoundSynchronizer::<P::Msg>::new(me, peers.iter().copied());
+        let mut sync = RoundSynchronizer::<P::Msg>::new(me, peers.iter().copied())
+            .with_round_window(self.config.history_rounds as u64);
 
         // Dial every peer with a larger id; smaller ids dial us. Each pair
         // gets its own jitter stream so simultaneous (re)starts spread out.
@@ -446,7 +522,8 @@ where
         let links = Links::new();
         let (events_tx, events) = mpsc::channel::<LinkEvent>();
         let mut sync =
-            RoundSynchronizer::<P::Msg>::resume_at(me, peers.iter().copied(), next_round);
+            RoundSynchronizer::<P::Msg>::resume_at(me, peers.iter().copied(), next_round)
+                .with_round_window(self.config.history_rounds as u64);
         let connected: BTreeSet<NodeId> = BTreeSet::new();
         let runtime = self.runtime.clone();
         for &peer in &peers {
@@ -491,6 +568,9 @@ where
         for peer in sync.expected().collect::<Vec<_>>() {
             links.send(peer, &request);
             count_sent(&self.runtime, peer, &request);
+            // Only the peers we asked may answer with Backfill frames;
+            // unsolicited backfill from anyone else is rejoin-path abuse.
+            self.backfill_ok.insert(peer);
         }
         trace(&mut self.tracer, || TraceEvent::Net {
             round: next_round,
@@ -674,6 +754,13 @@ where
             let finished = sync.all_decided(decided);
             let delivered = sync.advance();
 
+            // The ingress quota window is one round: reset the per-peer
+            // frame/byte counters (strikes are lifetime and stay).
+            for discipline in self.discipline.values_mut() {
+                discipline.frames_this_round = 0;
+                discipline.bytes_this_round = 0;
+            }
+
             // Commit the round durably before acting on it: the journal
             // entry holds the inbox the *next* round will consume, so a
             // crash at any later point replays to exactly this state.
@@ -746,6 +833,7 @@ where
                     timeouts,
                     round_micros,
                     tracer: self.tracer,
+                    evicted: self.evicted,
                 });
             }
 
@@ -836,6 +924,82 @@ where
         }
     }
 
+    /// Charges one misbehavior strike against `from`: bumps the
+    /// `net_misbehavior_total{kind,peer}` counter, traces a
+    /// `net_byz_misbehavior` event, and evicts the peer once its strike
+    /// budget is spent. Idempotent for already-banned peers.
+    fn misbehave(
+        &mut self,
+        from: NodeId,
+        kind: &'static str,
+        info: String,
+        sync: &mut RoundSynchronizer<P::Msg>,
+        links: &Links,
+    ) {
+        if self.banned.contains(&from) {
+            return;
+        }
+        let strikes = {
+            let discipline = self.discipline.entry(from).or_default();
+            discipline.strikes = discipline.strikes.saturating_add(1);
+            discipline.strikes
+        };
+        if let Some(rt) = &self.runtime {
+            rt.inc(&metric_name(
+                "net_misbehavior_total",
+                &[("kind", kind), ("peer", &from.raw().to_string())],
+            ));
+        }
+        let me = sync.id();
+        let round = sync.current_round();
+        let limit = self.config.strike_limit;
+        trace(&mut self.tracer, || TraceEvent::Net {
+            round,
+            kind: NetEventKind::Misbehavior,
+            node: me.raw(),
+            peer: Some(from.raw()),
+            info: format!("{kind} (strike {strikes}/{limit}): {info}"),
+        });
+        if strikes >= limit {
+            self.evict(from, sync, links);
+        }
+    }
+
+    /// Evicts `from` for misbehavior: tears its link down, stops expecting
+    /// it at barriers, and ignores all of its traffic (including redials)
+    /// for the rest of the run. Charged as a `fault/byzantine_evict` —
+    /// attributable malice — in contrast to the omission accounting of a
+    /// barrier timeout ([`NetEventKind::Timeout`] / `PeerGone`).
+    fn evict(&mut self, from: NodeId, sync: &mut RoundSynchronizer<P::Msg>, links: &Links) {
+        if !self.banned.insert(from) {
+            return;
+        }
+        links.shutdown_peer(from);
+        sync.peer_gone(from);
+        self.evicted.push(from.raw());
+        if let Some(rt) = &self.runtime {
+            rt.inc(&metric_name(
+                "net_byz_evictions_total",
+                &[("peer", &from.raw().to_string())],
+            ));
+        }
+        let me = sync.id();
+        let round = sync.current_round();
+        trace(&mut self.tracer, || TraceEvent::Net {
+            round,
+            kind: NetEventKind::ByzEvict,
+            node: me.raw(),
+            peer: Some(from.raw()),
+            info: "strike budget exhausted; link torn down".to_string(),
+        });
+        trace(&mut self.tracer, || TraceEvent::Fault {
+            round,
+            kind: "byzantine_evict",
+            node: me.raw(),
+            peer: Some(from.raw()),
+        });
+    }
+
     /// Feeds one link event into the synchronizer, tracing what happened.
     /// `links` is needed to answer rejoin handshakes ([`Frame::SyncRequest`])
     /// with tips and backfills.
@@ -849,6 +1013,12 @@ where
     ) {
         match event {
             LinkEvent::Connected { peer, .. } => {
+                if self.banned.contains(&peer) {
+                    // An evicted peer redialed: refuse it — the ban is for
+                    // the rest of the run, not for one socket's lifetime.
+                    links.shutdown_peer(peer);
+                    return;
+                }
                 let first_time = connected.insert(peer);
                 if let Some(rt) = &self.runtime {
                     let name = if first_time {
@@ -871,13 +1041,63 @@ where
                 // guarded). The peer may redial; if it stays silent the
                 // barrier timeout and the give-up budget take over.
             }
+            LinkEvent::Corrupt { peer, info, .. } => {
+                // The reader refused bytes no honest peer can produce: an
+                // oversized length prefix or an undecodable frame body.
+                let kind = if info.contains("exceeds MAX_FRAME") {
+                    "oversize_frame"
+                } else {
+                    "malformed_frame"
+                };
+                self.misbehave(peer, kind, info, sync, links);
+            }
             LinkEvent::Frame { from, frame } => {
+                if self.banned.contains(&from) {
+                    // Frames already in flight when the eviction landed (or
+                    // pushed through a fresh socket): ignored wholesale.
+                    if let Some(rt) = &self.runtime {
+                        rt.inc(&metric_name(
+                            "net_banned_frames_dropped_total",
+                            &[("peer", &from.raw().to_string())],
+                        ));
+                    }
+                    return;
+                }
                 count_received(&self.runtime, from, &frame);
+                // Per-peer ingress quota: one round's worth of frames and
+                // bytes. Every frame past the quota is dropped and charged
+                // as a flood strike, so a flooder burns through its strike
+                // budget within the same round it floods.
+                let over_quota = {
+                    let discipline = self.discipline.entry(from).or_default();
+                    discipline.frames_this_round += 1;
+                    discipline.bytes_this_round += frame_quota_len(&frame);
+                    discipline.frames_this_round > self.config.max_frames_per_round
+                        || discipline.bytes_this_round > self.config.max_bytes_per_round
+                };
+                if over_quota {
+                    let info = format!(
+                        "ingress quota exceeded ({} frames max, {} bytes max per round)",
+                        self.config.max_frames_per_round, self.config.max_bytes_per_round
+                    );
+                    self.misbehave(from, "flood", info, sync, links);
+                    return;
+                }
                 match frame {
                     Frame::Hello { .. } => {} // handshake already consumed ours
                     Frame::Data { round, payload } => {
                         let Some(msg) = P::Msg::from_bytes(&payload) else {
-                            return; // malformed payload from this peer: drop it
+                            // A payload the protocol codec refuses: no honest
+                            // peer encodes one, so it is attributable malice,
+                            // not line noise (TCP checksums the stream).
+                            self.misbehave(
+                                from,
+                                "malformed_payload",
+                                format!("undecodable Data payload for round {round}"),
+                                sync,
+                                links,
+                            );
+                            return;
                         };
                         let shared = MsgRef::new(msg);
                         let current = sync.current_round();
@@ -908,13 +1128,78 @@ where
                                     info: format!("frame for past round {round}"),
                                 });
                             }
+                            DataOutcome::Stale => {
+                                self.misbehave(
+                                    from,
+                                    "stale_replay",
+                                    format!("round {round} replayed at round {current}"),
+                                    sync,
+                                    links,
+                                );
+                            }
+                            DataOutcome::FarFuture => {
+                                self.misbehave(
+                                    from,
+                                    "far_future",
+                                    format!("round {round} pushed at round {current}"),
+                                    sync,
+                                    links,
+                                );
+                            }
+                            DataOutcome::PostDone => {
+                                self.misbehave(
+                                    from,
+                                    "post_done_data",
+                                    format!("data for round {round} after its Done"),
+                                    sync,
+                                    links,
+                                );
+                            }
                         }
                     }
                     Frame::Done { round, decided } => {
-                        sync.accept_done(from, round, decided);
+                        let current = sync.current_round();
+                        match sync.accept_done(from, round, decided) {
+                            DoneOutcome::Accepted | DoneOutcome::Late => {}
+                            DoneOutcome::OutOfWindow => {
+                                self.misbehave(
+                                    from,
+                                    "done_out_of_window",
+                                    format!("Done for round {round} at round {current}"),
+                                    sync,
+                                    links,
+                                );
+                            }
+                            DoneOutcome::Conflict => {
+                                self.misbehave(
+                                    from,
+                                    "done_conflict",
+                                    format!(
+                                        "conflicting decided flag for round {round} \
+                                         (first marker stands)"
+                                    ),
+                                    sync,
+                                    links,
+                                );
+                            }
+                        }
                     }
                     Frame::SyncRequest { since } => {
                         let current = sync.current_round();
+                        // One rejoin per peer per round: a crashed node asks
+                        // once, so repeats within the same round are spam
+                        // against the (relatively expensive) backfill path.
+                        if self.sync_served.get(&from) == Some(&current) {
+                            self.misbehave(
+                                from,
+                                "sync_spam",
+                                format!("repeat SyncRequest within round {current}"),
+                                sync,
+                                links,
+                            );
+                            return;
+                        }
+                        self.sync_served.insert(from, current);
                         trace(&mut self.tracer, || TraceEvent::Net {
                             round: current,
                             kind: NetEventKind::SyncRequest,
@@ -944,8 +1229,12 @@ where
                         // Replay our own retained traffic addressed to the
                         // requester, round by round in send order — never
                         // third-party payloads, so backfilled frames stay as
-                        // unforgeable as live ones.
-                        for (&r, hist) in self.history.range(since..) {
+                        // unforgeable as live ones. The response is hard-
+                        // capped at `history_rounds` rounds regardless of
+                        // what `since` claims.
+                        for (&r, hist) in
+                            self.history.range(since..).take(self.config.history_rounds)
+                        {
                             let payloads: Vec<Vec<u8>> = hist
                                 .sends
                                 .iter()
@@ -1004,15 +1293,31 @@ where
                         decided,
                         payloads,
                     } => {
+                        // Backfill is pull-only: it answers our SyncRequest.
+                        // A peer pushing it unsolicited is abusing the
+                        // rejoin path to inject traffic outside the live
+                        // Data checks.
+                        if !self.backfill_ok.contains(&from) {
+                            self.misbehave(
+                                from,
+                                "unsolicited_backfill",
+                                format!("backfill for round {round} never requested"),
+                                sync,
+                                links,
+                            );
+                            return;
+                        }
                         if let Some(rt) = &self.runtime {
                             rt.inc("net_backfill_frames_received_total");
                         }
                         let current = sync.current_round();
                         let total = payloads.len();
                         let mut fresh = 0usize;
+                        let mut malformed = false;
                         for payload in &payloads {
                             let Some(msg) = P::Msg::from_bytes(payload) else {
-                                continue; // malformed backfill payload: drop it
+                                malformed = true; // charged once, below
+                                continue;
                             };
                             if sync.accept_data(from, round, MsgRef::new(msg))
                                 == DataOutcome::Delivered
@@ -1022,6 +1327,15 @@ where
                         }
                         if done {
                             sync.accept_done(from, round, decided);
+                        }
+                        if malformed {
+                            self.misbehave(
+                                from,
+                                "malformed_payload",
+                                format!("undecodable payload in backfill round {round}"),
+                                sync,
+                                links,
+                            );
                         }
                         trace(&mut self.tracer, || TraceEvent::Net {
                             round: current,

@@ -27,6 +27,24 @@
 //! the fault model's terms — and are dropped with a
 //! [`LateDrop`](uba_trace::NetEventKind::LateDrop) outcome.
 //!
+//! # Round window (DESIGN.md §13)
+//!
+//! "Ahead" and "behind" are bounded: no honest peer can be more than the
+//! retained-history window away from this node's current round, because a
+//! rejoiner is backfilled from at most that much history and a live peer
+//! only outruns us by charging timeouts. Frames beyond
+//! `current + round_window` ([`DataOutcome::FarFuture`]) would let a
+//! hostile peer allocate unbounded buckets; frames older than
+//! `current - round_window` ([`DataOutcome::Stale`]) are replays of
+//! long-dead rounds no honest peer still retains. Both are **misbehavior**,
+//! not omissions, and the caller attributes them to the offending peer.
+//! Two further per-round promises are checked: a peer's `Done { r }` claims
+//! all of its round-`r` data was sent, so round-`r` data arriving *after*
+//! it is an injection ([`DataOutcome::PostDone`]), and two `Done { r }`
+//! markers with opposite `decided` flags are a barrier equivocation
+//! ([`DoneOutcome::Conflict`]); delivery is first-writer-wins in both
+//! cases, so an equivocator cannot retroactively rewrite a released slot.
+//!
 //! The synchronizer owns no sockets and performs no I/O, so every barrier
 //! corner case (late peer, duplicate frame, peer loss mid-round) is testable
 //! without opening a connection.
@@ -34,6 +52,10 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use uba_sim::{MsgRef, NodeId, Payload};
+
+/// Default round window: matches `NetConfig::history_rounds`, the deepest
+/// backfill any honest peer can serve.
+pub const DEFAULT_ROUND_WINDOW: u64 = 64;
 
 /// What became of one incoming `Data` frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +68,54 @@ pub enum DataOutcome {
     /// The frame's round has already been advanced past; the payload missed
     /// its slot (an omission) and is dropped.
     Late,
+    /// The frame's round is further in the past than any honest peer still
+    /// retains (`round + round_window < current`): a stale-round replay,
+    /// charged as misbehavior rather than an omission.
+    Stale,
+    /// The frame's round is further ahead than any honest peer can run
+    /// (`round > current + round_window`): dropped before buffering so a
+    /// hostile peer cannot allocate unbounded future buckets.
+    FarFuture,
+    /// The sender's `Done` marker for this round already arrived, which
+    /// promised all of its round data was sent: a late injection, dropped
+    /// (first-writer-wins — the pre-`Done` payload set stands).
+    PostDone,
+}
+
+impl DataOutcome {
+    /// Whether this outcome is a protocol violation no honest peer can
+    /// produce (as opposed to a benign race or duplicate).
+    pub fn is_misbehavior(self) -> bool {
+        matches!(
+            self,
+            DataOutcome::Stale | DataOutcome::FarFuture | DataOutcome::PostDone
+        )
+    }
+}
+
+/// What became of one incoming `Done` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DoneOutcome {
+    /// Recorded for the current or a legitimately-future round.
+    Accepted,
+    /// Marker for an already-released barrier; ignored (benign race).
+    Late,
+    /// Round outside the synchronizer's round window on either side — the
+    /// barrier analogue of [`DataOutcome::Stale`] /
+    /// [`DataOutcome::FarFuture`]; charged as misbehavior.
+    OutOfWindow,
+    /// A marker for this round already arrived from the same peer with the
+    /// *opposite* `decided` flag: a barrier equivocation. The first marker
+    /// stands; charged as misbehavior.
+    Conflict,
+}
+
+impl DoneOutcome {
+    /// Whether this outcome is a protocol violation no honest peer can
+    /// produce.
+    pub fn is_misbehavior(self) -> bool {
+        matches!(self, DoneOutcome::OutOfWindow | DoneOutcome::Conflict)
+    }
 }
 
 /// Per-round collection state: everything received *for* one round.
@@ -105,6 +175,9 @@ pub struct RoundSynchronizer<M> {
     pending: BTreeMap<u64, RoundBucket<M>>,
     /// Consecutive rounds each expected peer has been silent at the barrier.
     silent: BTreeMap<NodeId, u64>,
+    /// Accepted round distance from `round` in either direction; frames
+    /// beyond it are misbehavior (see the module docs).
+    round_window: u64,
 }
 
 impl<M: Payload> RoundSynchronizer<M> {
@@ -120,7 +193,18 @@ impl<M: Payload> RoundSynchronizer<M> {
             expected,
             pending: BTreeMap::new(),
             silent,
+            round_window: DEFAULT_ROUND_WINDOW,
         }
+    }
+
+    /// Sets the accepted round window (builder-style). [`NetNode`] passes
+    /// its `history_rounds` here so the window matches the deepest backfill
+    /// any honest peer can serve.
+    ///
+    /// [`NetNode`]: crate::NetNode
+    pub fn with_round_window(mut self, rounds: u64) -> Self {
+        self.round_window = rounds.max(1);
+        self
     }
 
     /// Creates a synchronizer positioned at `first_round` instead of round
@@ -175,11 +259,28 @@ impl<M: Payload> RoundSynchronizer<M> {
 
     /// Records one incoming `Data { round }` frame from `from`.
     ///
-    /// Frames for future rounds are buffered (the peer ran ahead); frames
-    /// for already-advanced rounds return [`DataOutcome::Late`].
+    /// Frames for future rounds inside the round window are buffered (the
+    /// peer ran ahead); frames for already-advanced rounds return
+    /// [`DataOutcome::Late`]. Frames outside the window, or arriving after
+    /// the sender's own `Done` for that round, are misbehavior (see the
+    /// [module docs](self)).
     pub fn accept_data(&mut self, from: NodeId, round: u64, msg: MsgRef<M>) -> DataOutcome {
+        if round > self.round.saturating_add(self.round_window) {
+            return DataOutcome::FarFuture;
+        }
         if round < self.round {
-            return DataOutcome::Late;
+            return if round.saturating_add(self.round_window) < self.round {
+                DataOutcome::Stale
+            } else {
+                DataOutcome::Late
+            };
+        }
+        if self
+            .pending
+            .get(&round)
+            .is_some_and(|b| b.done.contains_key(&from))
+        {
+            return DataOutcome::PostDone;
         }
         self.insert(from, round, msg)
     }
@@ -194,19 +295,33 @@ impl<M: Payload> RoundSynchronizer<M> {
         }
     }
 
-    /// Records one incoming `Done { round, decided }` frame. Returns whether
-    /// the marker was current or ahead (late markers are ignored: the
-    /// barrier they belonged to already released).
-    pub fn accept_done(&mut self, from: NodeId, round: u64, decided: bool) -> bool {
-        if round < self.round {
-            return false;
+    /// Records one incoming `Done { round, decided }` frame. Late markers
+    /// are ignored (the barrier they belonged to already released);
+    /// out-of-window rounds and conflicting `decided` flags are misbehavior
+    /// and leave the recorded state untouched (first writer wins).
+    pub fn accept_done(&mut self, from: NodeId, round: u64, decided: bool) -> DoneOutcome {
+        if round > self.round.saturating_add(self.round_window) {
+            return DoneOutcome::OutOfWindow;
         }
-        self.pending
+        if round < self.round {
+            return if round.saturating_add(self.round_window) < self.round {
+                DoneOutcome::OutOfWindow
+            } else {
+                DoneOutcome::Late
+            };
+        }
+        let done = &mut self
+            .pending
             .entry(round)
             .or_insert_with(RoundBucket::new)
-            .done
-            .insert(from, decided);
-        true
+            .done;
+        match done.get(&from) {
+            Some(&prior) if prior != decided => DoneOutcome::Conflict,
+            _ => {
+                done.insert(from, decided);
+                DoneOutcome::Accepted
+            }
+        }
     }
 
     /// Whether every expected peer has delivered its `Done` marker for the
@@ -351,7 +466,61 @@ mod tests {
         assert_eq!(sync.advance().len(), 1);
         // Round 1 is long gone: its frames are late.
         assert_eq!(sync.accept_data(peer, 1, msg(1)), DataOutcome::Late);
-        assert!(!sync.accept_done(peer, 1, false));
+        assert_eq!(sync.accept_done(peer, 1, false), DoneOutcome::Late);
+    }
+
+    #[test]
+    fn frames_outside_the_round_window_are_misbehavior() {
+        let peer = NodeId::new(2);
+        let mut sync = RoundSynchronizer::new(NodeId::new(1), [peer]).with_round_window(4);
+        // Ahead by exactly the window: still buffered.
+        assert_eq!(sync.accept_data(peer, 5, msg(5)), DataOutcome::Delivered);
+        assert_eq!(sync.accept_done(peer, 5, false), DoneOutcome::Accepted);
+        // One past the window: refused before any bucket is allocated.
+        assert_eq!(sync.accept_data(peer, 6, msg(6)), DataOutcome::FarFuture);
+        assert_eq!(sync.accept_done(peer, 6, false), DoneOutcome::OutOfWindow);
+        assert!(sync.accept_data(peer, 6, msg(6)).is_misbehavior());
+        // Advance far enough that round 1 leaves the window behind us.
+        for r in 1..=6 {
+            sync.accept_done(peer, r, false);
+            sync.advance();
+        }
+        assert_eq!(sync.current_round(), 7);
+        assert_eq!(sync.accept_data(peer, 2, msg(2)), DataOutcome::Stale);
+        assert_eq!(sync.accept_done(peer, 2, false), DoneOutcome::OutOfWindow);
+        // Just inside the window on the past side stays a benign Late.
+        assert_eq!(sync.accept_data(peer, 3, msg(3)), DataOutcome::Late);
+        assert!(!sync.accept_data(peer, 3, msg(3)).is_misbehavior());
+    }
+
+    #[test]
+    fn data_after_the_senders_done_is_an_injection() {
+        let peer = NodeId::new(2);
+        let mut sync = RoundSynchronizer::new(NodeId::new(1), [peer]);
+        assert_eq!(sync.accept_data(peer, 1, msg(1)), DataOutcome::Delivered);
+        assert_eq!(sync.accept_done(peer, 1, false), DoneOutcome::Accepted);
+        // TCP order means an honest peer's Done proves its data all arrived;
+        // more round-1 data from the same peer is a late injection.
+        assert_eq!(sync.accept_data(peer, 1, msg(2)), DataOutcome::PostDone);
+        // First-writer-wins: only the pre-Done payload delivers.
+        assert_eq!(sync.advance().len(), 1);
+        // Other peers' markers do not gate this sender.
+        let mut sync2 = RoundSynchronizer::new(NodeId::new(1), [peer, NodeId::new(3)]);
+        sync2.accept_done(NodeId::new(3), 1, false);
+        assert_eq!(sync2.accept_data(peer, 1, msg(1)), DataOutcome::Delivered);
+    }
+
+    #[test]
+    fn conflicting_done_flags_are_equivocation_and_first_writer_wins() {
+        let peer = NodeId::new(2);
+        let mut sync = RoundSynchronizer::<u64>::new(NodeId::new(1), [peer]);
+        assert_eq!(sync.accept_done(peer, 1, false), DoneOutcome::Accepted);
+        // Re-sending the same flag is an idempotent no-op...
+        assert_eq!(sync.accept_done(peer, 1, false), DoneOutcome::Accepted);
+        // ...but flipping it is a barrier equivocation; the first stands.
+        assert_eq!(sync.accept_done(peer, 1, true), DoneOutcome::Conflict);
+        assert!(sync.accept_done(peer, 1, true).is_misbehavior());
+        assert!(!sync.all_decided(true), "first (undecided) marker stands");
     }
 
     #[test]

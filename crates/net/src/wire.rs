@@ -634,6 +634,47 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
+    /// A reader that hands out the 4-byte length prefix and then panics if
+    /// anyone asks for body bytes: proof the oversize rejection happens
+    /// *before* any body allocation or read.
+    struct PrefixOnly {
+        prefix: [u8; 4],
+        served: usize,
+    }
+
+    impl Read for PrefixOnly {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            assert!(
+                self.served < 4,
+                "read past the length prefix: an oversized frame must be \
+                 rejected before its body is touched"
+            );
+            let n = buf.len().min(4 - self.served);
+            buf[..n].copy_from_slice(&self.prefix[self.served..self.served + n]);
+            self.served += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn four_gib_length_prefix_is_rejected_before_allocation() {
+        // A hostile peer announces a 4 GiB frame (the maximum a u32 prefix
+        // can claim). An honest node must refuse it from the prefix alone:
+        // no 4 GiB buffer is allocated, no body byte is read — the guard
+        // runs before `vec![0u8; len]`, and the `PrefixOnly` reader panics
+        // the test if the decoder ever asks for more.
+        let mut reader = PrefixOnly {
+            prefix: 0xFFFF_FFFFu32.to_le_bytes(),
+            served: 0,
+        };
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("exceeds MAX_FRAME"),
+            "the refusal names the violated bound: {err}"
+        );
+    }
+
     #[test]
     fn mid_frame_eof_is_unexpected_eof() {
         let mut stream = Vec::new();

@@ -1,11 +1,26 @@
 //! Fuzz-style property tests for the frame codec: arbitrary bytes must
 //! never panic the reader or make it over-allocate, truncation must never
 //! yield a successful parse, and every valid frame must round-trip.
+//!
+//! The second block points the same hostility at *live endpoints*: a
+//! [`NetNode`] and a [`serve_clients`] log service fed arbitrary
+//! adversarial byte streams — truncated, interleaved, duplicated frames,
+//! raw garbage — must only ever answer with typed errors and disconnects,
+//! never a panic or a hang.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use uba_net::{read_frame, write_frame, Frame, MAX_FRAME};
-use uba_sim::NodeId;
+use uba_net::{
+    read_frame, serve_clients, write_frame, Frame, LogIngress, NetConfig, NetNode, RetryPolicy,
+    MAX_FRAME,
+};
+use uba_sim::{Context, NodeId, Process};
+use uba_trace::NoopTracer;
 
 /// Builds one frame from sampled primitives (the vendored proptest has no
 /// `prop_oneof`, so variant selection is an explicit index).
@@ -152,5 +167,176 @@ proptest! {
         write_frame(&mut stream, &Frame::Done { round, decided: false }).unwrap();
         let mut reader = &stream[..];
         while let Ok(Some(_)) = read_frame(&mut reader) {}
+    }
+}
+
+/// A one-round broadcast process for the live-node fuzz below.
+struct OneShot {
+    id: NodeId,
+    out: Option<u64>,
+}
+
+impl Process for OneShot {
+    type Msg = u64;
+    type Output = u64;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u64>) {
+        if ctx.round() == 1 {
+            ctx.broadcast(1);
+        } else {
+            self.out = Some(ctx.inbox().len() as u64);
+        }
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.out
+    }
+}
+
+/// One adversarial stream built from sampled segments: valid frames,
+/// duplicated frames, truncated frames, and raw garbage, interleaved in
+/// sampled order (the vendored proptest has no tuple strategies, so the
+/// segment list arrives as parallel vectors).
+fn hostile_stream(selectors: &[u8], rounds: &[u64], garbage: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, selector) in selectors.iter().enumerate() {
+        let round = rounds.get(i).copied().unwrap_or(i as u64);
+        match selector % 5 {
+            0 => write_frame(
+                &mut out,
+                &Frame::Data {
+                    round: round % 6,
+                    payload: round.to_le_bytes().to_vec(),
+                },
+            )
+            .unwrap(),
+            1 => {
+                // The same frame twice back to back.
+                let mut one = Vec::new();
+                write_frame(
+                    &mut one,
+                    &Frame::Data {
+                        round: round % 6,
+                        payload: round.to_le_bytes().to_vec(),
+                    },
+                )
+                .unwrap();
+                out.extend_from_slice(&one);
+                out.extend_from_slice(&one);
+            }
+            2 => {
+                // A frame cut off halfway; everything after is torn.
+                let mut one = Vec::new();
+                write_frame(
+                    &mut one,
+                    &Frame::Done {
+                        round: round % 6,
+                        decided: false,
+                    },
+                )
+                .unwrap();
+                out.extend_from_slice(&one[..one.len() / 2]);
+            }
+            3 => out.extend_from_slice(garbage),
+            _ => write_frame(
+                &mut out,
+                &Frame::Done {
+                    round: round % 6,
+                    decided: true,
+                },
+            )
+            .unwrap(),
+        }
+    }
+    out
+}
+
+proptest! {
+    // Each case stands up real sockets; a handful of cases per run keeps
+    // the suite fast while seed rotation covers the space over time.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn adversarial_streams_never_panic_a_live_node(
+        selectors in vec(0u8..=255, 0..8),
+        rounds in vec(0u64..=20, 0..8),
+        garbage in vec(0u8..=255, 0..12),
+    ) {
+        let me = NodeId::new(1);
+        let peer = NodeId::new(0);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let roster: BTreeMap<NodeId, std::net::SocketAddr> =
+            [(me, addr), (peer, "127.0.0.1:1".parse().unwrap())].into();
+        let config = NetConfig {
+            round_timeout: Duration::from_millis(100),
+            retry: RetryPolicy {
+                initial_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(20),
+                budget: Duration::from_secs(2),
+                jitter_seed: 0,
+            },
+            setup_timeout: Duration::from_secs(2),
+            max_rounds: 30,
+            give_up_after: 1,
+            ..NetConfig::default()
+        };
+        let handle = std::thread::spawn(move || {
+            NetNode::new(OneShot { id: me, out: None }, config)
+                .with_tracer(NoopTracer)
+                .run(listener, &roster)
+        });
+
+        // Handshake honestly, then pour the hostile stream in and hang up.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, &Frame::Hello { node: peer }).unwrap();
+        let _ = read_frame(&mut stream);
+        let bytes = hostile_stream(&selectors, &rounds, &garbage);
+        let _ = stream.write_all(&bytes);
+        let _ = stream.flush();
+        drop(stream);
+
+        // The node must finish its run alone — every hostile byte resolved
+        // into a typed outcome (drop, strike, omission, eviction), never a
+        // panic (which would surface as Err on join) or a hang.
+        let report = handle.join().expect("NetNode must not panic");
+        prop_assert!(report.is_ok(), "typed error escaped: {:?}", report.err());
+    }
+
+    #[test]
+    fn adversarial_clients_never_take_down_the_log_service(
+        garbage in vec(0u8..=255, 1..64),
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = serve_clients(listener, LogIngress::new(2), 1, None, NoopTracer).unwrap();
+        let addr = server.addr();
+
+        // A hostile client writes garbage and hangs up; the handler must
+        // resolve it into a typed disconnect.
+        let mut bad = TcpStream::connect(addr).unwrap();
+        let _ = bad.write_all(&garbage);
+        let _ = bad.flush();
+        drop(bad);
+
+        // The service survives: a well-formed client still gets acked.
+        let mut good = TcpStream::connect(addr).unwrap();
+        write_frame(
+            &mut good,
+            &Frame::Submit {
+                key: String::from("fuzz"),
+                payload: vec![1, 2, 3],
+            },
+        )
+        .unwrap();
+        match read_frame(&mut good) {
+            Ok(Some(Frame::SubmitAck { .. })) => {}
+            other => prop_assert!(false, "service did not survive garbage: {other:?}"),
+        }
+        drop(good);
+        server.shutdown();
     }
 }

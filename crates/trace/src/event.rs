@@ -124,9 +124,11 @@ pub enum TraceEvent {
         /// Round the fault applies to.
         round: u64,
         /// Fault kind: `crash`, `recover`, `silence-send`, `drop-inbound`,
-        /// `drop-link`, or `restart` (a crash-restart replayed from the
+        /// `drop-link`, `restart` (a crash-restart replayed from the
         /// recorded inbox history — the churn schedule's simulator twin of
-        /// the net layer's journal rejoin).
+        /// the net layer's journal rejoin), or `byzantine_evict` (a peer
+        /// disconnected for attributable wire misbehavior, as opposed to
+        /// the omission-charged silence of a timeout).
         kind: &'static str,
         /// The node the fault is charged to.
         node: u64,
@@ -243,6 +245,18 @@ pub enum NetEventKind {
     /// `PrefixChunk` of its finalized shard prefix (`info` carries the range
     /// served).
     PrefixRead,
+    /// A peer violated the wire protocol in a way no honest node can
+    /// (malformed/oversized frame, out-of-window round, post-`Done` data
+    /// injection, barrier equivocation, ingress-quota flood, backfill
+    /// abuse); the `info` field names the misbehavior kind and the strike
+    /// count. Distinct from [`Timeout`](Self::Timeout): this is attributable
+    /// malice, not silence.
+    Misbehavior,
+    /// A peer exhausted its strike budget and was evicted: link torn down,
+    /// removed from the barrier's expectations, all further traffic from it
+    /// ignored. Distinct from [`PeerGone`](Self::PeerGone), which charges
+    /// benign silence.
+    ByzEvict,
 }
 
 impl NetEventKind {
@@ -268,6 +282,8 @@ impl NetEventKind {
             NetEventKind::ClientSubmit => "client_submit",
             NetEventKind::ShardBatch => "shard_batch",
             NetEventKind::PrefixRead => "prefix_read",
+            NetEventKind::Misbehavior => "byz_misbehavior",
+            NetEventKind::ByzEvict => "byz_evict",
         }
     }
 }
@@ -308,6 +324,8 @@ impl TraceEvent {
                 NetEventKind::ClientSubmit => "net_client_submit",
                 NetEventKind::ShardBatch => "net_shard_batch",
                 NetEventKind::PrefixRead => "net_prefix_read",
+                NetEventKind::Misbehavior => "net_byz_misbehavior",
+                NetEventKind::ByzEvict => "net_byz_evict",
             },
         }
     }
@@ -377,6 +395,11 @@ mod tests {
             NetEventKind::LinkThrottle,
             NetEventKind::LinkPartition,
             NetEventKind::LinkHeal,
+            NetEventKind::ClientSubmit,
+            NetEventKind::ShardBatch,
+            NetEventKind::PrefixRead,
+            NetEventKind::Misbehavior,
+            NetEventKind::ByzEvict,
         ];
         let names: BTreeSet<&str> = kinds
             .iter()
